@@ -1,0 +1,35 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one of the paper's tables/figures: it runs the
+experiment once under pytest-benchmark (wall-clock of the whole experiment),
+prints the same rows/series the paper reports, saves them under
+``benchmarks/results/``, and asserts the expected *shape* (orderings and
+rough factors — absolute numbers are simulator-dependent by design).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def emit(results_dir, request):
+    """emit(text) — print a result block and persist it per-benchmark."""
+
+    def _emit(text: str) -> None:
+        print()
+        print(text)
+        out = results_dir / f"{request.node.name}.txt"
+        out.write_text(text + "\n")
+
+    return _emit

@@ -1,0 +1,38 @@
+"""Ablation — the large-file erasure code (DESIGN.md hook #4).
+
+The paper fixes RAID5 "as a case study to fairly compare with the RACS
+approach"; the codec registry makes the choice a config knob.  This sweep
+measures what double-fault tolerance costs on the three cost-oriented
+providers: RS(1+2) and FMSR(3,1) survive two concurrent outages but pay for
+it in space and write latency.
+"""
+
+from repro.analysis.ablations import run_codec_ablation
+from repro.analysis.tables import render_table
+
+
+def test_large_file_codec_ablation(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: run_codec_ablation(seed=0), rounds=1, iterations=1
+    )
+
+    rows = [
+        [name, m["mean_latency"], m["space_overhead"], int(m["fault_tolerance"])]
+        for name, m in result.items()
+    ]
+    emit(
+        render_table(
+            ["Codec", "Mean latency (s)", "Space overhead", "Outages tolerated"],
+            rows,
+            title="Ablation — large-file erasure code (paper: RAID5)",
+        )
+    )
+
+    raid5 = result["raid5(2+1)"]
+    for name in ("rs(1+2)", "fmsr(3,1)"):
+        other = result[name]
+        assert other["fault_tolerance"] == 2.0
+        assert raid5["fault_tolerance"] == 1.0
+        # Double-fault tolerance costs real space and latency.
+        assert other["space_overhead"] > raid5["space_overhead"] * 1.5
+        assert other["mean_latency"] > raid5["mean_latency"]

@@ -1,0 +1,54 @@
+"""Extension — the degraded-read penalty, isolated per scheme.
+
+Figure 6's outage bars mix reads and writes; this benchmark isolates the
+pure-read penalty of losing Windows Azure: DuraCloud falls back from its
+fast replica to slow Amazon S3, RACS reconstructs through the Rackspace
+parity it normally never touches, and HyRD's small files simply read the
+surviving Aliyun replica (no penalty at all for this outage).
+"""
+
+from repro.analysis.ablations import run_degraded_read_comparison
+from repro.analysis.tables import render_table
+
+
+def test_degraded_read_penalty(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: run_degraded_read_comparison(seed=0), rounds=1, iterations=1
+    )
+
+    rows = [
+        [
+            name,
+            m["normal_latency"],
+            m["degraded_latency"],
+            m["inflation"],
+            m["degraded_fanout"],
+            m["degraded_fraction"],
+        ]
+        for name, m in result.items()
+    ]
+    emit(
+        render_table(
+            [
+                "Scheme",
+                "Normal read (s)",
+                "Degraded read (s)",
+                "Inflation",
+                "Providers/read",
+                "Degraded frac",
+            ],
+            rows,
+            title="Degraded reads — pure read workload, Azure offline",
+        )
+    )
+
+    # Replication falls back to one copy; striping fans out to k providers.
+    assert result["duracloud"]["degraded_fanout"] == 1.0
+    assert result["racs"]["degraded_fanout"] >= 3.0
+    # HyRD's reads shrug this outage off entirely; the baselines inflate.
+    assert result["hyrd"]["inflation"] < 1.1
+    assert result["racs"]["inflation"] > 1.2
+    assert result["duracloud"]["inflation"] > 1.2
+    # Every RACS/DuraCloud read during the outage ran degraded.
+    assert result["racs"]["degraded_fraction"] == 1.0
+    assert result["duracloud"]["degraded_fraction"] == 1.0

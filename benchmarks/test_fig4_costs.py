@@ -1,0 +1,66 @@
+"""Figure 4 — monthly (a) and cumulative (b) cloud costs.
+
+Seven configurations on the IA trace: the four single clouds, DuraCloud
+(2x replication), RACS (RAID5 over all four), and HyRD.  Paper headlines:
+DuraCloud most costly, Aliyun least; HyRD 33.4 % cheaper than DuraCloud and
+20.4 % cheaper than RACS.
+"""
+
+from repro.analysis.charts import line_chart
+from repro.analysis.experiments import run_fig4
+from repro.analysis.tables import render_table
+
+SCHEMES = ["amazon_s3", "azure", "aliyun", "rackspace", "duracloud", "racs", "hyrd"]
+
+
+def test_fig4_monthly_and_cumulative_costs(benchmark, emit):
+    fig4 = benchmark.pedantic(lambda: run_fig4(seed=0), rounds=1, iterations=1)
+
+    months = len(next(iter(fig4.results.values())).monthly)
+    monthly_rows = [
+        [f"m{m:02d}"] + [fig4.results[s].monthly_totals[m] for s in SCHEMES]
+        for m in range(months)
+    ]
+    cumulative_rows = [
+        [f"m{m:02d}"] + [fig4.results[s].cumulative_totals[m] for s in SCHEMES]
+        for m in range(months)
+    ]
+    emit(
+        render_table(
+            ["Month"] + SCHEMES,
+            monthly_rows,
+            title="Figure 4(a) — monthly cost ($, simulated scale)",
+            floatfmt=".4f",
+        )
+        + "\n\n"
+        + render_table(
+            ["Month"] + SCHEMES,
+            cumulative_rows,
+            title="Figure 4(b) — cumulative cost ($, simulated scale)",
+            floatfmt=".4f",
+        )
+        + "\n\n"
+        + line_chart(
+            [f"{m}" for m in range(months)],
+            {s: fig4.results[s].cumulative_totals for s in ("duracloud", "racs", "hyrd", "aliyun")},
+            title="Figure 4(b) — cumulative cost curves",
+        )
+        + "\n\nHeadlines (paper in parentheses):\n"
+        + f"  HyRD vs DuraCloud: {fig4.savings_vs('hyrd', 'duracloud'):.1%} cheaper (33.4%)\n"
+        + f"  HyRD vs RACS:      {fig4.savings_vs('hyrd', 'racs'):.1%} cheaper (20.4%)\n"
+    )
+
+    # Shape assertions straight out of §IV-B.
+    dura = fig4.cumulative("duracloud")
+    aliyun = fig4.cumulative("aliyun")
+    for name in SCHEMES:
+        if name != "duracloud":
+            assert fig4.cumulative(name) < dura, f"{name} costlier than DuraCloud"
+        if name != "aliyun":
+            assert fig4.cumulative(name) > aliyun, f"{name} cheaper than Aliyun"
+    assert 0.15 <= fig4.savings_vs("hyrd", "duracloud") <= 0.55
+    assert 0.03 <= fig4.savings_vs("hyrd", "racs") <= 0.40
+    # Cumulative curves are monotone non-decreasing for every scheme.
+    for name in SCHEMES:
+        cum = fig4.results[name].cumulative_totals
+        assert all(b >= a - 1e-12 for a, b in zip(cum, cum[1:]))

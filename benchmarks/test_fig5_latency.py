@@ -1,0 +1,58 @@
+"""Figure 5 — read/write latency vs request size per single-cloud provider.
+
+Sizes 4 KB ... 4 MB against each Table II provider.  Paper observations:
+Aliyun lowest latency everywhere; large variance across providers; the
+disproportionate 1 MB -> 4 MB jump that fixes HyRD's threshold at 1 MB.
+"""
+
+from repro.analysis.experiments import run_fig5
+from repro.analysis.tables import render_table
+
+KB, MB = 1024, 1024 * 1024
+PROVIDERS = ["amazon_s3", "azure", "aliyun", "rackspace"]
+
+
+def _label(size: int) -> str:
+    return f"{size // MB}MB" if size >= MB else f"{size // KB}KB"
+
+
+def test_fig5_latency_vs_request_size(benchmark, emit):
+    res = benchmark.pedantic(
+        lambda: run_fig5(seed=0, repeats=9), rounds=1, iterations=1
+    )
+
+    read_rows = [
+        [_label(s)] + [res.read[p][i] for p in PROVIDERS]
+        for i, s in enumerate(res.sizes)
+    ]
+    write_rows = [
+        [_label(s)] + [res.write[p][i] for p in PROVIDERS]
+        for i, s in enumerate(res.sizes)
+    ]
+    emit(
+        render_table(
+            ["Size"] + PROVIDERS,
+            read_rows,
+            title="Figure 5(a) — read latency (s)",
+        )
+        + "\n\n"
+        + render_table(
+            ["Size"] + PROVIDERS,
+            write_rows,
+            title="Figure 5(b) — write latency (s)",
+        )
+        + "\n\n1MB->4MB latency growth (the threshold knee): "
+        + ", ".join(f"{p}={res.knee_ratio(p):.2f}x" for p in PROVIDERS)
+    )
+
+    # Aliyun lowest at every size, reads and writes (paper observation 1).
+    for i in range(len(res.sizes)):
+        assert res.read["aliyun"][i] <= min(res.read[p][i] for p in PROVIDERS if p != "aliyun")
+        assert res.write["aliyun"][i] <= min(res.write[p][i] for p in PROVIDERS if p != "aliyun")
+    # Huge variance across providers (observation 2).
+    assert max(res.read[p][-1] for p in PROVIDERS) > 3 * min(
+        res.read[p][-1] for p in PROVIDERS
+    )
+    # Disproportionate growth from 1 MB to 4 MB (observation 3 -> threshold).
+    for p in PROVIDERS:
+        assert res.knee_ratio(p) > 2.0

@@ -1,0 +1,108 @@
+"""Figure 6 — access latency of every scheme, normal and outage states.
+
+PostMark (1 KB - 100 MB) against the four single clouds plus DuraCloud,
+RACS and HyRD; the outage group re-runs the Cloud-of-Clouds schemes with
+Windows Azure forced offline (exactly the paper's method).  Results are
+normalised to single-cloud Amazon S3.
+
+Paper headlines: normal state — HyRD 58.7 % below DuraCloud and 34.8 %
+below RACS; outage — 27.3 % / 46.3 %; DuraCloud *improves* during the
+outage (no second synchronised write); HyRD's small files are unaffected
+(served by the surviving replica).
+"""
+
+from repro.analysis.charts import grouped_bar_chart
+from repro.analysis.experiments import run_fig6
+from repro.analysis.tables import render_table
+
+ALL = ["amazon_s3", "azure", "aliyun", "rackspace", "duracloud", "racs", "hyrd"]
+COC = ["duracloud", "racs", "hyrd"]
+
+
+def test_fig6_scheme_latency_normal_and_outage(benchmark, emit):
+    fig6 = benchmark.pedantic(lambda: run_fig6(seed=0), rounds=1, iterations=1)
+
+    norm_n = fig6.normalized("normal")
+    norm_o = fig6.normalized("outage")
+    rows = []
+    for name in ALL:
+        rows.append(
+            [
+                name,
+                fig6.normal[name],
+                norm_n[name],
+                fig6.outage.get(name, float("nan")),
+                norm_o.get(name, float("nan")),
+                fig6.degraded_fraction.get(name, 0.0),
+            ]
+        )
+    emit(
+        render_table(
+            [
+                "Scheme",
+                "Normal (s)",
+                "Normal (xS3)",
+                "Outage (s)",
+                "Outage (xS3)",
+                "Degraded frac",
+            ],
+            rows,
+            title="Figure 6 — mean access latency, normalised to Amazon S3 normal",
+        )
+        + "\n\n"
+        + grouped_bar_chart(
+            [
+                ("Normal state (xS3)", {k: norm_n[k] for k in ALL}),
+                ("Azure outage (xS3)", {k: norm_o[k] for k in COC}),
+            ],
+            title="Figure 6 — normalised access latency",
+        )
+        + "\n\nHeadlines (paper in parentheses):\n"
+        + f"  normal: HyRD vs DuraCloud {fig6.improvement('hyrd', 'duracloud'):.1%} (58.7%), "
+        + f"vs RACS {fig6.improvement('hyrd', 'racs'):.1%} (34.8%)\n"
+        + f"  outage: HyRD vs DuraCloud {fig6.improvement('hyrd', 'duracloud', 'outage'):.1%} (27.3%), "
+        + f"vs RACS {fig6.improvement('hyrd', 'racs', 'outage'):.1%} (46.3%)\n"
+        + f"  DuraCloud outage/normal = {fig6.outage['duracloud'] / fig6.normal['duracloud']:.3f} (< 1 per the paper)\n"
+    )
+
+    # --- normal state shape -------------------------------------------------
+    assert fig6.normal["hyrd"] < fig6.normal["racs"] < fig6.normal["duracloud"]
+    assert 0.25 <= fig6.improvement("hyrd", "duracloud") <= 0.75
+    assert 0.10 <= fig6.improvement("hyrd", "racs") <= 0.60
+    # --- outage state shape -------------------------------------------------
+    assert fig6.outage["hyrd"] < fig6.outage["racs"]
+    assert fig6.outage["hyrd"] < fig6.outage["duracloud"]
+    # DuraCloud gets no slower (and typically faster): no sync writes.
+    assert fig6.outage["duracloud"] <= fig6.normal["duracloud"] * 1.05
+    # HyRD's latency is barely affected by the outage.
+    assert fig6.outage["hyrd"] <= fig6.normal["hyrd"] * 1.25
+    # RACS suffers degraded reconstruction on a large share of accesses.
+    assert fig6.degraded_fraction["racs"] > fig6.degraded_fraction["hyrd"]
+
+
+def test_fig6_extended_with_depsky_and_nccloud(benchmark, emit):
+    """Extension: the same experiment including the DepSky and NCCloud
+    baselines from Table I (not plotted in the paper's Fig. 6)."""
+    from repro.workloads.postmark import PostMarkConfig
+
+    config = PostMarkConfig(file_pool=25, transactions=100)
+    fig6 = benchmark.pedantic(
+        lambda: run_fig6(seed=0, config=config, extended=True),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [name, fig6.normal[name], fig6.outage.get(name, float("nan"))]
+        for name in ("duracloud", "depsky", "depsky-ca", "nccloud", "racs", "hyrd")
+    ]
+    emit(
+        render_table(
+            ["Scheme", "Normal (s)", "Outage (s)"],
+            rows,
+            title="Figure 6 extension — all Table I baselines (+ DepSky-CA)",
+        )
+    )
+    # HyRD still leads the full baseline set in both states.
+    for other in ("duracloud", "depsky", "depsky-ca", "nccloud", "racs"):
+        assert fig6.normal["hyrd"] < fig6.normal[other]
+        assert fig6.outage["hyrd"] < fig6.outage[other]

@@ -1,0 +1,63 @@
+"""Extension — price-drift sensitivity (the diversity argument, stressed).
+
+Table II is a dated snapshot ("as of September, 10th 2014"); prices move.
+This sweep multiplies Aliyun's storage price — the provider anchoring both
+of HyRD's classes — and re-runs the cost simulation for HyRD and RACS.
+HyRD's Evaluator reclassifies at every point; RACS stripes obliviously.
+The signature of adaptation: HyRD's advantage erodes while the pricier
+Aliyun is still (barely) classified cost-oriented, then *recovers* the
+moment the Evaluator expels it and the dispatcher re-homes the stripe.
+"""
+
+from repro.analysis.tables import render_table
+from repro.analysis.whatif import run_price_sensitivity
+
+
+def test_price_sensitivity_sweep(benchmark, emit):
+    points = benchmark.pedantic(
+        lambda: run_price_sensitivity(provider="aliyun", seed=0),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [
+        [
+            f"x{p.multiplier:g}",
+            p.storage_price,
+            p.hyrd_cost,
+            p.racs_cost,
+            f"{p.hyrd_advantage:+.1%}",
+            "yes" if p.provider_in_hyrd_cost_set else "NO (reclassified)",
+        ]
+        for p in points
+    ]
+    emit(
+        render_table(
+            [
+                "Aliyun price",
+                "$/GB-mo",
+                "HyRD cost $",
+                "RACS cost $",
+                "HyRD vs RACS",
+                "Aliyun cost-oriented?",
+            ],
+            rows,
+            title="Price-drift sensitivity — Aliyun storage price sweep (6 months)",
+            floatfmt=".4f",
+        )
+    )
+
+    by_mult = {p.multiplier: p for p in points}
+    # At the paper's prices HyRD wins comfortably.
+    assert by_mult[1.0].hyrd_advantage > 0.05
+    # Costs rise monotonically with the swept price for both schemes.
+    hyrd_costs = [p.hyrd_cost for p in points]
+    racs_costs = [p.racs_cost for p in points]
+    assert hyrd_costs == sorted(hyrd_costs)
+    assert racs_costs == sorted(racs_costs)
+    # The Evaluator eventually expels the no-longer-cheap provider ...
+    assert by_mult[1.0].provider_in_hyrd_cost_set
+    assert not by_mult[8.0].provider_in_hyrd_cost_set
+    # ... and the reclassification claws the advantage back.
+    worst = min(p.hyrd_advantage for p in points)
+    assert by_mult[8.0].hyrd_advantage > worst

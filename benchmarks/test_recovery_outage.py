@@ -1,0 +1,44 @@
+"""Recovery drill — §III-C's two-phase outage recovery, measured.
+
+Phase 1 (service unavailable): reads reconstruct on demand, writes/updates
+are logged.  Phase 2 (provider returns): the log replays as a consistency
+update.  The benchmark measures the full lifecycle and asserts the
+recovery-completeness invariants.
+"""
+
+from repro.analysis.experiments import run_recovery_drill
+from repro.analysis.tables import render_table
+
+
+def test_outage_recovery_drill(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: run_recovery_drill(seed=0), rounds=1, iterations=1
+    )
+
+    heal_bytes = sum(r.bytes_up for r in result["heal_reports"])
+    heal_elapsed = sum(r.elapsed for r in result["heal_reports"])
+    emit(
+        render_table(
+            ["Metric", "Value"],
+            [
+                ["mean latency during outage (s)", result["during_mean_latency"]],
+                ["degraded-op fraction during outage", result["degraded_fraction"]],
+                ["writes logged for the offline provider", result["logged_writes"]],
+                ["consistency-update bytes replayed", heal_bytes],
+                ["consistency-update wall time (s)", heal_elapsed],
+                ["log entries left after heal", result["log_after_heal"]],
+                ["mean latency after recovery (s)", result["post_mean_latency"]],
+                ["degraded fraction after recovery", result["post_degraded_fraction"]],
+            ],
+            title="Recovery drill — HyRD through a 6-hour Azure outage",
+        )
+    )
+
+    # Recovery completes: the log drains and nothing stays degraded.
+    assert result["log_after_heal"] == 0
+    assert result["post_degraded_fraction"] == 0.0
+    # The consistency update actually moved the missed bytes.
+    if result["logged_writes"] > 0:
+        assert heal_bytes > 0
+    # Service stayed up during the outage (ops completed and verified).
+    assert result["during_mean_latency"] > 0

@@ -1,0 +1,55 @@
+"""Table II — monthly price plans and the provider-category row.
+
+Regenerates the paper's pricing table from the presets and verifies the
+Evaluator *re-derives* the paper's category row (Amazon S3: cost, Azure:
+performance, Aliyun: both, Rackspace: cost) from measured probes + prices.
+"""
+
+from repro.analysis.experiments import run_table2
+from repro.analysis.tables import render_table
+from repro.cloud.provider import make_table2_cloud_of_clouds
+from repro.core.config import HyRDConfig
+from repro.core.evaluator import CostPerformanceEvaluator
+from repro.sim.clock import SimClock
+
+
+def test_table2_pricing_and_categories(benchmark, emit):
+    def experiment():
+        rows = run_table2()
+        clock = SimClock()
+        providers = make_table2_cloud_of_clouds(clock)
+        evaluator = CostPerformanceEvaluator(list(providers.values()), HyRDConfig())
+        profiles = evaluator.evaluate()
+        return rows, profiles
+
+    rows, profiles = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    emit(
+        render_table(
+            [
+                "Vendor",
+                "Storage $/GB-mo",
+                "Data out $/GB",
+                "3Ps+List $/10K",
+                "Get $/10K",
+                "Category (Table II)",
+            ],
+            rows,
+            title="Table II — price plans, China region, Sept 10 2014",
+            floatfmt=".4f",
+        )
+        + "\n\nEvaluator-derived categories (measured probes + price plans):\n"
+        + "\n".join(
+            f"  {name:10s} -> perf={p.is_performance_oriented} cost={p.is_cost_oriented}"
+            for name, p in profiles.items()
+        )
+    )
+
+    # The derived classification must equal the paper's bottom row.
+    assert profiles["amazon_s3"].is_cost_oriented
+    assert not profiles["amazon_s3"].is_performance_oriented
+    assert profiles["azure"].is_performance_oriented
+    assert not profiles["azure"].is_cost_oriented
+    assert profiles["aliyun"].is_cost_oriented and profiles["aliyun"].is_performance_oriented
+    assert profiles["rackspace"].is_cost_oriented
+    assert not profiles["rackspace"].is_performance_oriented

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Nightly backups with client-side deduplication (§VI future work, built).
+
+A 3 MB disk image is backed up every night for a week; ~3 % of it changes
+per night.  The dedup layer chunks each image content-defined, uploads only
+chunks the Cloud-of-Clouds has never seen, and stores a recipe per backup —
+so a week of backups costs barely more than one, while every night remains
+independently restorable through HyRD's redundancy.
+
+Run:  python examples/nightly_backup.py
+"""
+
+import numpy as np
+
+from repro import HyRDClient
+from repro.cloud import make_table2_cloud_of_clouds
+from repro.dedup import ContentDefinedChunker, DedupLayer
+from repro.sim import SimClock
+from repro.sim.rng import make_rng
+
+KB, MB = 1024, 1024 * 1024
+
+
+def main() -> None:
+    clock = SimClock()
+    providers = make_table2_cloud_of_clouds(clock)
+    hyrd = HyRDClient(list(providers.values()), clock)
+    layer = DedupLayer(hyrd, ContentDefinedChunker(avg_size=16 * KB))
+
+    rng = make_rng(42, "backup")
+    image = bytearray(rng.integers(0, 256, 3 * MB, dtype=np.uint8).tobytes())
+
+    print("night  logical MB  uploaded MB (cumulative)  dedup ratio")
+    for night in range(7):
+        if night:
+            # ~3% of the image changes in 4 KB runs overnight.
+            for _ in range(23):
+                off = int(rng.integers(0, 3 * MB - 4 * KB))
+                image[off : off + 4 * KB] = rng.integers(
+                    0, 256, 4 * KB, dtype=np.uint8
+                ).tobytes()
+        layer.put(f"/backups/night{night}.img", bytes(image))
+        stats = layer.stats
+        print(
+            f"{night:5d}  {stats.logical_bytes / MB:10.1f}  "
+            f"{stats.transferred_bytes / MB:24.1f}  {layer.dedup_ratio():11.2f}"
+        )
+
+    # Any night restores exactly, through HyRD's redundancy underneath.
+    restored = layer.get("/backups/night6.img")
+    assert restored == bytes(image)
+    print(
+        f"\nrestored night6 OK ({len(restored) / MB:.1f} MB); "
+        f"traffic saved vs naive: {layer.stats.traffic_saved_fraction:.1%}"
+    )
+
+    # Dropping old backups garbage-collects chunks only they referenced.
+    before = hyrd.total_stored_bytes()
+    for night in range(5):
+        layer.remove(f"/backups/night{night}.img")
+    after = hyrd.total_stored_bytes()
+    print(
+        f"pruned nights 0-4: cloud storage {before / MB:.1f} MB -> {after / MB:.1f} MB; "
+        f"remaining backups still restore: "
+        f"{layer.get('/backups/night5.img') is not None}"
+    )
+
+
+if __name__ == "__main__":
+    main()

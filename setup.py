@@ -1,0 +1,7 @@
+"""Shim so `pip install -e .` works on environments without the `wheel`
+package (no network): forces the legacy setuptools develop path via
+--no-use-pep517."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""repro — a full reproduction of HyRD (IPDPS 2015).
+
+HyRD is a client-side hybrid redundant data distribution layer for a
+Cloud-of-Clouds: small files and file-system metadata are *replicated* on
+performance-oriented cloud providers, while large files are *erasure-coded*
+across cost-oriented providers.
+
+The package is organised as:
+
+- :mod:`repro.sim`       -- simulation kernel (clock, events, bandwidth sharing)
+- :mod:`repro.erasure`   -- Galois-field erasure codes (RS, RAID5, FMSR)
+- :mod:`repro.cloud`     -- simulated cloud storage providers + GCS-API
+- :mod:`repro.fs`        -- client-side namespace and metadata grouping
+- :mod:`repro.schemes`   -- HyRD and all baselines (RACS, DuraCloud, DepSky, NCCloud)
+- :mod:`repro.core`      -- the HyRD client itself (monitor/evaluator/dispatcher/recovery)
+- :mod:`repro.workloads` -- PostMark and Internet-Archive trace generators
+- :mod:`repro.cost`      -- pricing meters and trace-driven cost simulation
+- :mod:`repro.metrics`   -- latency statistics
+- :mod:`repro.analysis`  -- per-table/figure experiment runners
+"""
+
+from typing import Any
+
+__version__ = "1.0.0"
+
+__all__ = ["HyRDClient", "HyRDConfig", "__version__"]
+
+
+def __getattr__(name: str) -> Any:
+    # Lazy re-exports keep `import repro.erasure` usable without dragging in
+    # the whole client stack (and avoid import cycles during bootstrap).
+    if name == "HyRDClient":
+        from repro.core.hyrd import HyRDClient
+
+        return HyRDClient
+    if name == "HyRDConfig":
+        from repro.core.config import HyRDConfig
+
+        return HyRDConfig
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,31 @@
+"""Experiment runners and table rendering for every paper table/figure."""
+
+from repro.analysis.tables import render_table
+from repro.analysis.experiments import (
+    Fig4Results,
+    Fig5Results,
+    Fig6Results,
+    default_ia_config,
+    default_postmark_config,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_table1,
+    run_table2,
+)
+
+__all__ = [
+    "Fig4Results",
+    "Fig5Results",
+    "Fig6Results",
+    "default_ia_config",
+    "default_postmark_config",
+    "render_table",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_table1",
+    "run_table2",
+]

@@ -1,0 +1,123 @@
+"""ASCII chart rendering — figure-shaped output for a terminal.
+
+The paper's figures are bar charts and line plots; benches and the CLI
+render their data with these primitives so `benchmarks/results/` contains
+something figure-like, not just tables.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["bar_chart", "grouped_bar_chart", "line_chart"]
+
+_FULL = "█"
+_PART = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(value: float, vmax: float, width: int) -> str:
+    if vmax <= 0:
+        return ""
+    frac = max(0.0, min(1.0, value / vmax))
+    cells = frac * width
+    full = int(cells)
+    rem = int((cells - full) * 8)
+    return _FULL * full + (_PART[rem] if rem and full < width else "")
+
+
+def bar_chart(
+    items: Mapping[str, float] | Sequence[tuple[str, float]],
+    title: str | None = None,
+    width: int = 40,
+    floatfmt: str = ".3f",
+) -> str:
+    """Horizontal bar chart: one labelled bar per item."""
+    pairs = list(items.items()) if isinstance(items, Mapping) else list(items)
+    if not pairs:
+        raise ValueError("bar_chart needs at least one item")
+    if any(v < 0 for _, v in pairs):
+        raise ValueError("bar_chart values must be >= 0")
+    vmax = max(v for _, v in pairs)
+    label_w = max(len(str(k)) for k, _ in pairs)
+    lines = [title] if title else []
+    for label, value in pairs:
+        lines.append(
+            f"{str(label).rjust(label_w)} | "
+            f"{_bar(value, vmax, width).ljust(width)} {format(value, floatfmt)}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Sequence[tuple[str, Mapping[str, float]]],
+    title: str | None = None,
+    width: int = 40,
+    floatfmt: str = ".3f",
+) -> str:
+    """Bars organised in labelled groups (e.g. normal vs outage states)."""
+    if not groups:
+        raise ValueError("grouped_bar_chart needs at least one group")
+    vmax = max(
+        (v for _, series in groups for v in series.values()), default=0.0
+    )
+    all_labels = [str(k) for _, series in groups for k in series]
+    label_w = max(len(s) for s in all_labels) if all_labels else 1
+    lines = [title] if title else []
+    for group_name, series in groups:
+        lines.append(f"{group_name}:")
+        for label, value in series.items():
+            lines.append(
+                f"  {str(label).rjust(label_w)} | "
+                f"{_bar(value, vmax, width).ljust(width)} {format(value, floatfmt)}"
+            )
+    return "\n".join(lines)
+
+
+def line_chart(
+    x_labels: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    title: str | None = None,
+    height: int = 12,
+    floatfmt: str = ".2f",
+) -> str:
+    """Multi-series line plot on a character grid (one column per x value).
+
+    Each series is drawn with its own marker; a legend maps markers to
+    series names.  Good enough to show Figure 4's cumulative curves or
+    Figure 5's latency-vs-size trends in a results file.
+    """
+    if height < 2:
+        raise ValueError(f"height must be >= 2, got {height}")
+    if not series:
+        raise ValueError("line_chart needs at least one series")
+    n = len(x_labels)
+    for name, ys in series.items():
+        if len(ys) != n:
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points, expected {n}"
+            )
+    markers = "ox+*#@%&"
+    vmax = max(max(ys) for ys in series.values())
+    vmin = min(min(ys) for ys in series.values())
+    span = (vmax - vmin) or 1.0
+
+    grid = [[" "] * n for _ in range(height)]
+    for si, (name, ys) in enumerate(series.items()):
+        marker = markers[si % len(markers)]
+        for xi, y in enumerate(ys):
+            row = height - 1 - int(round((y - vmin) / span * (height - 1)))
+            grid[row][xi] = marker
+
+    lines = [title] if title else []
+    lines.append(f"{format(vmax, floatfmt).rjust(10)} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{format(vmin, floatfmt).rjust(10)} ┤" + "".join(grid[-1]))
+    lines.append(" " * 12 + "".join(label[0] if label else " " for label in x_labels))
+    lines.append(
+        "legend: "
+        + "  ".join(
+            f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+        )
+    )
+    return "\n".join(lines)

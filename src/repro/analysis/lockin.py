@@ -1,0 +1,137 @@
+"""Vendor lock-in: the switching-cost analysis of §II-A, quantified.
+
+§II-A: *"moving from one provider to another one may be very expensive
+because the switching cost is proportional to the amount of data that has
+been stored in the original provider."*  The Cloud-of-Clouds argument is
+that redundancy makes abandoning any one provider cheap — the data needed
+to re-establish redundancy elsewhere can come from the *other* providers,
+or (with replication) costs nothing at all until a new replica is wanted.
+
+:func:`switching_cost_report` computes, for every scheme, the dollar cost of
+walking away from each provider it uses: egress charges for whatever must be
+read to rebuild the departed provider's share, assuming data-in is free at
+the destination (true for the whole Table II fleet).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.pricing import GB, PRICE_PLANS
+
+__all__ = ["SwitchingCost", "switching_cost_report", "single_cloud_exit_cost"]
+
+
+@dataclass(frozen=True)
+class SwitchingCost:
+    """Cost of abandoning one provider under one scheme."""
+
+    scheme: str
+    departed: str
+    bytes_read: float  # bytes fetched from surviving providers
+    read_from: tuple[str, ...]
+    egress_cost: float  # dollars at Table II data-out prices
+
+    @property
+    def cost_per_logical_gb(self) -> float:
+        return self.egress_cost  # report is normalised to 1 logical GB
+
+
+def _egress(provider: str, nbytes: float) -> float:
+    return PRICE_PLANS[provider].data_out_cost(nbytes)
+
+
+def single_cloud_exit_cost(provider: str, logical_bytes: float = GB) -> float:
+    """Leaving a single cloud: every byte pays that provider's egress."""
+    return _egress(provider, logical_bytes)
+
+
+def switching_cost_report(logical_bytes: float = GB) -> list[SwitchingCost]:
+    """Per-scheme, per-provider switching costs for one logical GB.
+
+    Mechanics per scheme (destination ingress is free everywhere):
+
+    - single cloud: read 100 % of the data out of the departed provider;
+    - DuraCloud (2x replication on S3+Azure): the surviving replica
+      re-seeds the new provider — read 100 % from the *survivor*;
+    - RACS (RAID5 4-wide, k=3): rebuild the departed fragment from the
+      three survivors — read k fragments = 100 % of logical bytes, spread
+      over the survivors (1/3 each);
+    - HyRD: small class (replicas on Aliyun+Azure) reads from the survivor;
+      large class (RAID5 3-wide on Rackspace/Aliyun/S3, k=2) reads 2
+      fragments (= logical size of the large bytes) from the survivors.
+      Weighted 20 % small / 80 % large by capacity, per §II-B.
+    """
+    out: list[SwitchingCost] = []
+
+    # Single clouds — the lock-in baseline.
+    for name in ("amazon_s3", "azure", "aliyun", "rackspace"):
+        out.append(
+            SwitchingCost(
+                scheme=f"single-{name}",
+                departed=name,
+                bytes_read=logical_bytes,
+                read_from=(name,),
+                egress_cost=_egress(name, logical_bytes),
+            )
+        )
+
+    # DuraCloud: survivor serves the re-seed.
+    for departed, survivor in (("amazon_s3", "azure"), ("azure", "amazon_s3")):
+        out.append(
+            SwitchingCost(
+                scheme="duracloud",
+                departed=departed,
+                bytes_read=logical_bytes,
+                read_from=(survivor,),
+                egress_cost=_egress(survivor, logical_bytes),
+            )
+        )
+
+    # RACS: k = 3 fragments of size/3 each from the three survivors.
+    racs_fleet = ("amazon_s3", "azure", "aliyun", "rackspace")
+    for departed in racs_fleet:
+        survivors = tuple(p for p in racs_fleet if p != departed)
+        per_survivor = logical_bytes / 3
+        cost = sum(_egress(s, per_survivor) for s in survivors)
+        out.append(
+            SwitchingCost(
+                scheme="racs",
+                departed=departed,
+                bytes_read=logical_bytes,
+                read_from=survivors,
+                egress_cost=cost,
+            )
+        )
+
+    # HyRD: class-weighted (20% small bytes replicated, 80% large striped).
+    small_bytes = 0.2 * logical_bytes
+    large_bytes = 0.8 * logical_bytes
+    small_set = ("aliyun", "azure")
+    large_set = ("rackspace", "aliyun", "amazon_s3")
+    for departed in ("amazon_s3", "azure", "aliyun", "rackspace"):
+        bytes_read = 0.0
+        cost = 0.0
+        sources: set[str] = set()
+        if departed in small_set:
+            survivor = next(p for p in small_set if p != departed)
+            bytes_read += small_bytes
+            cost += _egress(survivor, small_bytes)
+            sources.add(survivor)
+        if departed in large_set:
+            survivors = tuple(p for p in large_set if p != departed)
+            per_survivor = large_bytes / 2  # k = 2 fragments, each size/2
+            bytes_read += large_bytes
+            for s in survivors:
+                cost += _egress(s, per_survivor)
+                sources.add(s)
+        out.append(
+            SwitchingCost(
+                scheme="hyrd",
+                departed=departed,
+                bytes_read=bytes_read,
+                read_from=tuple(sorted(sources)),
+                egress_cost=cost,
+            )
+        )
+    return out

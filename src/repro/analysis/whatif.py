@@ -1,0 +1,129 @@
+"""What-if analysis: how placement and cost react to price drift.
+
+§VI's second future-work direction and §II-A's pricing worry in one
+experiment: cloud prices change (the paper's Table II is a dated snapshot by
+construction — "as of September, 10th 2014"), so a hybrid scheme is only as
+good as its ability to re-derive the performance/cost classification.
+
+:func:`run_price_sensitivity` sweeps one provider's storage price across a
+multiplier range, rebuilds the fleet with the modified plan, and reruns the
+cost simulation for HyRD and RACS.  HyRD's Evaluator reclassifies at each
+point (the provider drops out of the cost-oriented set when it stops being
+cheap), while RACS stripes obliviously — so HyRD's bill must degrade more
+gracefully.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.cloud.provider import SimulatedProvider, make_table2_cloud_of_clouds
+from repro.cost.accounting import bill_for_month
+from repro.schemes import HyrdScheme, RacsScheme
+from repro.sim.clock import SECONDS_PER_MONTH, SimClock
+from repro.sim.rng import make_rng
+from repro.workloads.filesizes import MediaLibraryFileSizes
+from repro.workloads.ia_trace import IATraceConfig, synthesize_ia_trace
+from repro.workloads.trace import TraceReplayer
+
+__all__ = ["PricePoint", "run_price_sensitivity"]
+
+
+@dataclass(frozen=True)
+class PricePoint:
+    """One sweep point of the storage-price sensitivity analysis."""
+
+    multiplier: float
+    storage_price: float  # the swept provider's $/GB-month at this point
+    hyrd_cost: float
+    racs_cost: float
+    provider_in_hyrd_cost_set: bool
+
+    @property
+    def hyrd_advantage(self) -> float:
+        """Fractional saving of HyRD over RACS at this price point."""
+        if self.racs_cost == 0:
+            return 0.0
+        return 1.0 - self.hyrd_cost / self.racs_cost
+
+
+def _repriced_fleet(
+    clock: SimClock, provider: str, multiplier: float
+) -> dict[str, SimulatedProvider]:
+    fleet = make_table2_cloud_of_clouds(clock)
+    target = fleet[provider]
+    target.pricing = dataclasses.replace(
+        target.pricing,
+        storage_gb_month=target.pricing.storage_gb_month * multiplier,
+    )
+    return fleet
+
+
+def run_price_sensitivity(
+    provider: str = "aliyun",
+    multipliers: list[float] | None = None,
+    seed: int = 0,
+    months: int = 6,
+) -> list[PricePoint]:
+    """Sweep ``provider``'s storage price and compare HyRD vs RACS bills.
+
+    Aliyun is the interesting subject: at 1x it anchors both HyRD classes
+    (fast *and* cheap); multiplied enough, the Evaluator must stop calling
+    it cost-oriented and shift the stripe to the remaining cheap providers.
+    """
+    multipliers = multipliers or [0.5, 1.0, 2.0, 4.0, 8.0]
+    trace = synthesize_ia_trace(
+        IATraceConfig(
+            months=months,
+            writes_per_month=8,
+            sizes=MediaLibraryFileSizes(scale=0.1),
+        ),
+        make_rng(seed, "whatif"),
+    )
+    by_month: dict[int, list] = {}
+    for op in trace.ops:
+        by_month.setdefault(op.month, []).append(op)
+
+    points: list[PricePoint] = []
+    for multiplier in multipliers:
+        costs: dict[str, float] = {}
+        in_cost_set = False
+        for scheme_name in ("hyrd", "racs"):
+            clock = SimClock()
+            fleet = _repriced_fleet(clock, provider, multiplier)
+            if scheme_name == "hyrd":
+                scheme = HyrdScheme(list(fleet.values()), clock)
+                in_cost_set = provider in scheme.evaluator.cost_oriented()
+            else:
+                scheme = RacsScheme(list(fleet.values()), clock)
+            replayer = TraceReplayer(seed=seed, verify=False)
+            for month in range(months):
+                start = month * SECONDS_PER_MONTH
+                if clock.now < start:
+                    clock.advance_to(start)
+                replayer.run(scheme, by_month.get(month, []))
+            end = months * SECONDS_PER_MONTH
+            if clock.now < end:
+                clock.advance_to(end)
+            total = 0.0
+            for p in fleet.values():
+                p.meter.accrue(clock.now)
+                if p.name not in scheme.provider_names:
+                    continue
+                total += sum(
+                    bill_for_month(p.meter, p.pricing, m).total
+                    for m in range(months)
+                )
+            costs[scheme_name] = total
+        base_price = make_table2_cloud_of_clouds(SimClock())[provider].pricing
+        points.append(
+            PricePoint(
+                multiplier=multiplier,
+                storage_price=base_price.storage_gb_month * multiplier,
+                hyrd_cost=costs["hyrd"],
+                racs_cost=costs["racs"],
+                provider_in_hyrd_cost_set=in_cost_set,
+            )
+        )
+    return points

@@ -1,0 +1,285 @@
+"""Command-line front end: regenerate any paper experiment from the shell.
+
+Examples::
+
+    python -m repro fig5
+    python -m repro fig6 --seed 3
+    python -m repro fig4
+    python -m repro table1
+    python -m repro availability
+    python -m repro lockin
+    python -m repro threshold
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.tables import render_table
+
+__all__ = ["main", "build_parser"]
+
+KB, MB = 1024, 1024 * 1024
+
+
+def _cmd_table1(args: argparse.Namespace) -> str:
+    from repro.analysis.experiments import run_table1
+
+    rows = run_table1(seed=args.seed)
+    return render_table(
+        ["Scheme", "Redundancy", "Recovery (measured)", "Latency (s)", "Cost ($)"],
+        rows,
+        title="Table I — scheme comparison (measured)",
+        floatfmt=".4f",
+    )
+
+
+def _cmd_table2(args: argparse.Namespace) -> str:
+    from repro.analysis.experiments import run_table2
+
+    return render_table(
+        ["Vendor", "Storage $/GB-mo", "Out $/GB", "3Ps $/10K", "Get $/10K", "Category"],
+        run_table2(),
+        title="Table II — price plans (China region, Sept 2014)",
+        floatfmt=".4f",
+    )
+
+
+def _cmd_fig3(args: argparse.Namespace) -> str:
+    from repro.analysis.experiments import run_fig3
+
+    trace = run_fig3(seed=args.seed)
+    rows = [
+        [f"m{s.month:02d}", s.bytes_written / MB, s.bytes_read / MB, s.write_requests, s.read_requests]
+        for s in trace.stats
+    ]
+    return render_table(
+        ["Month", "Written MB", "Read MB", "Writes", "Reads"],
+        rows,
+        title=(
+            f"Figure 3 — IA trace (bytes r:w = {trace.total_read_to_write_bytes:.2f}, "
+            f"requests r:w = {trace.total_read_to_write_requests:.2f})"
+        ),
+        floatfmt=".1f",
+    )
+
+
+def _cmd_fig4(args: argparse.Namespace) -> str:
+    from repro.analysis.experiments import run_fig4
+
+    fig4 = run_fig4(seed=args.seed)
+    schemes = list(fig4.results)
+    months = len(next(iter(fig4.results.values())).monthly)
+    rows = [
+        [f"m{m:02d}"] + [fig4.results[s].cumulative_totals[m] for s in schemes]
+        for m in range(months)
+    ]
+    headline = (
+        f"HyRD saves {fig4.savings_vs('hyrd', 'duracloud'):.1%} vs DuraCloud "
+        f"and {fig4.savings_vs('hyrd', 'racs'):.1%} vs RACS"
+    )
+    return render_table(
+        ["Month"] + schemes,
+        rows,
+        title=f"Figure 4(b) — cumulative cost ($)\n{headline}",
+        floatfmt=".4f",
+    )
+
+
+def _cmd_fig5(args: argparse.Namespace) -> str:
+    from repro.analysis.experiments import run_fig5
+
+    res = run_fig5(seed=args.seed, repeats=7)
+    providers = list(res.read)
+
+    def label(size: int) -> str:
+        return f"{size // MB}MB" if size >= MB else f"{size // KB}KB"
+
+    rows = [
+        [label(s)]
+        + [res.read[p][i] for p in providers]
+        + [res.write[p][i] for p in providers]
+        for i, s in enumerate(res.sizes)
+    ]
+    return render_table(
+        ["Size"] + [f"R {p}" for p in providers] + [f"W {p}" for p in providers],
+        rows,
+        title="Figure 5 — read/write latency vs request size (s)",
+    )
+
+
+def _cmd_fig6(args: argparse.Namespace) -> str:
+    from repro.analysis.experiments import run_fig6
+
+    fig6 = run_fig6(seed=args.seed, extended=args.extended)
+    rows = [
+        [name, fig6.normal[name], fig6.outage.get(name, float("nan"))]
+        for name in fig6.normal
+    ]
+    headline = (
+        f"normal: HyRD {fig6.improvement('hyrd', 'duracloud'):.1%} below DuraCloud, "
+        f"{fig6.improvement('hyrd', 'racs'):.1%} below RACS"
+    )
+    return render_table(
+        ["Scheme", "Normal (s)", "Outage (s)"],
+        rows,
+        title=f"Figure 6 — mean access latency\n{headline}",
+    )
+
+
+def _cmd_threshold(args: argparse.Namespace) -> str:
+    from repro.analysis.ablations import run_threshold_sweep
+
+    points = run_threshold_sweep(seed=args.seed)
+    rows = [
+        [p.threshold, p.mean_latency, p.space_overhead, p.small_fraction_bytes]
+        for p in points
+    ]
+    return render_table(
+        ["Threshold (B)", "Latency (s)", "Space", "Small-bytes frac"],
+        rows,
+        title="Ablation — file-size threshold",
+    )
+
+
+def _cmd_replication(args: argparse.Namespace) -> str:
+    from repro.analysis.ablations import run_replication_sweep
+
+    points = run_replication_sweep(seed=args.seed)
+    rows = [
+        [p.level, p.mean_latency, p.space_overhead, p.survives_outages]
+        for p in points
+    ]
+    return render_table(
+        ["Level", "Latency (s)", "Space", "Outages survived"],
+        rows,
+        title="Ablation — replication level",
+    )
+
+
+def _cmd_codec(args: argparse.Namespace) -> str:
+    from repro.analysis.ablations import run_codec_ablation
+
+    result = run_codec_ablation(seed=args.seed)
+    rows = [
+        [name, m["mean_latency"], m["space_overhead"], int(m["fault_tolerance"])]
+        for name, m in result.items()
+    ]
+    return render_table(
+        ["Codec", "Latency (s)", "Space", "Outages tolerated"],
+        rows,
+        title="Ablation — large-file erasure code",
+    )
+
+
+def _cmd_degraded(args: argparse.Namespace) -> str:
+    from repro.analysis.ablations import run_degraded_read_comparison
+
+    result = run_degraded_read_comparison(seed=args.seed)
+    rows = [
+        [name, m["normal_latency"], m["degraded_latency"], m["inflation"], m["degraded_fanout"]]
+        for name, m in result.items()
+    ]
+    return render_table(
+        ["Scheme", "Normal (s)", "Degraded (s)", "Inflation", "Fanout"],
+        rows,
+        title="Degraded reads — Azure offline, pure read workload",
+    )
+
+
+def _cmd_whatif(args: argparse.Namespace) -> str:
+    from repro.analysis.whatif import run_price_sensitivity
+
+    points = run_price_sensitivity(seed=args.seed)
+    rows = [
+        [
+            f"x{p.multiplier:g}",
+            p.storage_price,
+            p.hyrd_cost,
+            p.racs_cost,
+            f"{p.hyrd_advantage:+.1%}",
+            "yes" if p.provider_in_hyrd_cost_set else "no",
+        ]
+        for p in points
+    ]
+    return render_table(
+        ["Aliyun x", "$/GB-mo", "HyRD $", "RACS $", "Advantage", "Cost-oriented?"],
+        rows,
+        title="Price-drift sensitivity",
+        floatfmt=".4f",
+    )
+
+
+def _cmd_availability(args: argparse.Namespace) -> str:
+    from repro.analysis.availability import analytic_report, monte_carlo_report, nines
+
+    analytic = analytic_report()
+    mc = monte_carlo_report(seed=args.seed)
+    rows = [
+        [name, analytic[name], nines(analytic[name]), mc.get(name, float("nan"))]
+        for name in sorted(analytic)
+    ]
+    return render_table(
+        ["Scheme", "Analytic", "Nines", "Monte-Carlo"],
+        rows,
+        title="Storage availability (MTBF 60 d, MTTR 12 h per provider)",
+        floatfmt=".6f",
+    )
+
+
+def _cmd_lockin(args: argparse.Namespace) -> str:
+    from repro.analysis.lockin import switching_cost_report
+
+    rows = [
+        [sc.scheme, sc.departed, sc.egress_cost, ", ".join(sc.read_from)]
+        for sc in switching_cost_report()
+    ]
+    return render_table(
+        ["Scheme", "Departing", "Exit $/GB", "Re-seed read from"],
+        rows,
+        title="Vendor lock-in — cost of abandoning one provider (§II-A)",
+        floatfmt=".4f",
+    )
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "fig3": _cmd_fig3,
+    "fig4": _cmd_fig4,
+    "fig5": _cmd_fig5,
+    "fig6": _cmd_fig6,
+    "threshold": _cmd_threshold,
+    "replication": _cmd_replication,
+    "codec": _cmd_codec,
+    "degraded": _cmd_degraded,
+    "whatif": _cmd_whatif,
+    "availability": _cmd_availability,
+    "lockin": _cmd_lockin,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate HyRD (IPDPS'15) experiments on the simulated Cloud-of-Clouds.",
+    )
+    parser.add_argument("command", choices=sorted(_COMMANDS), help="experiment to run")
+    parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+    parser.add_argument(
+        "--extended",
+        action="store_true",
+        help="fig6: include the DepSky and NCCloud baselines",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    print(_COMMANDS[args.command](args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

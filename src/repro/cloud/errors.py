@@ -1,0 +1,74 @@
+"""Typed error hierarchy for the simulated cloud layer.
+
+Schemes distinguish *unavailability* (an outage — triggers degraded-read /
+write-log paths) from *semantic* errors (missing key — a client bug or a
+consistency hole), so the two never share a class.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CloudError",
+    "NoSuchContainer",
+    "NoSuchObject",
+    "ContainerExists",
+    "ProviderUnavailable",
+    "TransientProviderError",
+]
+
+
+class CloudError(Exception):
+    """Base class for all simulated-cloud failures."""
+
+
+class NoSuchContainer(CloudError):
+    """The referenced container does not exist (HTTP 404 on the container)."""
+
+    def __init__(self, container: str) -> None:
+        super().__init__(f"no such container: {container!r}")
+        self.container = container
+
+
+class NoSuchObject(CloudError):
+    """The referenced object key does not exist (HTTP 404 on the object)."""
+
+    def __init__(self, container: str, key: str) -> None:
+        super().__init__(f"no such object: {container!r}/{key!r}")
+        self.container = container
+        self.key = key
+
+
+class ContainerExists(CloudError):
+    """Create() on a container that already exists (HTTP 409)."""
+
+    def __init__(self, container: str) -> None:
+        super().__init__(f"container already exists: {container!r}")
+        self.container = container
+
+
+class ProviderUnavailable(CloudError):
+    """The provider is inside an outage window (HTTP 503).
+
+    Carries the provider name so recovery logic can key its write logs.
+    """
+
+    def __init__(self, provider: str, at: float) -> None:
+        super().__init__(f"provider {provider!r} unavailable at t={at:.3f}s")
+        self.provider = provider
+        self.at = at
+
+
+class TransientProviderError(CloudError):
+    """One request failed although the provider is up (HTTP 500/throttle).
+
+    Real cloud APIs fail a small fraction of individual requests even in
+    steady state; clients retry.  Distinct from :class:`ProviderUnavailable`
+    so retry logic and outage logic never get confused.
+    """
+
+    def __init__(self, provider: str, at: float) -> None:
+        super().__init__(
+            f"transient request failure at provider {provider!r}, t={at:.3f}s"
+        )
+        self.provider = provider
+        self.at = at

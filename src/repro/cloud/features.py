@@ -1,0 +1,63 @@
+"""Provider feature profiles — the service diversity of §II-A / §VI.
+
+§II-A: providers differ in "extra features such as geographic data
+distribution, access through mountable file systems, or specific APIs";
+§VI's second future-work item is to "consider the specific features of the
+diverse cloud storage services" in placement.  :class:`ProviderFeatures`
+captures the feature surface; the Request Dispatcher can then enforce
+user policies like "replicas in at least two distinct regions" or "only
+providers with a mountable-filesystem interface".
+
+The Table II presets use each provider's 2014-era public characteristics
+(regions as served from the paper's China-based client).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ProviderFeatures", "TABLE2_FEATURES"]
+
+
+@dataclass(frozen=True)
+class ProviderFeatures:
+    """Qualitative service features of one provider."""
+
+    region: str = "unknown"
+    geo_redundant: bool = False  # provider-side geographic replication
+    mountable_fs: bool = False  # POSIX-ish mountable interface offered
+    rest_api: bool = True  # the paper's five functions over REST
+    sla_nines: float = 3.0  # availability promised by the SLA
+
+    def __post_init__(self) -> None:
+        if not self.region:
+            raise ValueError("region must be non-empty")
+        if self.sla_nines < 0:
+            raise ValueError(f"sla_nines must be >= 0, got {self.sla_nines}")
+
+    def has(self, feature: str) -> bool:
+        """Feature query by name: 'geo_redundant', 'mountable_fs', 'rest_api'."""
+        try:
+            value = getattr(self, feature)
+        except AttributeError:
+            raise KeyError(f"unknown feature {feature!r}") from None
+        if not isinstance(value, bool):
+            raise KeyError(f"{feature!r} is not a boolean feature")
+        return value
+
+
+#: Plausible 2014-era profiles for the Table II fleet.
+TABLE2_FEATURES: dict[str, ProviderFeatures] = {
+    "amazon_s3": ProviderFeatures(
+        region="us-east", geo_redundant=True, mountable_fs=False, sla_nines=4.0
+    ),
+    "azure": ProviderFeatures(
+        region="asia-east", geo_redundant=True, mountable_fs=True, sla_nines=4.0
+    ),
+    "aliyun": ProviderFeatures(
+        region="cn-hangzhou", geo_redundant=False, mountable_fs=False, sla_nines=3.5
+    ),
+    "rackspace": ProviderFeatures(
+        region="us-central", geo_redundant=False, mountable_fs=True, sla_nines=3.5
+    ),
+}

@@ -1,0 +1,123 @@
+"""Raw usage metering for billing.
+
+Cloud bills have four components (Table II): stored GB-months, data in,
+data out, and two transaction classes.  The meter accumulates all of them in
+*per-month buckets* so the cost simulator can print Figure 4's monthly and
+cumulative series.
+
+Storage is billed on the time-integral of stored bytes: the meter keeps a
+running ``byte-seconds`` accumulator that is split across month boundaries
+whenever stored capacity changes (or on explicit :meth:`accrue`), giving the
+average GB held in each month regardless of when puts/removes happen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.clock import SECONDS_PER_MONTH
+
+__all__ = ["MonthUsage", "UsageMeter"]
+
+
+@dataclass
+class MonthUsage:
+    """Raw usage in one accounting month."""
+
+    bytes_in: float = 0.0
+    bytes_out: float = 0.0
+    tier1_ops: int = 0  # Put, Copy, Post, List
+    tier2_ops: int = 0  # Get and others
+    byte_seconds: float = 0.0  # integral of stored bytes over time
+
+    @property
+    def gb_months(self) -> float:
+        return self.byte_seconds / (1024**3 * SECONDS_PER_MONTH)
+
+    def merge(self, other: "MonthUsage") -> "MonthUsage":
+        """Element-wise sum (used when aggregating providers)."""
+        return MonthUsage(
+            bytes_in=self.bytes_in + other.bytes_in,
+            bytes_out=self.bytes_out + other.bytes_out,
+            tier1_ops=self.tier1_ops + other.tier1_ops,
+            tier2_ops=self.tier2_ops + other.tier2_ops,
+            byte_seconds=self.byte_seconds + other.byte_seconds,
+        )
+
+
+@dataclass
+class UsageMeter:
+    """Per-provider usage accumulator with month bucketing."""
+
+    _months: dict[int, MonthUsage] = field(default_factory=dict)
+    _stored_bytes: float = 0.0
+    _last_accrual: float = 0.0
+
+    def _bucket(self, t: float) -> MonthUsage:
+        m = int(t // SECONDS_PER_MONTH)
+        bucket = self._months.get(m)
+        if bucket is None:
+            bucket = MonthUsage()
+            self._months[m] = bucket
+        return bucket
+
+    # ---------------------------------------------------------------- storage
+    def accrue(self, now: float) -> None:
+        """Integrate stored bytes up to ``now``, splitting at month edges."""
+        if now < self._last_accrual:
+            raise ValueError(
+                f"accrual time moved backwards: {self._last_accrual} -> {now}"
+            )
+        t = self._last_accrual
+        while t < now:
+            month_end = (int(t // SECONDS_PER_MONTH) + 1) * SECONDS_PER_MONTH
+            seg_end = min(now, month_end)
+            self._bucket(t).byte_seconds += self._stored_bytes * (seg_end - t)
+            t = seg_end
+        self._last_accrual = now
+
+    def set_stored_bytes(self, stored: float, now: float) -> None:
+        """Record a capacity change (accrues the old level first)."""
+        if stored < 0:
+            raise ValueError(f"stored bytes must be >= 0, got {stored}")
+        self.accrue(now)
+        self._stored_bytes = float(stored)
+
+    @property
+    def stored_bytes(self) -> float:
+        return self._stored_bytes
+
+    # ------------------------------------------------------------------- ops
+    def record_put(self, size: int, now: float) -> None:
+        b = self._bucket(now)
+        b.bytes_in += size
+        b.tier1_ops += 1
+
+    def record_get(self, size: int, now: float) -> None:
+        b = self._bucket(now)
+        b.bytes_out += size
+        b.tier2_ops += 1
+
+    def record_list(self, now: float) -> None:
+        self._bucket(now).tier1_ops += 1
+
+    def record_create(self, now: float) -> None:
+        self._bucket(now).tier1_ops += 1
+
+    def record_remove(self, now: float) -> None:
+        # "Get and others": deletes fall in the cheap transaction class.
+        self._bucket(now).tier2_ops += 1
+
+    # --------------------------------------------------------------- queries
+    def months(self) -> list[int]:
+        return sorted(self._months)
+
+    def month_usage(self, month: int) -> MonthUsage:
+        """Usage for one month (empty months return a zero record)."""
+        return self._months.get(month, MonthUsage())
+
+    def total_usage(self) -> MonthUsage:
+        total = MonthUsage()
+        for bucket in self._months.values():
+            total = total.merge(bucket)
+        return total

@@ -1,0 +1,107 @@
+"""In-memory object store: containers holding versioned byte objects.
+
+This is the storage half of a simulated provider; availability, latency and
+billing wrap around it in :mod:`repro.cloud.provider`.  Semantics follow the
+paper's passive five-function model (and S3-like stores generally):
+
+- ``put`` upserts whole objects (no partial writes — the reason erasure-coded
+  small updates are expensive in the first place);
+- ``get``/``remove`` raise :class:`NoSuchObject` for unknown keys;
+- ``list`` returns keys in lexicographic order;
+- every object carries created/modified timestamps and a version counter,
+  which the recovery consistency-update uses to detect stale state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.errors import ContainerExists, NoSuchContainer, NoSuchObject
+
+__all__ = ["StoredObject", "ObjectStore"]
+
+
+@dataclass(frozen=True)
+class StoredObject:
+    """One immutable object version."""
+
+    data: bytes
+    created: float
+    modified: float
+    version: int
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+
+class ObjectStore:
+    """Containers of key -> :class:`StoredObject`."""
+
+    def __init__(self) -> None:
+        self._containers: dict[str, dict[str, StoredObject]] = {}
+
+    # ------------------------------------------------------------ containers
+    def create_container(self, container: str, *, exist_ok: bool = False) -> None:
+        if container in self._containers:
+            if exist_ok:
+                return
+            raise ContainerExists(container)
+        self._containers[container] = {}
+
+    def has_container(self, container: str) -> bool:
+        return container in self._containers
+
+    def containers(self) -> list[str]:
+        return sorted(self._containers)
+
+    def _objects(self, container: str) -> dict[str, StoredObject]:
+        try:
+            return self._containers[container]
+        except KeyError:
+            raise NoSuchContainer(container) from None
+
+    # --------------------------------------------------------------- objects
+    def put(self, container: str, key: str, data: bytes, now: float) -> StoredObject:
+        """Upsert ``key``; returns the stored version."""
+        objects = self._objects(container)
+        prev = objects.get(key)
+        obj = StoredObject(
+            data=bytes(data),
+            created=prev.created if prev else now,
+            modified=now,
+            version=prev.version + 1 if prev else 1,
+        )
+        objects[key] = obj
+        return obj
+
+    def get(self, container: str, key: str) -> StoredObject:
+        objects = self._objects(container)
+        try:
+            return objects[key]
+        except KeyError:
+            raise NoSuchObject(container, key) from None
+
+    def has(self, container: str, key: str) -> bool:
+        return self.has_container(container) and key in self._containers[container]
+
+    def remove(self, container: str, key: str) -> StoredObject:
+        """Delete ``key``; returns the removed version (for byte accounting)."""
+        objects = self._objects(container)
+        try:
+            return objects.pop(key)
+        except KeyError:
+            raise NoSuchObject(container, key) from None
+
+    def list(self, container: str) -> list[str]:
+        return sorted(self._objects(container))
+
+    # ------------------------------------------------------------- inventory
+    def total_bytes(self) -> int:
+        """Bytes currently stored across all containers (billing basis)."""
+        return sum(
+            obj.size for objs in self._containers.values() for obj in objs.values()
+        )
+
+    def object_count(self) -> int:
+        return sum(len(objs) for objs in self._containers.values())

@@ -1,0 +1,121 @@
+"""Cloud price plans — Table II of the paper, verbatim.
+
+Monthly price plans (US dollars) for Amazon S3, Windows Azure Storage,
+Aliyun Open Storage Service and Rackspace Cloud Files, as of September 10th
+2014 in the China region, first chargeable tier.  The final row of Table II
+classifies each provider as cost-oriented, performance-oriented, or both;
+that classification is reproduced by :class:`ProviderCategory` and is also
+*derivable* from measurements via :mod:`repro.core.evaluator`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "PricingPlan",
+    "ProviderCategory",
+    "PRICE_PLANS",
+    "CATEGORIES",
+    "GB",
+    "TRANSACTION_BATCH",
+]
+
+GB = 1024**3
+TRANSACTION_BATCH = 10_000  # prices are quoted per 10K transactions
+
+
+class ProviderCategory(enum.Flag):
+    """Table II's bottom row: how the Evaluator classifies a provider."""
+
+    NONE = 0
+    COST_ORIENTED = enum.auto()
+    PERFORMANCE_ORIENTED = enum.auto()
+    BOTH = COST_ORIENTED | PERFORMANCE_ORIENTED
+
+
+@dataclass(frozen=True)
+class PricingPlan:
+    """One provider's Table II row.
+
+    All prices in US dollars; transaction prices are per single transaction
+    (the table's per-10K figures divided by ``TRANSACTION_BATCH``).
+    """
+
+    storage_gb_month: float  # $ per GB stored per month
+    data_in_gb: float  # $ per GB transferred in
+    data_out_gb: float  # $ per GB transferred out to the Internet
+    tier1_per_10k: float  # Put, Copy, Post, List — $ per 10K transactions
+    tier2_per_10k: float  # Get and others — $ per 10K transactions
+
+    def __post_init__(self) -> None:
+        for field in (
+            self.storage_gb_month,
+            self.data_in_gb,
+            self.data_out_gb,
+            self.tier1_per_10k,
+            self.tier2_per_10k,
+        ):
+            if field < 0:
+                raise ValueError("prices must be >= 0")
+
+    # ------------------------------------------------------------- components
+    def storage_cost(self, gb_months: float) -> float:
+        """Cost of holding an average of ``gb_months`` GB for one month."""
+        return gb_months * self.storage_gb_month
+
+    def data_in_cost(self, bytes_in: float) -> float:
+        return (bytes_in / GB) * self.data_in_gb
+
+    def data_out_cost(self, bytes_out: float) -> float:
+        return (bytes_out / GB) * self.data_out_gb
+
+    def tier1_cost(self, ops: int) -> float:
+        """Put/Copy/Post/List transactions."""
+        return ops * self.tier1_per_10k / TRANSACTION_BATCH
+
+    def tier2_cost(self, ops: int) -> float:
+        """Get-and-others transactions."""
+        return ops * self.tier2_per_10k / TRANSACTION_BATCH
+
+
+#: Table II, column by column.
+PRICE_PLANS: dict[str, PricingPlan] = {
+    "amazon_s3": PricingPlan(
+        storage_gb_month=0.033,
+        data_in_gb=0.0,
+        data_out_gb=0.201,
+        tier1_per_10k=0.047,
+        tier2_per_10k=0.0037,
+    ),
+    "azure": PricingPlan(
+        storage_gb_month=0.157,
+        data_in_gb=0.0,
+        data_out_gb=0.0,
+        tier1_per_10k=0.0,
+        tier2_per_10k=0.0,
+    ),
+    "aliyun": PricingPlan(
+        storage_gb_month=0.029,
+        data_in_gb=0.0,
+        data_out_gb=0.123,
+        tier1_per_10k=0.0016,
+        tier2_per_10k=0.0016,
+    ),
+    "rackspace": PricingPlan(
+        storage_gb_month=0.13,
+        data_in_gb=0.0,
+        data_out_gb=0.0,
+        tier1_per_10k=0.0,
+        tier2_per_10k=0.0,
+    ),
+}
+
+#: Table II, bottom row ("Category").
+CATEGORIES: dict[str, ProviderCategory] = {
+    "amazon_s3": ProviderCategory.COST_ORIENTED,
+    "azure": ProviderCategory.PERFORMANCE_ORIENTED,
+    "aliyun": ProviderCategory.BOTH,
+    "rackspace": ProviderCategory.COST_ORIENTED,
+}

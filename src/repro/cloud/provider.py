@@ -1,0 +1,162 @@
+"""The simulated cloud storage provider.
+
+A :class:`SimulatedProvider` is the paper's "passive storage functional
+entity": exactly five functions — List, Get, Create, Put, Remove — wrapped
+with (1) availability checks against an outage schedule, (2) usage metering
+for billing, and (3) a latency model that schemes use to cost the wire time.
+
+Provider methods mutate state instantly and *return data only*; latency is
+charged by the scheme layer, which batches the
+:class:`~repro.sim.bandwidth.TransferSpec` of every concurrent request in an
+operation through the shared client link (see
+:meth:`repro.schemes.base.Scheme` internals).  This split keeps contention
+accounting global and providers simple.
+"""
+
+from __future__ import annotations
+
+from repro.cloud.errors import ProviderUnavailable, TransientProviderError
+from repro.cloud.features import TABLE2_FEATURES, ProviderFeatures
+from repro.sim.rng import make_rng
+from repro.cloud.latency import LatencyModel
+from repro.cloud.metering import UsageMeter
+from repro.cloud.objectstore import ObjectStore, StoredObject
+from repro.cloud.outage import OutageSchedule
+from repro.cloud.pricing import CATEGORIES, PRICE_PLANS, PricingPlan, ProviderCategory
+from repro.sim.clock import SimClock
+
+__all__ = ["SimulatedProvider", "TABLE2_LATENCY", "make_table2_cloud_of_clouds"]
+
+
+#: Latency calibration for the four Table II providers, chosen to reproduce
+#: Figure 5's ordering from a China-based client: Aliyun fastest, then Azure,
+#: then Amazon S3, then Rackspace.  Bandwidths are sustained per-connection
+#: WAN throughput (bytes/s).
+TABLE2_LATENCY: dict[str, LatencyModel] = {
+    "aliyun": LatencyModel(rtt=0.025, upload_bw=9e6, download_bw=11e6),
+    "azure": LatencyModel(rtt=0.080, upload_bw=5e6, download_bw=6.5e6),
+    "amazon_s3": LatencyModel(rtt=0.250, upload_bw=2.5e6, download_bw=3.5e6),
+    "rackspace": LatencyModel(rtt=0.350, upload_bw=1.8e6, download_bw=2.5e6),
+}
+
+
+class SimulatedProvider:
+    """One cloud storage provider: object store + latency + billing + outages."""
+
+    def __init__(
+        self,
+        name: str,
+        clock: SimClock,
+        latency: LatencyModel,
+        pricing: PricingPlan,
+        outages: OutageSchedule | None = None,
+        category: ProviderCategory = ProviderCategory.NONE,
+        fault_rate: float = 0.0,
+        fault_seed: int = 0,
+        features: "ProviderFeatures | None" = None,
+    ) -> None:
+        if not (0.0 <= fault_rate < 1.0):
+            raise ValueError(f"fault_rate must be in [0, 1), got {fault_rate}")
+        self.name = name
+        self.clock = clock
+        self.latency = latency
+        self.pricing = pricing
+        self.outages = outages if outages is not None else OutageSchedule()
+        self.category = category
+        self.store = ObjectStore()
+        self.meter = UsageMeter()
+        #: probability that any single request fails transiently (HTTP 500 /
+        #: throttling); clients are expected to retry
+        self.fault_rate = fault_rate
+        self._fault_rng = make_rng(fault_seed, "provider-faults", name)
+        self.features = features if features is not None else ProviderFeatures()
+
+    # ---------------------------------------------------------- availability
+    def is_available(self, t: float | None = None) -> bool:
+        return not self.outages.is_out(self.clock.now if t is None else t)
+
+    def _check_available(self) -> None:
+        now = self.clock.now
+        if self.outages.is_out(now):
+            raise ProviderUnavailable(self.name, now)
+        if self.fault_rate > 0.0 and self._fault_rng.random() < self.fault_rate:
+            raise TransientProviderError(self.name, now)
+
+    def _sync_storage_meter(self) -> None:
+        self.meter.set_stored_bytes(self.store.total_bytes(), self.clock.now)
+
+    # ------------------------------------------------- the five paper ops
+    def create(self, container: str, *, exist_ok: bool = False) -> None:
+        """Create a container (paper op: *Create*)."""
+        self._check_available()
+        self.store.create_container(container, exist_ok=exist_ok)
+        self.meter.record_create(self.clock.now)
+
+    def list(self, container: str) -> list[str]:
+        """List object keys in a container (paper op: *List*)."""
+        self._check_available()
+        keys = self.store.list(container)
+        self.meter.record_list(self.clock.now)
+        return keys
+
+    def get(self, container: str, key: str) -> bytes:
+        """Read an object (paper op: *Get*)."""
+        self._check_available()
+        obj = self.store.get(container, key)
+        self.meter.record_get(obj.size, self.clock.now)
+        return obj.data
+
+    def put(self, container: str, key: str, data: bytes) -> StoredObject:
+        """Write or overwrite an object (paper op: *Put*)."""
+        self._check_available()
+        obj = self.store.put(container, key, data, self.clock.now)
+        self.meter.record_put(obj.size, self.clock.now)
+        self._sync_storage_meter()
+        return obj
+
+    def remove(self, container: str, key: str) -> None:
+        """Delete an object (paper op: *Remove*)."""
+        self._check_available()
+        self.store.remove(container, key)
+        self.meter.record_remove(self.clock.now)
+        self._sync_storage_meter()
+
+    # -------------------------------------------------------------- metadata
+    def head(self, container: str, key: str) -> StoredObject:
+        """Version/timestamp probe used by the consistency updater.
+
+        Not one of the paper's five user-facing functions; it models reading
+        the object listing's metadata and is metered as a tier-2 transaction
+        with no payload.
+        """
+        self._check_available()
+        obj = self.store.get(container, key)
+        self.meter.record_get(0, self.clock.now)
+        return obj
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimulatedProvider({self.name!r})"
+
+
+def make_table2_cloud_of_clouds(
+    clock: SimClock,
+    outages: dict[str, OutageSchedule] | None = None,
+) -> dict[str, SimulatedProvider]:
+    """The paper's experimental Cloud-of-Clouds: the four Table II providers.
+
+    Returns ``{name: provider}`` with pricing from Table II and latency from
+    :data:`TABLE2_LATENCY`; pass ``outages`` to inject failures per provider.
+    """
+    outages = outages or {}
+    providers: dict[str, SimulatedProvider] = {}
+    for name in ("amazon_s3", "azure", "aliyun", "rackspace"):
+        providers[name] = SimulatedProvider(
+            name=name,
+            clock=clock,
+            latency=TABLE2_LATENCY[name],
+            pricing=PRICE_PLANS[name],
+            outages=outages.get(name),
+            category=CATEGORIES[name],
+            features=TABLE2_FEATURES[name],
+        )
+    return providers

@@ -1,0 +1,118 @@
+"""RESTful encoding of the five storage functions.
+
+The paper's prototype drives providers through REST (RFC 2616 verbs).  This
+module gives the simulated providers the same surface: requests and responses
+as data, an adapter that executes them, and the verb mapping the paper
+implies:
+
+=========  ======  ==========================
+Function   Verb    Path
+=========  ======  ==========================
+Create     PUT     /<container>
+List       GET     /<container>
+Get        GET     /<container>/<key>
+Put        PUT     /<container>/<key>
+Remove     DELETE  /<container>/<key>
+=========  ======  ==========================
+
+Nothing else in the repo depends on this layer — schemes call providers
+directly for speed — but examples and tests exercise it to demonstrate the
+prototype's wire-level interface, and it is the natural seam for plugging in
+a real HTTP client against live clouds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cloud.errors import (
+    CloudError,
+    ContainerExists,
+    NoSuchContainer,
+    NoSuchObject,
+    ProviderUnavailable,
+)
+from repro.cloud.provider import SimulatedProvider
+
+__all__ = ["RestRequest", "RestResponse", "RestAdapter"]
+
+_VALID_METHODS = frozenset({"GET", "PUT", "DELETE"})
+
+
+@dataclass(frozen=True)
+class RestRequest:
+    """One HTTP-style request against a provider."""
+
+    method: str
+    path: str
+    body: bytes = b""
+    headers: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.method not in _VALID_METHODS:
+            raise ValueError(f"unsupported method {self.method!r}")
+        if not self.path.startswith("/"):
+            raise ValueError(f"path must start with '/', got {self.path!r}")
+
+    def split_path(self) -> tuple[str, str | None]:
+        """Return (container, key-or-None)."""
+        parts = self.path.lstrip("/").split("/", 1)
+        container = parts[0]
+        if not container:
+            raise ValueError("path must name a container")
+        key = parts[1] if len(parts) > 1 and parts[1] else None
+        return container, key
+
+
+@dataclass(frozen=True)
+class RestResponse:
+    """Status + body; 2xx on success."""
+
+    status: int
+    body: bytes = b""
+    headers: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+class RestAdapter:
+    """Executes :class:`RestRequest` objects against one provider."""
+
+    def __init__(self, provider: SimulatedProvider) -> None:
+        self.provider = provider
+
+    def execute(self, request: RestRequest) -> RestResponse:
+        """Run a request, mapping cloud errors to HTTP status codes."""
+        try:
+            return self._dispatch(request)
+        except ProviderUnavailable:
+            return RestResponse(status=503)
+        except (NoSuchContainer, NoSuchObject):
+            return RestResponse(status=404)
+        except ContainerExists:
+            return RestResponse(status=409)
+        except CloudError:  # pragma: no cover - future error kinds
+            return RestResponse(status=500)
+
+    def _dispatch(self, request: RestRequest) -> RestResponse:
+        container, key = request.split_path()
+        if request.method == "PUT" and key is None:
+            self.provider.create(container)
+            return RestResponse(status=201)
+        if request.method == "PUT":
+            obj = self.provider.put(container, key, request.body)
+            return RestResponse(
+                status=200, headers={"x-version": str(obj.version)}
+            )
+        if request.method == "GET" and key is None:
+            keys = self.provider.list(container)
+            return RestResponse(status=200, body="\n".join(keys).encode())
+        if request.method == "GET":
+            data = self.provider.get(container, key)
+            return RestResponse(status=200, body=data)
+        if request.method == "DELETE" and key is not None:
+            self.provider.remove(container, key)
+            return RestResponse(status=204)
+        return RestResponse(status=405)

@@ -1,0 +1,51 @@
+"""HyRD's client modules: the paper's three functional blocks plus recovery.
+
+- :mod:`repro.core.config`     -- :class:`HyRDConfig` (every design knob)
+- :mod:`repro.core.monitor`    -- Workload Monitor (classify writes)
+- :mod:`repro.core.evaluator`  -- Cost & Performance Evaluator
+- :mod:`repro.core.dispatcher` -- Request Dispatcher (placement decisions)
+- :mod:`repro.core.recovery`   -- write logs + consistency update
+- :mod:`repro.core.hyrd`       -- :class:`HyRDClient`, the public facade
+
+Heavyweight members are re-exported lazily: the scheme framework imports
+:mod:`repro.core.recovery`, and an eager ``from .hyrd import HyRDClient``
+here would close an import cycle back through :mod:`repro.schemes.base`.
+"""
+
+from typing import Any
+
+from repro.core.config import HyRDConfig
+from repro.core.recovery import LoggedWrite, WriteLog
+
+__all__ = [
+    "CostPerformanceEvaluator",
+    "DispatchDecision",
+    "FileClass",
+    "HyRDClient",
+    "HyRDConfig",
+    "LoggedWrite",
+    "ProviderProfile",
+    "RequestDispatcher",
+    "WorkloadMonitor",
+    "WriteLog",
+]
+
+_LAZY = {
+    "CostPerformanceEvaluator": ("repro.core.evaluator", "CostPerformanceEvaluator"),
+    "ProviderProfile": ("repro.core.evaluator", "ProviderProfile"),
+    "DispatchDecision": ("repro.core.dispatcher", "DispatchDecision"),
+    "RequestDispatcher": ("repro.core.dispatcher", "RequestDispatcher"),
+    "FileClass": ("repro.core.monitor", "FileClass"),
+    "WorkloadMonitor": ("repro.core.monitor", "WorkloadMonitor"),
+    "HyRDClient": ("repro.core.hyrd", "HyRDClient"),
+}
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro.core' has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

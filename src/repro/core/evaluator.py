@@ -1,0 +1,220 @@
+"""Cost & Performance Evaluator (paper §III-B).
+
+*"The Cost & Performance Evaluator module is responsible for evaluating the
+cloud storage services from the perspectives of cost and performance ...
+cloud storage providers are classified into two categories:
+performance-oriented providers where the data access latency is lower and
+cost-oriented providers where the storage capacity price is lower.  A
+particular cloud storage provider can be in one category or both."*
+
+Performance is *measured*: the evaluator issues real probe transactions
+(a put and a get of a probe object) against every provider and scores each
+by the observed round trip + transfer time.  Cost comes from the published
+price plans (Table II).  With the Table II fleet the classification lands
+exactly on the paper's bottom row: Amazon S3 cost, Azure performance,
+Aliyun both, Rackspace cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cloud.errors import CloudError, ProviderUnavailable
+from repro.cloud.pricing import ProviderCategory
+from repro.cloud.provider import SimulatedProvider
+from repro.core.config import HyRDConfig
+from repro.sim.rng import make_rng
+
+__all__ = ["ProviderProfile", "CostPerformanceEvaluator"]
+
+_PROBE_KEY = "__hyrd_probe__"
+_PROBE_CONTAINER = "__hyrd_eval__"
+
+
+@dataclass(frozen=True)
+class ProviderProfile:
+    """Measured + published characteristics of one provider."""
+
+    name: str
+    latency_score: float  # seconds for the probe round trip (lower = faster)
+    storage_price: float  # $/GB-month from the plan
+    egress_price: float  # $/GB data-out from the plan
+    category: ProviderCategory
+
+    @property
+    def is_performance_oriented(self) -> bool:
+        return bool(self.category & ProviderCategory.PERFORMANCE_ORIENTED)
+
+    @property
+    def is_cost_oriented(self) -> bool:
+        return bool(self.category & ProviderCategory.COST_ORIENTED)
+
+
+class CostPerformanceEvaluator:
+    """Probes providers and classifies them for the Request Dispatcher."""
+
+    def __init__(
+        self,
+        providers: list[SimulatedProvider],
+        config: HyRDConfig,
+        probe_size: int = 256 * 1024,
+        probe_repeats: int = 3,
+    ) -> None:
+        if not providers:
+            raise ValueError("evaluator needs at least one provider")
+        if probe_size < 0 or probe_repeats < 1:
+            raise ValueError("invalid probe parameters")
+        self.providers = {p.name: p for p in providers}
+        self.config = config
+        self.probe_size = probe_size
+        self.probe_repeats = probe_repeats
+        self.rng = make_rng(config.seed, "evaluator")
+        self.profiles: dict[str, ProviderProfile] = {}
+        self._excluded: set[str] = set()
+
+    # ------------------------------------------------------------- probing
+    def _probe_latency(self, provider: SimulatedProvider) -> float:
+        """Measure one provider: mean elapsed time of put+get probe pairs.
+
+        Probes are real metered transactions (the paper's evaluator
+        "directly interacts with the individual cloud storage providers").
+        Unavailable providers score infinitely slow.
+        """
+        from repro.cloud.errors import TransientProviderError
+
+        payload = bytes(self.probe_size)
+        samples: list[float] = []
+        for _ in range(self.probe_repeats):
+            for attempt in range(6):  # transient failures: retry the probe
+                try:
+                    provider.create(_PROBE_CONTAINER, exist_ok=True)
+                    provider.put(_PROBE_CONTAINER, _PROBE_KEY, payload)
+                    provider.get(_PROBE_CONTAINER, _PROBE_KEY)
+                    break
+                except TransientProviderError:
+                    continue
+                except ProviderUnavailable:
+                    return float("inf")
+            else:
+                return float("inf")
+            lat = provider.latency
+            up = lat.upload_spec(self.probe_size, self.rng)
+            down = lat.download_spec(self.probe_size, self.rng)
+            samples.append(
+                up.start_delay
+                + up.size_bytes / up.remote_cap
+                + down.start_delay
+                + down.size_bytes / down.remote_cap
+            )
+        try:
+            provider.remove(_PROBE_CONTAINER, _PROBE_KEY)
+        except CloudError:  # pragma: no cover - outage race / transient fault
+            pass
+        return float(np.mean(samples))
+
+    def evaluate(self) -> dict[str, ProviderProfile]:
+        """(Re-)measure every provider and classify; returns the profiles."""
+        scores = {
+            name: self._probe_latency(p) for name, p in self.providers.items()
+        }
+        finite = [s for s in scores.values() if np.isfinite(s)]
+        if not finite:
+            raise RuntimeError("every provider is unavailable; cannot evaluate")
+
+        # Performance-oriented: the fastest ceil(perf_fraction * n) providers.
+        n = len(self.providers)
+        perf_count = max(1, int(np.ceil(self.config.perf_fraction * n)))
+        perf_names = set(
+            sorted(scores, key=lambda name: scores[name])[:perf_count]
+        )
+
+        # Cost-oriented: storage price at or below the configured percentile.
+        prices = {
+            name: p.pricing.storage_gb_month for name, p in self.providers.items()
+        }
+        cutoff = float(
+            np.percentile(list(prices.values()), self.config.cost_percentile)
+        )
+        cost_names = {name for name, price in prices.items() if price <= cutoff}
+        if not cost_names:  # degenerate configs: cheapest provider qualifies
+            cost_names = {min(prices, key=prices.get)}  # type: ignore[arg-type]
+
+        self.profiles = {}
+        for name, p in self.providers.items():
+            category = ProviderCategory.NONE
+            if name in perf_names:
+                category |= ProviderCategory.PERFORMANCE_ORIENTED
+            if name in cost_names:
+                category |= ProviderCategory.COST_ORIENTED
+            self.profiles[name] = ProviderProfile(
+                name=name,
+                latency_score=scores[name],
+                storage_price=p.pricing.storage_gb_month,
+                egress_price=p.pricing.data_out_gb,
+                category=category,
+            )
+        return self.profiles
+
+    # ----------------------------------------------------------- exclusion
+    def exclude(self, name: str) -> None:
+        """Remove a provider from future placement decisions.
+
+        Used when decommissioning a vendor (the §II-A mobility story): the
+        provider stays registered — existing fragments remain readable while
+        migration runs — but the dispatcher stops choosing it.
+        """
+        if name not in self.providers:
+            raise KeyError(f"unknown provider {name!r}")
+        if len(self.providers) - len(self._excluded) <= 1:
+            raise ValueError("cannot exclude the last usable provider")
+        self._excluded.add(name)
+
+    def readmit(self, name: str) -> None:
+        """Allow a previously excluded provider to receive placements again."""
+        self._excluded.discard(name)
+
+    @property
+    def excluded(self) -> frozenset[str]:
+        return frozenset(self._excluded)
+
+    # -------------------------------------------------------------- queries
+    def _require_profiles(self) -> None:
+        if not self.profiles:
+            self.evaluate()
+
+    def _usable(self, name: str) -> bool:
+        return name not in self._excluded
+
+    def performance_oriented(self) -> list[str]:
+        """Performance-oriented provider names, fastest first."""
+        self._require_profiles()
+        return sorted(
+            (
+                p.name
+                for p in self.profiles.values()
+                if p.is_performance_oriented and self._usable(p.name)
+            ),
+            key=lambda n: self.profiles[n].latency_score,
+        )
+
+    def cost_oriented(self) -> list[str]:
+        """Cost-oriented provider names, cheapest storage first."""
+        self._require_profiles()
+        return sorted(
+            (
+                p.name
+                for p in self.profiles.values()
+                if p.is_cost_oriented and self._usable(p.name)
+            ),
+            key=lambda n: (self.profiles[n].storage_price, self.profiles[n].latency_score),
+        )
+
+    def ranked_by_speed(self) -> list[str]:
+        """All usable providers, fastest measured first."""
+        self._require_profiles()
+        return sorted(
+            (n for n in self.profiles if self._usable(n)),
+            key=lambda n: self.profiles[n].latency_score,
+        )

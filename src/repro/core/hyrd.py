@@ -1,0 +1,360 @@
+"""The HyRD client — the paper's contribution, assembled.
+
+:class:`HyRDClient` is a :class:`~repro.schemes.base.Scheme` whose placement
+policy is the hybrid of the paper:
+
+- the **Workload Monitor** classifies each write (metadata / small / large);
+- the **Request Dispatcher** replicates metadata and small files
+  (``replication_level`` copies, default 2) on the fastest
+  performance-oriented providers, and RAID5-stripes large files across the
+  cost-oriented providers;
+- the **Cost & Performance Evaluator** supplies the provider classification
+  from measured latency probes and Table II price plans;
+- outages are handled by the shared recovery machinery: degraded reads fall
+  back to surviving replicas (small) or parity reconstruction (large), missed
+  writes are logged and replayed as a consistency update on return;
+- frequently-read large files are *promoted* — an extra full copy lands on
+  the fastest performance provider (Figure 2) via a background upload, and
+  subsequent reads pick whichever path the latency estimate favours.
+"""
+
+from __future__ import annotations
+
+from repro.cloud.latency import ClientLink
+from repro.cloud.provider import SimulatedProvider
+from repro.core.config import HyRDConfig
+from repro.core.dispatcher import RequestDispatcher
+from repro.core.evaluator import CostPerformanceEvaluator
+from repro.core.monitor import FileClass, WorkloadMonitor
+from repro.erasure.codec import ErasureCodec, get_codec
+from repro.fs.namespace import FileEntry
+from repro.metrics.collector import OpReport
+from repro.schemes.base import CloudOp, Scheme
+from repro.sim.clock import SimClock
+
+__all__ = ["HyRDClient"]
+
+
+class HyRDClient(Scheme):
+    """Hybrid redundant data distribution over a Cloud-of-Clouds."""
+
+    name = "hyrd"
+
+    def __init__(
+        self,
+        providers: list[SimulatedProvider],
+        clock: SimClock,
+        link: ClientLink | None = None,
+        config: HyRDConfig | None = None,
+    ) -> None:
+        self.config = config if config is not None else HyRDConfig()
+        super().__init__(
+            providers,
+            clock,
+            link,
+            seed=self.config.seed,
+            metadata_cache_capacity=self.config.metadata_cache_capacity,
+        )
+        self.monitor = WorkloadMonitor(self.config)
+        self.evaluator = CostPerformanceEvaluator(providers, self.config)
+        self.evaluator.evaluate()
+        self.dispatcher = RequestDispatcher(self.config, self.evaluator)
+        #: path -> (provider, version) of promoted hot copies (Figure 2)
+        self._hot: dict[str, tuple[str, int]] = {}
+        self._hot_digests: dict[str, str] = {}
+        self._pending_promotion: tuple[str, bytes] | None = None
+        self._codec_instances: dict[tuple[str, tuple[tuple[str, int], ...]], ErasureCodec] = {}
+
+    # ----------------------------------------------------------- placement
+    def _codec_for(self, entry: FileEntry) -> ErasureCodec | None:
+        """Codec the entry was *written* with.
+
+        Reconstructed from the entry's recorded parameters, not from the
+        dispatcher's current choice: after a re-evaluation or a provider
+        decommission the dispatcher may stripe differently, but existing
+        objects must keep decoding with their original geometry.
+        """
+        if entry.codec == "replication":
+            return None
+        key = (entry.codec, entry.codec_params)
+        codec = self._codec_instances.get(key)
+        if codec is None:
+            params = dict(entry.codec_params)
+            if entry.codec == "raid5":
+                codec = get_codec("raid5", k=params["k"])
+            elif entry.codec == "rs":
+                codec = get_codec("rs", k=params["k"], m=params["m"])
+            elif entry.codec == "fmsr":
+                codec = get_codec("fmsr", n=params["k"] + params["m"], k=params["k"])
+            else:
+                raise ValueError(f"unknown codec {entry.codec!r} on {entry.path!r}")
+            self._codec_instances[key] = codec
+        return codec
+
+    def _put_file(self, path: str, data: bytes, prev: FileEntry | None) -> FileEntry:
+        klass = self.monitor.observe(len(data))
+        decision = self.dispatcher.decide(klass)
+        version = prev.version + 1 if prev else 1
+        if decision.codec is None:
+            placements, digests = self._write_replicated(
+                path, data, list(decision.providers), version
+            )
+            codec_name = "replication"
+            codec_params: tuple[tuple[str, int], ...] = (
+                ("r", self.config.replication_level),
+            )
+        else:
+            placements, digests = self._write_striped(
+                path, data, decision.codec, list(decision.providers), version
+            )
+            codec_name = self.config.erasure_codec
+            codec_params = (("k", decision.codec.k), ("m", decision.codec.n - decision.codec.k))
+        self._drop_hot_copy(path)
+        now = self.clock.now
+        return FileEntry(
+            path=path,
+            size=len(data),
+            version=version,
+            codec=codec_name,
+            codec_params=codec_params,
+            placements=tuple(placements),
+            klass=klass.value,
+            created=prev.created if prev else now,
+            modified=now,
+            access_count=prev.access_count if prev else 0,
+            digests=digests,
+        )
+
+    # ----------------------------------------------------------------- read
+    def _read_file(self, entry: FileEntry) -> tuple[bytes, bool]:
+        if entry.codec == "replication":
+            return self._read_replicated(
+                entry.path,
+                entry.size,
+                list(entry.providers),
+                entry.version,
+                digest=entry.digests[0] if entry.digests else None,
+            )
+        data, degraded = self._read_large(entry)
+        # Promotion check uses the access count *including* this read.
+        promoted_count = entry.access_count + 1
+        if (
+            not degraded
+            and entry.path not in self._hot
+            and self.config.hot_file_threshold > 0
+            and entry.klass == FileClass.LARGE.value
+            and promoted_count >= self.config.hot_file_threshold
+        ):
+            # Deferred: uploaded outside this read's latency accounting.
+            self._pending_promotion = (entry.path, data)
+        return data, degraded
+
+    def _read_large(self, entry: FileEntry) -> tuple[bytes, bool]:
+        """Stripe fetch vs hot-copy fetch, whichever the estimate favours."""
+        codec = self._codec_for(entry)
+        assert codec is not None
+        hot = self._hot.get(entry.path)
+        if hot is not None:
+            hot_provider, hot_version = hot
+            if (
+                hot_version == entry.version
+                and self.provider(hot_provider).is_available()
+                and not self._is_stale(
+                    hot_provider, self.container, self._hot_key(entry.path, entry.version)
+                )
+            ):
+                est_hot = self._estimate_latency(hot_provider, entry.size, "down")
+                frag = codec.fragment_size(entry.size)
+                est_stripe = max(
+                    self._estimate_latency(prov, frag, "down")
+                    for prov, idx in entry.placements
+                    if idx < codec.k
+                )
+                if est_hot <= est_stripe:
+                    phase = self._run_phase(
+                        [
+                            CloudOp(
+                                hot_provider,
+                                "get",
+                                self.container,
+                                self._hot_key(entry.path, entry.version),
+                            )
+                        ]
+                    )
+                    outcome = phase.outcomes[0]
+                    if outcome.ok and outcome.data is not None:
+                        expected = self._hot_digests.get(entry.path)
+                        if expected is None or self._digest(outcome.data) == expected:
+                            return outcome.data, False
+                    # Hot copy raced an outage or was corrupted: fall
+                    # through to the verified stripe.
+        return self._read_striped(
+            entry.path,
+            entry.size,
+            codec,
+            list(entry.placements),
+            entry.version,
+            digests=entry.digests or None,
+        )
+
+    # --------------------------------------------------------------- update
+    def _update_file(
+        self, entry: FileEntry, offset: int, patch: bytes, new_content: bytes
+    ) -> FileEntry:
+        if entry.codec != "replication" and len(new_content) == entry.size:
+            codec = self._codec_for(entry)
+            assert codec is not None
+            self._drop_hot_copy(entry.path)
+            return self._rmw_striped(entry, offset, patch, new_content, codec)
+        # Small files — and any size-changing write — are re-put wholesale;
+        # _put_file re-classifies, so a small file growing past the threshold
+        # migrates to the erasure stripe automatically.
+        return self._put_file(entry.path, new_content, entry)
+
+    # --------------------------------------------------------------- remove
+    def _remove_file(self, entry: FileEntry) -> None:
+        self._remove_placements(
+            entry.path,
+            list(entry.placements),
+            entry.version,
+            replicated=entry.codec == "replication",
+        )
+        self._drop_hot_copy(entry.path)
+
+    # ------------------------------------------------------------- metadata
+    def _meta_write_targets(self) -> list[str]:
+        return self.dispatcher.replica_targets()
+
+    def _persist_metadata(self, directory: str) -> None:
+        super()._persist_metadata(directory)
+        self.monitor.observe_metadata(self._meta_sizes.get(directory, 0))
+
+    # ------------------------------------------------------------ promotion
+    def _hot_key(self, path: str, version: int) -> str:
+        return f"{path}#hot.v{version}"
+
+    def _drop_hot_copy(self, path: str) -> None:
+        hot = self._hot.pop(path, None)
+        self._hot_digests.pop(path, None)
+        if hot is None:
+            return
+        provider, version = hot
+        if self.provider(provider).store.has(
+            self.container, self._hot_key(path, version)
+        ):
+            self._run_phase(
+                [CloudOp(provider, "remove", self.container, self._hot_key(path, version))]
+            )
+        else:
+            self._write_logs[provider].discard(self.container, self._hot_key(path, version))
+
+    def get(self, path: str):  # type: ignore[override]
+        data, report = super().get(path)
+        pending = self._pending_promotion
+        self._pending_promotion = None
+        if pending is not None:
+            self._promote(*pending)
+        return data, report
+
+    def _promote(self, path: str, data: bytes) -> OpReport:
+        """Background upload of a hot copy to the fastest performance provider."""
+        target = self.dispatcher.promotion_target()
+        entry = self.namespace.get(path)
+        self._begin_op()
+        self._run_phase(
+            [
+                CloudOp(
+                    target,
+                    "put",
+                    self.container,
+                    self._hot_key(path, entry.version),
+                    data,
+                )
+            ]
+        )
+        report = self._end_op("promote", path)
+        self.collector.add(report)
+        self._hot[path] = (target, entry.version)
+        self._hot_digests[path] = self._digest(data)
+        return report
+
+    # --------------------------------------------------------------- intro
+    def hot_copies(self) -> dict[str, tuple[str, int]]:
+        """Currently promoted large files: path -> (provider, version)."""
+        return dict(self._hot)
+
+    # ------------------------------------------- adaptation & vendor mobility
+    def reevaluate(self) -> dict[str, "object"]:
+        """Re-probe every provider and refresh the classification.
+
+        §VI's second future-work direction: provider characteristics drift
+        (price changes, sustained congestion), so the Evaluator's snapshot
+        goes stale.  Existing placements are untouched — use
+        :meth:`misplaced_paths` / :meth:`migrate` to realign them lazily.
+        """
+        profiles = self.evaluator.evaluate()
+        self.dispatcher.refresh()
+        return profiles
+
+    def is_misplaced(self, path: str) -> bool:
+        """Would the dispatcher place this file differently today?"""
+        entry = self.namespace.get(path)
+        klass = self.monitor.classify(entry.size)
+        decision = self.dispatcher.decide(klass)
+        if decision.codec is None:
+            return entry.codec != "replication" or set(entry.providers) != set(
+                decision.providers
+            )
+        return entry.codec == "replication" or tuple(entry.providers) != tuple(
+            decision.providers
+        )
+
+    def misplaced_paths(self) -> list[str]:
+        """Every file whose placement no longer matches current policy."""
+        return [p for p in self.namespace.paths() if self.is_misplaced(p)]
+
+    def migrate(self, path: str) -> OpReport:
+        """Re-place one file according to the current dispatch decision.
+
+        Reads the content through the normal (possibly degraded) path and
+        re-puts it; the old version's objects are garbage-collected.  Cost
+        is real: the reads and writes are charged like any other operation.
+        """
+        path = self.namespace.get(path).path  # normalises + existence check
+        self._begin_op()
+        entry = self.namespace.get(path)
+        data, _ = self._read_file(entry)
+        new_entry = self._put_file(path, data, entry)
+        self.namespace.upsert(new_entry)
+        if self._placement_changed(entry, new_entry):
+            self._remove_stale_fragments(entry)
+        self._persist_metadata(self.meta.dir_of(path))
+        report = self._end_op("migrate", path)
+        self.collector.add(report)
+        return report
+
+    def decommission(self, provider: str) -> list[OpReport]:
+        """Leave a vendor: exclude it from placement and evacuate its data.
+
+        The §II-A mobility argument, executable: every file with a fragment
+        or replica on ``provider`` is migrated to a placement that avoids
+        it.  The provider stays registered throughout, so its fragments can
+        serve as migration *sources*; afterwards nothing references it and
+        the account can be closed.  Returns the per-file migration reports.
+        """
+        self.evaluator.exclude(provider)
+        self.dispatcher.refresh()
+        reports = []
+        for path in self.namespace.paths():
+            entry = self.namespace.get(path)
+            if provider in entry.providers:
+                reports.append(self.migrate(path))
+        return reports
+
+    def placements_on(self, provider: str) -> list[str]:
+        """Paths that currently keep a fragment/replica on ``provider``."""
+        return [
+            p
+            for p in self.namespace.paths()
+            if provider in self.namespace.get(p).providers
+        ]

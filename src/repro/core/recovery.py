@@ -1,0 +1,85 @@
+"""Outage recovery: write logs and the consistency update.
+
+Paper §III-C, *Recovery from service outage*: an outage is a temporary
+unavailability, not data loss.  While a provider is out:
+
+1. reads take the degraded path (replica fallback / erasure reconstruction —
+   implemented per scheme);
+2. **writes and updates are logged** — the mutations the offline provider
+   missed are recorded client-side;
+3. when the provider returns, the log is replayed as a *consistency update*;
+   recovery completes when the log drains.
+
+The log is *last-wins per key*: replaying only the final state of each object
+is sufficient (and is what keeps consistency updates cheap after long
+outages with many overwrites).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+__all__ = ["LoggedWrite", "WriteLog"]
+
+
+@dataclass(frozen=True)
+class LoggedWrite:
+    """One pending mutation for an offline provider."""
+
+    kind: str  # "put" | "remove"
+    container: str
+    key: str
+    data: bytes | None  # payload for puts, None for removes
+    logged_at: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("put", "remove"):
+            raise ValueError(f"kind must be 'put' or 'remove', got {self.kind!r}")
+        if self.kind == "put" and self.data is None:
+            raise ValueError("logged put requires data")
+        if self.kind == "remove" and self.data is not None:
+            raise ValueError("logged remove must not carry data")
+
+
+class WriteLog:
+    """Pending mutations for one provider, last-wins per (container, key)."""
+
+    def __init__(self) -> None:
+        self._entries: OrderedDict[tuple[str, str], LoggedWrite] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def log_put(self, container: str, key: str, data: bytes, now: float) -> None:
+        """Record that (container, key) should hold ``data`` after recovery."""
+        k = (container, key)
+        self._entries.pop(k, None)  # move-to-end on overwrite keeps replay ordered
+        self._entries[k] = LoggedWrite("put", container, key, bytes(data), now)
+
+    def log_remove(self, container: str, key: str, now: float) -> None:
+        """Record that (container, key) should be absent after recovery."""
+        k = (container, key)
+        self._entries.pop(k, None)
+        self._entries[k] = LoggedWrite("remove", container, key, None, now)
+
+    def discard(self, container: str, key: str) -> None:
+        """Drop a pending entry (e.g. the object was re-placed elsewhere)."""
+        self._entries.pop((container, key), None)
+
+    def drain(self) -> list[LoggedWrite]:
+        """Remove and return all pending writes in log order."""
+        entries = list(self._entries.values())
+        self._entries.clear()
+        return entries
+
+    def peek(self) -> list[LoggedWrite]:
+        """Pending writes without draining (for inspection/tests)."""
+        return list(self._entries.values())
+
+    def pending_bytes(self) -> int:
+        """Payload bytes awaiting replay (the consistency-update upload cost)."""
+        return sum(len(e.data) for e in self._entries.values() if e.data is not None)

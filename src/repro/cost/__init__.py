@@ -1,0 +1,13 @@
+"""Cost accounting and the trace-driven cost simulation (Figure 4)."""
+
+from repro.cost.accounting import BillLine, bill_for_month, monthly_bills, scheme_bills
+from repro.cost.simulator import CostRunResult, CostSimulator
+
+__all__ = [
+    "BillLine",
+    "CostRunResult",
+    "CostSimulator",
+    "bill_for_month",
+    "monthly_bills",
+    "scheme_bills",
+]

@@ -1,0 +1,77 @@
+"""Turning raw usage meters into dollar bills.
+
+One :class:`BillLine` per (provider, month) with the four Table II cost
+components; helpers aggregate lines across providers into the per-scheme
+monthly/cumulative series that Figure 4 plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.metering import UsageMeter
+from repro.cloud.pricing import PricingPlan
+from repro.cloud.provider import SimulatedProvider
+
+__all__ = ["BillLine", "bill_for_month", "monthly_bills", "scheme_bills"]
+
+
+@dataclass(frozen=True)
+class BillLine:
+    """One month's bill decomposition (US dollars)."""
+
+    storage: float
+    data_in: float
+    data_out: float
+    transactions: float
+
+    @property
+    def total(self) -> float:
+        return self.storage + self.data_in + self.data_out + self.transactions
+
+    def __add__(self, other: "BillLine") -> "BillLine":
+        return BillLine(
+            storage=self.storage + other.storage,
+            data_in=self.data_in + other.data_in,
+            data_out=self.data_out + other.data_out,
+            transactions=self.transactions + other.transactions,
+        )
+
+    @classmethod
+    def zero(cls) -> "BillLine":
+        return cls(0.0, 0.0, 0.0, 0.0)
+
+
+def bill_for_month(meter: UsageMeter, plan: PricingPlan, month: int) -> BillLine:
+    """Bill one provider-month from its metered usage."""
+    usage = meter.month_usage(month)
+    return BillLine(
+        storage=plan.storage_cost(usage.gb_months),
+        data_in=plan.data_in_cost(usage.bytes_in),
+        data_out=plan.data_out_cost(usage.bytes_out),
+        transactions=plan.tier1_cost(usage.tier1_ops) + plan.tier2_cost(usage.tier2_ops),
+    )
+
+
+def monthly_bills(
+    provider: SimulatedProvider, months: int
+) -> list[BillLine]:
+    """Bills for months ``0..months-1`` of one provider."""
+    return [bill_for_month(provider.meter, provider.pricing, m) for m in range(months)]
+
+
+def scheme_bills(
+    providers: list[SimulatedProvider], months: int
+) -> tuple[list[BillLine], dict[str, list[BillLine]]]:
+    """Aggregate bills across a scheme's providers.
+
+    Returns ``(per_month_totals, per_provider_lines)``.
+    """
+    per_provider = {p.name: monthly_bills(p, months) for p in providers}
+    totals = []
+    for m in range(months):
+        line = BillLine.zero()
+        for lines in per_provider.values():
+            line = line + lines[m]
+        totals.append(line)
+    return totals, per_provider

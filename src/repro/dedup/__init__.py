@@ -1,0 +1,28 @@
+"""Client-side data deduplication — the paper's first future-work item.
+
+§VI: *"we will apply data deduplication in the HyRD module to eliminate the
+redundant data and reduce the total data transferred over the network, thus
+further improving the performance and cost efficiency [21]."*
+
+The layer is scheme-agnostic: :class:`DedupLayer` wraps any
+:class:`~repro.schemes.base.Scheme` (HyRD included), splits incoming files
+into content-defined chunks, uploads only chunks whose fingerprint has not
+been stored before, and writes a small *recipe* object in the chunk's place.
+
+- :mod:`repro.dedup.chunking` -- fixed and content-defined chunkers
+- :mod:`repro.dedup.index`    -- fingerprint index with reference counting
+- :mod:`repro.dedup.layer`    -- the transparent scheme wrapper
+"""
+
+from repro.dedup.chunking import Chunk, ContentDefinedChunker, FixedSizeChunker
+from repro.dedup.index import FingerprintIndex
+from repro.dedup.layer import DedupLayer, DedupStats
+
+__all__ = [
+    "Chunk",
+    "ContentDefinedChunker",
+    "DedupLayer",
+    "DedupStats",
+    "FingerprintIndex",
+    "FixedSizeChunker",
+]

@@ -1,0 +1,75 @@
+"""Fingerprint index with reference counting.
+
+Maps chunk fingerprints to their size and reference count; the
+:class:`~repro.dedup.layer.DedupLayer` consults it to decide which chunks
+actually travel over the network, and drops chunk objects from the clouds
+when the last referencing file is removed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FingerprintIndex", "IndexEntry"]
+
+
+@dataclass
+class IndexEntry:
+    size: int
+    refcount: int
+
+
+class FingerprintIndex:
+    """fingerprint -> (size, refcount)."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, IndexEntry] = {}
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def reference(self, fingerprint: str, size: int) -> bool:
+        """Add one reference; returns True when the chunk is *new*."""
+        entry = self._entries.get(fingerprint)
+        if entry is None:
+            self._entries[fingerprint] = IndexEntry(size=size, refcount=1)
+            return True
+        if entry.size != size:
+            raise ValueError(
+                f"fingerprint collision: {fingerprint[:12]}... seen with sizes "
+                f"{entry.size} and {size}"
+            )
+        entry.refcount += 1
+        return False
+
+    def release(self, fingerprint: str) -> bool:
+        """Drop one reference; returns True when the chunk became garbage."""
+        try:
+            entry = self._entries[fingerprint]
+        except KeyError:
+            raise KeyError(f"unknown fingerprint {fingerprint[:12]}...") from None
+        entry.refcount -= 1
+        if entry.refcount <= 0:
+            del self._entries[fingerprint]
+            return True
+        return False
+
+    def refcount(self, fingerprint: str) -> int:
+        entry = self._entries.get(fingerprint)
+        return entry.refcount if entry else 0
+
+    def unique_bytes(self) -> int:
+        """Bytes stored after deduplication."""
+        return sum(e.size for e in self._entries.values())
+
+    def logical_bytes(self) -> int:
+        """Bytes the clients believe they stored (sum over references)."""
+        return sum(e.size * e.refcount for e in self._entries.values())
+
+    def dedup_ratio(self) -> float:
+        """logical / unique; 1.0 means no duplication found."""
+        unique = self.unique_bytes()
+        return self.logical_bytes() / unique if unique else 1.0

@@ -1,0 +1,102 @@
+"""RAID5-style single-parity code — the paper's erasure case study.
+
+HyRD and RACS both stripe large files as RAID5 over the four providers
+(k = 3 data + 1 XOR parity in the default Cloud-of-Clouds).  A single lost
+fragment — one provider outage — is recovered by XOR-ing the survivors.
+
+This is exactly RS(k, 1) mathematically, but implemented directly with XOR
+so the hot encode/repair path is one ``np.bitwise_xor.reduce``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.erasure.codec import ErasureCodec
+from repro.erasure.striping import join_shards, split_shards
+
+__all__ = ["Raid5Code"]
+
+
+class Raid5Code(ErasureCodec):
+    """k data fragments + 1 XOR parity fragment; tolerates one erasure."""
+
+    def __init__(self, k: int) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be > 0, got {k}")
+        self._k = k
+
+    @property
+    def n(self) -> int:
+        return self._k + 1
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    @property
+    def parity_index(self) -> int:
+        """Fragment index holding the XOR parity (always the last one)."""
+        return self._k
+
+    def encode(self, data: bytes) -> list[bytes]:
+        shards = split_shards(data, self._k)  # (k, L)
+        parity = np.bitwise_xor.reduce(shards, axis=0)
+        return [shards[i].tobytes() for i in range(self._k)] + [parity.tobytes()]
+
+    def decode(self, fragments: Mapping[int, bytes], size: int) -> bytes:
+        self._check_enough(fragments)
+        frag_len = self.fragment_size(size)
+        for i, frag in fragments.items():
+            if len(frag) != frag_len:
+                raise ValueError(
+                    f"fragment {i} has length {len(frag)}, expected {frag_len}"
+                )
+        if frag_len == 0:
+            return b""
+        missing_data = [i for i in range(self._k) if i not in fragments]
+        if len(missing_data) > 1:
+            raise ValueError(
+                f"RAID5 tolerates one erasure; data fragments {missing_data} missing"
+            )
+        shards = np.zeros((self._k, frag_len), dtype=np.uint8)
+        for i in range(self._k):
+            if i in fragments:
+                shards[i] = np.frombuffer(fragments[i], dtype=np.uint8)
+        if missing_data:
+            lost = missing_data[0]
+            if self.parity_index not in fragments:
+                raise ValueError(
+                    f"cannot rebuild data fragment {lost}: parity missing too"
+                )
+            acc = np.frombuffer(fragments[self.parity_index], dtype=np.uint8).copy()
+            for i in range(self._k):
+                if i != lost:
+                    acc ^= shards[i]
+            shards[lost] = acc
+        return join_shards(shards, size)
+
+    def reconstruct_fragment(
+        self, fragments: Mapping[int, bytes], index: int, size: int
+    ) -> bytes:
+        """Rebuild any one fragment (data or parity) as the XOR of the other k."""
+        if not (0 <= index <= self._k):
+            raise ValueError(f"fragment index {index} out of range [0, {self.n})")
+        others = [i for i in range(self.n) if i != index]
+        missing = [i for i in others if i not in fragments]
+        if missing:
+            raise ValueError(f"RAID5 repair needs all other fragments; missing {missing}")
+        frag_len = self.fragment_size(size)
+        if frag_len == 0:
+            return b""
+        acc = np.zeros(frag_len, dtype=np.uint8)
+        for i in others:
+            frag = fragments[i]
+            if len(frag) != frag_len:
+                raise ValueError(
+                    f"fragment {i} has length {len(frag)}, expected {frag_len}"
+                )
+            acc ^= np.frombuffer(frag, dtype=np.uint8)
+        return acc.tobytes()

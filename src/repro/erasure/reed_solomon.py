@@ -1,0 +1,99 @@
+"""Systematic Reed-Solomon over GF(2^8).
+
+The generator matrix is an (n, k) systematic Vandermonde derivative
+(:func:`repro.erasure.galois.systematic_vandermonde`): the first k fragments
+are the raw data shards, the remaining m = n - k are parity.  Any k fragments
+reconstruct the payload by inverting the corresponding kxk sub-matrix.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.erasure.codec import ErasureCodec
+from repro.erasure.galois import gf_inverse_matrix, gf_matmul, systematic_vandermonde
+from repro.erasure.striping import join_shards, split_shards
+
+__all__ = ["ReedSolomonCode"]
+
+
+class ReedSolomonCode(ErasureCodec):
+    """RS(k, m): k data fragments + m parity fragments, MDS."""
+
+    def __init__(self, k: int, m: int) -> None:
+        if k <= 0 or m < 0:
+            raise ValueError(f"need k > 0 and m >= 0, got k={k}, m={m}")
+        if k + m > 255:
+            raise ValueError(f"n = k + m must be <= 255 in GF(256), got {k + m}")
+        self._k = k
+        self._n = k + m
+        self._gen = systematic_vandermonde(self._n, self._k)
+        self._decode_cache: dict[tuple[int, ...], np.ndarray] = {}
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    @property
+    def generator_matrix(self) -> np.ndarray:
+        """A read-only view of the (n, k) generator matrix."""
+        g = self._gen.view()
+        g.flags.writeable = False
+        return g
+
+    def encode(self, data: bytes) -> list[bytes]:
+        shards = split_shards(data, self._k)  # (k, L)
+        fragments = gf_matmul(self._gen, shards)  # (n, L)
+        return [fragments[i].tobytes() for i in range(self._n)]
+
+    def _decode_matrix(self, indices: tuple[int, ...]) -> np.ndarray:
+        """Inverse of the generator rows for ``indices`` (cached per subset)."""
+        cached = self._decode_cache.get(indices)
+        if cached is None:
+            sub = self._gen[list(indices), :]
+            cached = gf_inverse_matrix(sub)
+            self._decode_cache[indices] = cached
+        return cached
+
+    def decode(self, fragments: Mapping[int, bytes], size: int) -> bytes:
+        self._check_enough(fragments)
+        indices = tuple(sorted(fragments))[: self._k]
+        frag_len = self.fragment_size(size)
+        rows = []
+        for i in indices:
+            frag = fragments[i]
+            if len(frag) != frag_len:
+                raise ValueError(
+                    f"fragment {i} has length {len(frag)}, expected {frag_len}"
+                )
+            rows.append(np.frombuffer(frag, dtype=np.uint8))
+        stacked = np.vstack(rows) if frag_len else np.zeros((self._k, 0), np.uint8)
+        inv = self._decode_matrix(indices)
+        shards = gf_matmul(inv, stacked)
+        return join_shards(shards, size)
+
+    def reconstruct_fragment(
+        self, fragments: Mapping[int, bytes], index: int, size: int
+    ) -> bytes:
+        """Rebuild fragment ``index`` without re-encoding the whole object."""
+        self._check_enough(fragments)
+        if not (0 <= index < self._n):
+            raise ValueError(f"fragment index {index} out of range [0, {self._n})")
+        indices = tuple(sorted(fragments))[: self._k]
+        frag_len = self.fragment_size(size)
+        if frag_len == 0:
+            return b""
+        stacked = np.vstack(
+            [np.frombuffer(fragments[i], dtype=np.uint8) for i in indices]
+        )
+        inv = self._decode_matrix(indices)
+        # row(index of G) @ inv gives the combination of the available
+        # fragments that equals the lost one.
+        coeffs = gf_matmul(self._gen[index : index + 1, :], inv)  # (1, k)
+        return gf_matmul(coeffs, stacked)[0].tobytes()

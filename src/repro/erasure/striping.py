@@ -1,0 +1,48 @@
+"""Shard framing: split a byte payload into k equal shards and back.
+
+Codecs operate on an (k, shard_len) uint8 matrix.  The original length is
+*not* embedded in the shards — schemes already persist file size in their
+metadata (as the paper's prototype does), so framing stays minimal and the
+decode path takes the size explicitly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["shard_length", "split_shards", "join_shards"]
+
+
+def shard_length(size: int, k: int) -> int:
+    """Length of each shard for a ``size``-byte payload split k ways.
+
+    Zero-byte payloads still produce zero-length shards (k of them), so that
+    empty files round-trip through every codec.
+    """
+    if size < 0:
+        raise ValueError(f"size must be >= 0, got {size}")
+    if k <= 0:
+        raise ValueError(f"k must be > 0, got {k}")
+    return -(-size // k)  # ceil division
+
+
+def split_shards(data: bytes, k: int) -> np.ndarray:
+    """Split ``data`` into a (k, L) uint8 matrix, zero-padding the tail."""
+    ln = shard_length(len(data), k)
+    buf = np.zeros(k * ln, dtype=np.uint8)
+    if data:
+        buf[: len(data)] = np.frombuffer(data, dtype=np.uint8)
+    return buf.reshape(k, ln)
+
+
+def join_shards(shards: np.ndarray, size: int) -> bytes:
+    """Inverse of :func:`split_shards`: flatten and strip the padding."""
+    shards = np.asarray(shards, dtype=np.uint8)
+    if shards.ndim != 2:
+        raise ValueError(f"expected a 2-D shard matrix, got shape {shards.shape}")
+    flat = shards.reshape(-1)
+    if size > flat.shape[0]:
+        raise ValueError(
+            f"declared size {size} exceeds shard capacity {flat.shape[0]}"
+        )
+    return flat[:size].tobytes()

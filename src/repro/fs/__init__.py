@@ -1,0 +1,22 @@
+"""Client-side file-system layer.
+
+HyRD sits below a file-system-like namespace: files have paths, metadata is
+grouped *per directory* to exploit access locality (paper §III-C), and a
+file's entry records where its redundancy fragments live.
+
+- :mod:`repro.fs.namespace` -- paths, :class:`FileEntry`, the in-client index
+- :mod:`repro.fs.metadata`  -- directory metadata groups (serialisation + store)
+"""
+
+from repro.fs.metadata import MetadataStore, decode_group, encode_group
+from repro.fs.namespace import FileEntry, Namespace, dirname, normalize_path
+
+__all__ = [
+    "FileEntry",
+    "MetadataStore",
+    "Namespace",
+    "decode_group",
+    "dirname",
+    "encode_group",
+    "normalize_path",
+]

@@ -1,0 +1,135 @@
+"""Directory-grouped metadata blocks.
+
+Paper §III-C: *"HyRD uses replication to store the file system metadata and
+groups the metadata in a directory together to exploit the access locality."*
+
+A *metadata group* is one cloud object per directory containing the
+serialised :class:`~repro.fs.namespace.FileEntry` of every file in it.  The
+:class:`MetadataStore` owns serialisation plus a bounded LRU cache standing
+in for the paper's "metadata blocks loaded into client memory": group reads
+that hit the cache are free; misses cost a cloud read in whatever redundancy
+scheme the surrounding system uses (that part is the scheme's job —
+replication for HyRD/DuraCloud, striping for RACS).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+
+from repro.fs.namespace import FileEntry, Namespace, dirname, normalize_path
+
+__all__ = ["encode_group", "decode_group", "group_key", "MetadataStore"]
+
+_GROUP_PREFIX = "__meta__"
+
+
+def group_key(directory: str) -> str:
+    """Cloud object key for a directory's metadata group."""
+    return f"{_GROUP_PREFIX}{directory}"
+
+
+def is_group_key(key: str) -> bool:
+    return key.startswith(_GROUP_PREFIX)
+
+
+def encode_group(entries: list[FileEntry]) -> bytes:
+    """Serialise a directory's entries to a compact, deterministic blob."""
+    payload = [
+        {
+            "path": e.path,
+            "size": e.size,
+            "version": e.version,
+            "codec": e.codec,
+            "codec_params": [[k, v] for k, v in e.codec_params],
+            "placements": [[p, i] for p, i in e.placements],
+            "klass": e.klass,
+            "created": e.created,
+            "modified": e.modified,
+            "access_count": e.access_count,
+            "digests": list(e.digests),
+        }
+        for e in sorted(entries, key=lambda e: e.path)
+    ]
+    return json.dumps(payload, separators=(",", ":"), sort_keys=True).encode()
+
+
+def decode_group(blob: bytes) -> list[FileEntry]:
+    """Inverse of :func:`encode_group`."""
+    try:
+        payload = json.loads(blob.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValueError(f"corrupt metadata group: {exc}") from exc
+    entries = []
+    for item in payload:
+        entries.append(
+            FileEntry(
+                path=item["path"],
+                size=item["size"],
+                version=item["version"],
+                codec=item["codec"],
+                codec_params=tuple((k, v) for k, v in item["codec_params"]),
+                placements=tuple((p, i) for p, i in item["placements"]),
+                klass=item["klass"],
+                created=item["created"],
+                modified=item["modified"],
+                access_count=item["access_count"],
+                digests=tuple(item.get("digests", ())),
+            )
+        )
+    return entries
+
+
+class MetadataStore:
+    """Serialisation + client-memory cache for directory metadata groups."""
+
+    def __init__(self, namespace: Namespace, cache_capacity: int = 256) -> None:
+        if cache_capacity < 1:
+            raise ValueError(f"cache_capacity must be >= 1, got {cache_capacity}")
+        self.namespace = namespace
+        self.cache_capacity = cache_capacity
+        self._cache: OrderedDict[str, None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------- encoding
+    def encode_dir(self, directory: str) -> bytes:
+        """Current metadata blob for ``directory``."""
+        return encode_group(self.namespace.entries_in(directory))
+
+    def group_size(self, directory: str) -> int:
+        return len(self.encode_dir(directory))
+
+    def apply_group(self, blob: bytes) -> list[FileEntry]:
+        """Merge a fetched group blob into the namespace (recovery path)."""
+        entries = decode_group(blob)
+        for e in entries:
+            self.namespace.upsert(e)
+        return entries
+
+    # ---------------------------------------------------------------- cache
+    def is_cached(self, directory: str) -> bool:
+        """Whether the directory's metadata sits in client memory."""
+        if directory in self._cache:
+            self._cache.move_to_end(directory)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def touch(self, directory: str) -> None:
+        """Mark a group resident (after a write-through or a fetch)."""
+        self._cache[directory] = None
+        self._cache.move_to_end(directory)
+        while len(self._cache) > self.cache_capacity:
+            self._cache.popitem(last=False)
+
+    def invalidate(self, directory: str) -> None:
+        self._cache.pop(directory, None)
+
+    def cached_dirs(self) -> list[str]:
+        return list(self._cache)
+
+    # -------------------------------------------------------------- helpers
+    def dir_of(self, path: str) -> str:
+        return dirname(normalize_path(path))

@@ -1,0 +1,6 @@
+"""Latency metrics: per-operation reports, collectors, summaries."""
+
+from repro.metrics.collector import LatencyCollector, OpReport
+from repro.metrics.stats import LatencySummary, summarize
+
+__all__ = ["LatencyCollector", "LatencySummary", "OpReport", "summarize"]

@@ -1,0 +1,105 @@
+"""Operation reports and the latency collector.
+
+Every public scheme operation returns an :class:`OpReport`; experiments feed
+reports into a :class:`LatencyCollector` and read back the summary series the
+paper's figures plot (average response time, normal vs degraded split, ...).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.metrics.stats import LatencySummary, summarize
+
+__all__ = ["OpReport", "LatencyCollector"]
+
+
+@dataclass(frozen=True)
+class OpReport:
+    """What one scheme operation cost.
+
+    ``degraded`` marks operations that had to take a reconstruction /
+    fallback path because a provider was inside an outage window.
+    """
+
+    op: str  # "put" | "get" | "update" | "remove" | "stat" | "list"
+    path: str
+    elapsed: float  # seconds of simulated wall-clock
+    bytes_up: int = 0
+    bytes_down: int = 0
+    providers: tuple[str, ...] = ()
+    degraded: bool = False
+    cloud_ops: int = 0  # number of provider requests issued
+    rtt_wait: float = 0.0  # critical-path time spent on request round trips
+    transfer_time: float = 0.0  # critical-path time spent moving bytes
+
+    def __post_init__(self) -> None:
+        if self.elapsed < 0:
+            raise ValueError(f"elapsed must be >= 0, got {self.elapsed}")
+
+
+@dataclass
+class LatencyCollector:
+    """Aggregates :class:`OpReport` streams for one scheme run."""
+
+    reports: list[OpReport] = field(default_factory=list)
+
+    def add(self, report: OpReport) -> None:
+        self.reports.append(report)
+
+    def extend(self, reports: list[OpReport]) -> None:
+        self.reports.extend(reports)
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+    # --------------------------------------------------------------- queries
+    def latencies(self, op: str | None = None, degraded: bool | None = None) -> list[float]:
+        return [
+            r.elapsed
+            for r in self.reports
+            if (op is None or r.op == op)
+            and (degraded is None or r.degraded == degraded)
+        ]
+
+    def summary(self, op: str | None = None) -> LatencySummary:
+        return summarize(self.latencies(op))
+
+    def by_op(self) -> dict[str, LatencySummary]:
+        groups: dict[str, list[float]] = defaultdict(list)
+        for r in self.reports:
+            groups[r.op].append(r.elapsed)
+        return {op: summarize(v) for op, v in sorted(groups.items())}
+
+    def mean_latency(self) -> float:
+        """Average response time over every recorded operation."""
+        return self.summary().mean
+
+    def degraded_fraction(self) -> float:
+        if not self.reports:
+            return 0.0
+        return sum(1 for r in self.reports if r.degraded) / len(self.reports)
+
+    def total_bytes(self) -> tuple[int, int]:
+        """(bytes uploaded, bytes downloaded) across all operations."""
+        return (
+            sum(r.bytes_up for r in self.reports),
+            sum(r.bytes_down for r in self.reports),
+        )
+
+    def total_cloud_ops(self) -> int:
+        return sum(r.cloud_ops for r in self.reports)
+
+    def time_breakdown(self) -> dict[str, float]:
+        """Where simulated wall-clock went, summed over the critical paths.
+
+        ``rtt_wait`` is time blocked on request round trips (what dominates
+        small objects), ``transfer`` is time moving bytes (what dominates
+        large objects) — the split behind Figure 5's threshold argument.
+        """
+        return {
+            "rtt_wait": sum(r.rtt_wait for r in self.reports),
+            "transfer": sum(r.transfer_time for r in self.reports),
+            "total": sum(r.elapsed for r in self.reports),
+        }

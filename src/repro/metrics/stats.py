@@ -1,0 +1,45 @@
+"""Latency summary statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LatencySummary", "summarize"]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Distribution summary for a set of latency samples (seconds)."""
+
+    count: int
+    total: float
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    @classmethod
+    def empty(cls) -> "LatencySummary":
+        return cls(count=0, total=0.0, mean=0.0, p50=0.0, p95=0.0, p99=0.0, max=0.0)
+
+
+def summarize(samples: list[float] | np.ndarray) -> LatencySummary:
+    """Summarise latency samples; empty input yields the zero summary."""
+    arr = np.asarray(samples, dtype=np.float64)
+    if arr.size == 0:
+        return LatencySummary.empty()
+    if np.any(arr < 0):
+        raise ValueError("latency samples must be >= 0")
+    p50, p95, p99 = np.percentile(arr, [50, 95, 99])
+    return LatencySummary(
+        count=int(arr.size),
+        total=float(arr.sum()),
+        mean=float(arr.mean()),
+        p50=float(p50),
+        p95=float(p95),
+        p99=float(p99),
+        max=float(arr.max()),
+    )

@@ -1,0 +1,1091 @@
+"""Scheme framework: the shared execution engine all schemes run on.
+
+A scheme turns file-level operations (put/get/update/remove/stat/listdir)
+into *phases* of concurrent provider requests.  The engine here:
+
+- executes each phase against the simulated providers (state + billing),
+- costs the phase through the fair-share client link (uploads contend with
+  uploads, downloads with downloads) and advances the shared clock,
+- logs mutations aimed at providers inside an outage window
+  (:class:`repro.core.recovery.WriteLog`) and replays them when the provider
+  returns (the paper's *consistency update*),
+- write-through-persists directory metadata groups with the scheme's own
+  redundancy, and charges metadata reads on client-cache misses,
+- emits an :class:`repro.metrics.OpReport` per operation.
+
+Concrete schemes mostly just pick *placements* via the replicated/striped
+helpers provided here.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cloud.errors import (
+    CloudError,
+    ProviderUnavailable,
+    TransientProviderError,
+)
+from repro.cloud.gcsapi import GcsApi
+from repro.cloud.latency import ClientLink
+from repro.cloud.provider import SimulatedProvider
+from repro.core.recovery import WriteLog
+from repro.erasure.codec import ErasureCodec
+from repro.fs.metadata import MetadataStore, group_key
+from repro.fs.namespace import FileEntry, Namespace, dirname, normalize_path
+from repro.metrics.collector import LatencyCollector, OpReport
+from repro.sim.bandwidth import TransferSpec, simulate_transfers
+from repro.sim.clock import SimClock
+from repro.sim.rng import make_rng
+
+__all__ = [
+    "CloudOp",
+    "DataUnavailable",
+    "OpOutcome",
+    "PhaseResult",
+    "Scheme",
+]
+
+
+class DataUnavailable(CloudError):
+    """Too many providers are down to serve the object at all.
+
+    Raised when concurrent outages exceed the scheme's fault tolerance —
+    the paper notes two concurrent cloud outages are extremely rare, but the
+    simulator can and does produce them under injected failure storms.
+    """
+
+    def __init__(self, path: str, detail: str) -> None:
+        super().__init__(f"data unavailable for {path!r}: {detail}")
+        self.path = path
+
+
+@dataclass(frozen=True)
+class CloudOp:
+    """One provider request inside a phase."""
+
+    provider: str
+    kind: str  # "put" | "get" | "remove" | "list" | "create" | "head"
+    container: str
+    key: str = ""
+    data: bytes | None = None
+
+    _KINDS = frozenset({"put", "get", "remove", "list", "create", "head"})
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise ValueError(f"unknown op kind {self.kind!r}")
+        if self.kind == "put" and self.data is None:
+            raise ValueError("put op requires data")
+
+
+@dataclass
+class OpOutcome:
+    """Result of one :class:`CloudOp` within a phase."""
+
+    op: CloudOp
+    ok: bool
+    data: bytes | None = None
+    error: Exception | None = None
+    finish: float = 0.0  # completion instant relative to phase start
+
+
+@dataclass
+class PhaseResult:
+    """All outcomes of one phase plus its wire cost."""
+
+    outcomes: list[OpOutcome]
+    elapsed: float
+    bytes_up: int = 0
+    bytes_down: int = 0
+
+    def ok(self) -> bool:
+        return all(o.ok for o in self.outcomes)
+
+    def succeeded(self) -> list[OpOutcome]:
+        return [o for o in self.outcomes if o.ok]
+
+    def failed(self) -> list[OpOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    def data_from(self, provider: str) -> bytes:
+        for o in self.outcomes:
+            if o.op.provider == provider and o.ok and o.data is not None:
+                return o.data
+        raise KeyError(f"no successful data outcome from {provider!r}")
+
+
+def _public_op(method):
+    """Exception safety for public operations.
+
+    A failing operation (e.g. :class:`DataUnavailable` when outages exceed
+    fault tolerance) must not leave the per-op accumulator armed, or every
+    later call would be rejected as "nested"."""
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        try:
+            return method(self, *args, **kwargs)
+        except BaseException:
+            self._acc = None
+            raise
+
+    return wrapper
+
+
+@dataclass
+class _OpAcc:
+    """Accumulator for the public operation currently in flight."""
+
+    t0: float
+    bytes_up: int = 0
+    bytes_down: int = 0
+    cloud_ops: int = 0
+    providers: set[str] = field(default_factory=set)
+    degraded: bool = False
+    rtt_wait: float = 0.0
+    transfer_time: float = 0.0
+
+
+class Scheme(ABC):
+    """Base class for every redundant data distribution scheme."""
+
+    #: short identifier used in containers, reports and experiment tables
+    name: str = "scheme"
+
+    #: replication write discipline: parallel scatter (default) or one
+    #: replica at a time (DuraCloud's synchronize-on-change model, where the
+    #: second copy is a sync step after the primary write completes)
+    sequential_replication: bool = False
+
+    #: how many times a request is retried after a transient provider
+    #: failure (HTTP 500/throttle) before being treated as failed
+    transient_retries: int = 2
+
+    def __init__(
+        self,
+        providers: list[SimulatedProvider],
+        clock: SimClock,
+        link: ClientLink | None = None,
+        seed: int = 0,
+        metadata_cache_capacity: int = 256,
+    ) -> None:
+        if not providers:
+            raise ValueError("a scheme needs at least one provider")
+        names = [p.name for p in providers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate provider names: {names}")
+        self.api = GcsApi(providers)
+        self.clock = clock
+        self.link = link if link is not None else ClientLink()
+        self.seed = seed
+        self.rng: np.random.Generator = make_rng(seed, "scheme", self.name)
+        self.namespace = Namespace()
+        self.meta = MetadataStore(self.namespace, metadata_cache_capacity)
+        self.collector = LatencyCollector()
+        self.container = f"{self.name}-store"
+        self._write_logs: dict[str, WriteLog] = {p.name: WriteLog() for p in providers}
+        self._acc: _OpAcc | None = None
+        self._meta_sizes: dict[str, int] = {}
+        self._init_containers()
+
+    # ------------------------------------------------------------- lifecycle
+    def _init_containers(self) -> None:
+        """Create the scheme's container on every provider (best effort)."""
+        for p in self.api.providers():
+            for _ in range(1 + self.transient_retries):
+                try:
+                    p.create(self.container, exist_ok=True)
+                    break
+                except TransientProviderError:
+                    continue
+                except ProviderUnavailable:
+                    # Created lazily by the first healed write.
+                    break
+
+    @property
+    def provider_names(self) -> list[str]:
+        return self.api.names()
+
+    def provider(self, name: str) -> SimulatedProvider:
+        return self.api.provider(name)
+
+    # ------------------------------------------------------- phase execution
+    def _estimate_latency(self, name: str, size: int, direction: str = "down") -> float:
+        """Deterministic latency estimate used for provider ranking."""
+        lat = self.provider(name).latency
+        bw = lat.download_bw if direction == "down" else lat.upload_bw
+        linkbw = self.link.downlink if direction == "down" else self.link.uplink
+        return lat.rtt + size / min(bw, linkbw)
+
+    def _rank_providers(
+        self, names: list[str], size: int = 0, direction: str = "down"
+    ) -> list[str]:
+        """Names sorted fastest-first for a transfer of ``size`` bytes."""
+        return sorted(names, key=lambda n: self._estimate_latency(n, size, direction))
+
+    def _is_stale(self, provider: str, container: str, key: str) -> bool:
+        """True when the provider missed writes to this key during an outage."""
+        log = self._write_logs.get(provider)
+        if not log:
+            return False
+        return any(
+            e.container == container and e.key == key for e in log.peek()
+        )
+
+    def _run_phase(self, ops: list[CloudOp], advance: bool = True) -> PhaseResult:
+        """Execute one phase of concurrent provider requests.
+
+        State changes apply instantly; wire time is computed by batching all
+        transfer specs through the client link.  Mutations aimed at an
+        unavailable provider are recorded in its write log.  When ``advance``
+        the clock moves to the phase's end (quorum schemes advance manually).
+        """
+        outcomes: list[OpOutcome] = []
+        uploads: list[tuple[int, TransferSpec]] = []
+        downloads: list[tuple[int, TransferSpec]] = []
+        bytes_up = 0
+        bytes_down = 0
+
+        for i, op in enumerate(ops):
+            provider = self.provider(op.provider)
+            data: bytes | None = None
+            error: Exception | None = None
+            for attempt in range(1 + self.transient_retries):
+                try:
+                    data = self._apply_op(provider, op)
+                    error = None
+                    break
+                except TransientProviderError as exc:
+                    # Each failed attempt burns a round trip; retry.
+                    uploads.append((i, provider.latency.control_spec(self.rng)))
+                    error = exc
+                except ProviderUnavailable as exc:
+                    error = exc
+                    break
+                except CloudError as exc:
+                    error = exc
+                    break
+            if error is not None:
+                if isinstance(error, (ProviderUnavailable, TransientProviderError)):
+                    # Mutations the provider missed — outage or exhausted
+                    # retries alike — are logged for the consistency update.
+                    self._log_missed_mutation(op)
+                outcomes.append(OpOutcome(op=op, ok=False, error=error))
+                # Failure detection costs one control round-trip.
+                uploads.append((i, provider.latency.control_spec(self.rng)))
+                continue
+            outcomes.append(OpOutcome(op=op, ok=True, data=data))
+            if op.kind == "put":
+                size = len(op.data or b"")
+                uploads.append((i, provider.latency.upload_spec(size, self.rng)))
+                bytes_up += size
+            elif op.kind == "get":
+                size = len(data or b"")
+                downloads.append((i, provider.latency.download_spec(size, self.rng)))
+                bytes_down += size
+            else:  # control-plane request
+                uploads.append((i, provider.latency.control_spec(self.rng)))
+
+        elapsed = 0.0
+        critical_rtt = 0.0
+        for direction, linkbw in ((uploads, self.link.uplink), (downloads, self.link.downlink)):
+            if not direction:
+                continue
+            results = simulate_transfers([s for _, s in direction], linkbw)
+            for ((idx, spec), res) in zip(direction, results):
+                outcomes[idx].finish = max(outcomes[idx].finish, res.finish_time)
+                if res.finish_time > elapsed:
+                    elapsed = res.finish_time
+                    critical_rtt = spec.start_delay
+
+        if advance and elapsed > 0:
+            self.clock.advance(elapsed)
+
+        result = PhaseResult(
+            outcomes=outcomes,
+            elapsed=elapsed,
+            bytes_up=bytes_up,
+            bytes_down=bytes_down,
+        )
+        if self._acc is not None:
+            self._acc.bytes_up += bytes_up
+            self._acc.bytes_down += bytes_down
+            self._acc.cloud_ops += len(ops)
+            self._acc.providers.update(op.provider for op in ops)
+            # Critical-path attribution: the phase ends with its slowest
+            # transfer; that transfer's RTT is waiting, the rest is bytes.
+            self._acc.rtt_wait += min(critical_rtt, elapsed)
+            self._acc.transfer_time += max(elapsed - critical_rtt, 0.0)
+        return result
+
+    @staticmethod
+    def _apply_op(provider: SimulatedProvider, op: CloudOp) -> bytes | None:
+        if op.kind == "put":
+            provider.put(op.container, op.key, op.data or b"")
+            return None
+        if op.kind == "get":
+            return provider.get(op.container, op.key)
+        if op.kind == "remove":
+            provider.remove(op.container, op.key)
+            return None
+        if op.kind == "list":
+            listing = provider.list(op.container)
+            return "\n".join(listing).encode()
+        if op.kind == "create":
+            provider.create(op.container, exist_ok=True)
+            return None
+        if op.kind == "head":
+            provider.head(op.container, op.key)
+            return None
+        raise AssertionError(f"unreachable op kind {op.kind}")  # pragma: no cover
+
+    def _log_missed_mutation(self, op: CloudOp) -> None:
+        if op.kind == "put":
+            self._write_logs[op.provider].log_put(
+                op.container, op.key, op.data or b"", self.clock.now
+            )
+        elif op.kind == "remove":
+            self._write_logs[op.provider].log_remove(
+                op.container, op.key, self.clock.now
+            )
+
+    # -------------------------------------------------------------- recovery
+    def pending_log(self, provider: str) -> WriteLog:
+        return self._write_logs[provider]
+
+    def heal_returned(self) -> list[OpReport]:
+        """Replay write logs of every provider that has come back.
+
+        This is the paper's consistency update.  Returns one ``heal`` report
+        per healed provider; recovery for a provider is complete when its log
+        is empty afterwards (a provider failing *again* mid-replay keeps the
+        unreplayed tail logged).
+        """
+        reports: list[OpReport] = []
+        for name, log in self._write_logs.items():
+            if not log or not self.provider(name).is_available():
+                continue
+            reports.append(self._heal_one(name, log))
+        return reports
+
+    @_public_op
+    def _heal_one(self, name: str, log: WriteLog) -> OpReport:
+        """Standalone consistency update with its own ``heal`` report."""
+        self._begin_op()
+        self._heal_phase(name, log)
+        report = self._end_op("heal", f"provider:{name}")
+        self.collector.add(report)
+        return report
+
+    def _heal_phase(self, name: str, log: WriteLog) -> None:
+        """Replay one provider's write log inside the current accounting.
+
+        Called standalone by :meth:`_heal_one` or inline from
+        :meth:`_heal_before_touching`, where the replay cost is attributed
+        to the foreground operation that forced it.
+        """
+        entries = log.drain()
+        ops: list[CloudOp] = [CloudOp(name, "create", self.container)]
+        for e in entries:
+            if e.kind == "put":
+                ops.append(CloudOp(name, "put", e.container, e.key, e.data))
+            else:
+                # Removing a key the provider never saw is a no-op; only
+                # issue the delete when the object exists there.
+                if self.provider(name).store.has(e.container, e.key):
+                    ops.append(CloudOp(name, "remove", e.container, e.key))
+        self._run_phase(ops)
+
+    def _heal_before_touching(self, providers: set[str]) -> None:
+        """Consistency-update any returned-but-stale provider we are about to use."""
+        for name in providers:
+            log = self._write_logs.get(name)
+            if log and self.provider(name).is_available():
+                if self._acc is not None:
+                    self._heal_phase(name, log)
+                else:
+                    self._heal_one(name, log)
+
+    # ------------------------------------------------------ report plumbing
+    def _begin_op(self) -> None:
+        if self._acc is not None:
+            raise RuntimeError("nested scheme operations are not supported")
+        self._acc = _OpAcc(t0=self.clock.now)
+
+    def _mark_degraded(self) -> None:
+        if self._acc is not None:
+            self._acc.degraded = True
+
+    def _end_op(self, op: str, path: str) -> OpReport:
+        acc = self._acc
+        if acc is None:
+            raise RuntimeError("_end_op without _begin_op")
+        self._acc = None
+        return OpReport(
+            op=op,
+            path=path,
+            elapsed=self.clock.now - acc.t0,
+            bytes_up=acc.bytes_up,
+            bytes_down=acc.bytes_down,
+            providers=tuple(sorted(acc.providers)),
+            degraded=acc.degraded,
+            cloud_ops=acc.cloud_ops,
+            rtt_wait=acc.rtt_wait,
+            transfer_time=acc.transfer_time,
+        )
+
+    # ----------------------------------------------------- placement helpers
+    def _fragment_key(self, path: str, index: int, version: int) -> str:
+        return f"{path}#v{version}.{index}"
+
+    @staticmethod
+    def _digest(data: bytes) -> str:
+        """Fragment integrity digest (HAIL-style verification, cited [8])."""
+        return hashlib.sha256(data).hexdigest()
+
+    def _write_replicated(
+        self, key_base: str, data: bytes, providers: list[str], version: int
+    ) -> tuple[list[tuple[str, int]], tuple[str, ...]]:
+        """Put identical copies on each provider.
+
+        Returns ``(placements, digests)`` — one digest per replica slot so
+        reads can detect provider-side corruption.  Copies are written in
+        parallel (they contend on the uplink — the DuraCloud effect).
+        Unavailable providers are write-logged, so the placement list always
+        covers every intended replica.
+        """
+        self._heal_before_touching(set(providers))
+        key = f"{key_base}#v{version}"
+        ops = [CloudOp(p, "put", self.container, key, data) for p in providers]
+        if self.sequential_replication:
+            for op in ops:
+                self._run_phase([op])
+        else:
+            self._run_phase(ops)
+        digest = self._digest(data)
+        return [(p, i) for i, p in enumerate(providers)], (digest,) * len(providers)
+
+    def _read_replicated(
+        self,
+        key_base: str,
+        size: int,
+        providers: list[str],
+        version: int,
+        digest: str | None = None,
+    ) -> tuple[bytes, bool]:
+        """Read one replica, fastest-available first; degraded on fallback.
+
+        When ``digest`` is given every fetched copy is verified; a corrupt
+        replica is treated like an unavailable one and the next copy serves
+        (HAIL's availability-through-verification behaviour).
+        """
+        key = f"{key_base}#v{version}"
+        ranked = self._rank_providers(list(providers), size, "down")
+        degraded = False
+        last_error: Exception | None = None
+        for name in ranked:
+            if not self.provider(name).is_available() or self._is_stale(
+                name, self.container, key
+            ):
+                degraded = True
+                continue
+            phase = self._run_phase([CloudOp(name, "get", self.container, key)])
+            outcome = phase.outcomes[0]
+            if outcome.ok and outcome.data is not None:
+                if digest is not None and self._digest(outcome.data) != digest:
+                    degraded = True  # corrupt copy: fall through to the next
+                    continue
+                if degraded:
+                    self._mark_degraded()
+                return outcome.data, degraded
+            degraded = True
+            last_error = outcome.error
+        raise DataUnavailable(
+            key_base, f"no intact replica reachable on {providers} ({last_error})"
+        )
+
+    def _write_striped(
+        self,
+        key_base: str,
+        data: bytes,
+        codec: ErasureCodec,
+        providers: list[str],
+        version: int,
+    ) -> tuple[list[tuple[str, int]], tuple[str, ...]]:
+        """Encode and scatter fragments, one per provider, in parallel.
+
+        Returns ``(placements, per-fragment digests)``."""
+        if len(providers) != codec.n:
+            raise ValueError(
+                f"{codec!r} needs {codec.n} providers, got {len(providers)}"
+            )
+        self._heal_before_touching(set(providers))
+        fragments = codec.encode(data)
+        ops = [
+            CloudOp(p, "put", self.container, self._fragment_key(key_base, i, version), fragments[i])
+            for i, p in enumerate(providers)
+        ]
+        self._run_phase(ops)
+        digests = tuple(self._digest(f) for f in fragments)
+        return [(p, i) for i, p in enumerate(providers)], digests
+
+    def _read_striped(
+        self,
+        key_base: str,
+        size: int,
+        codec: ErasureCodec,
+        placements: list[tuple[str, int]],
+        version: int,
+        prefer_systematic: bool = True,
+        digests: tuple[str, ...] | None = None,
+    ) -> tuple[bytes, bool]:
+        """Fetch k fragments and decode; reconstruct through parity when
+        a preferred provider is out (the degraded read of §III-C).
+
+        With ``digests``, every fetched fragment is verified and a corrupt
+        one counts as an erasure — reconstruction routes around silent
+        provider-side corruption exactly like an outage."""
+        by_index = {idx: prov for prov, idx in placements}
+        if len(by_index) < codec.k:
+            raise DataUnavailable(key_base, "placement lost too many fragments")
+
+        def usable(idx: int) -> bool:
+            prov = by_index[idx]
+            key = self._fragment_key(key_base, idx, version)
+            return self.provider(prov).is_available() and not self._is_stale(
+                prov, self.container, key
+            )
+
+        def verified(idx: int, data: bytes) -> bool:
+            if digests is None or idx >= len(digests):
+                return True
+            return self._digest(data) == digests[idx]
+
+        order = sorted(by_index)  # systematic data fragments first
+        if not prefer_systematic:
+            order = self._rank_providers_by_index(by_index, size, codec)
+        preferred = order[: codec.k]
+        degraded = any(not usable(i) for i in preferred)
+        chosen = [i for i in order if usable(i)][: codec.k]
+        if len(chosen) < codec.k:
+            raise DataUnavailable(
+                key_base,
+                f"only {len(chosen)} of {codec.k} required fragments reachable",
+            )
+        ops = [
+            CloudOp(
+                by_index[i], "get", self.container, self._fragment_key(key_base, i, version)
+            )
+            for i in chosen
+        ]
+        phase = self._run_phase(ops)
+        fragments: dict[int, bytes] = {}
+        rejected: set[int] = set()
+        for idx, outcome in zip(chosen, phase.outcomes):
+            if outcome.ok and outcome.data is not None:
+                if verified(idx, outcome.data):
+                    fragments[idx] = outcome.data
+                else:
+                    rejected.add(idx)
+        if len(fragments) < codec.k:
+            # Outage-boundary races and corrupt fragments both land here:
+            # top up from the remaining healthy placements.
+            remaining = [
+                i
+                for i in order
+                if i not in fragments and i not in rejected and usable(i)
+            ]
+            for i in remaining:
+                if len(fragments) >= codec.k:
+                    break
+                retry = self._run_phase(
+                    [CloudOp(by_index[i], "get", self.container, self._fragment_key(key_base, i, version))]
+                )
+                data = retry.outcomes[0].data
+                if retry.outcomes[0].ok and data is not None and verified(i, data):
+                    fragments[i] = data
+            degraded = True
+        if len(fragments) < codec.k:
+            raise DataUnavailable(key_base, "lost fragments mid-read")
+        if degraded:
+            self._mark_degraded()
+        return codec.decode(fragments, size), degraded
+
+    def _rmw_striped(
+        self,
+        entry: FileEntry,
+        offset: int,
+        patch: bytes,
+        new_content: bytes,
+        codec: ErasureCodec,
+    ) -> FileEntry:
+        """In-place partial update of a striped object (same size).
+
+        This is the erasure-code write-amplification the paper hammers on:
+        updating a sub-fragment region requires reading the old affected data
+        fragments plus every parity fragment, then writing them all back —
+        for RAID5 and a small patch, *"a total of 4 accesses, including
+        traffic of 2 reads and 2 writes over the network"*.
+
+        The object's size (hence shard boundaries) must be unchanged;
+        growth is handled by the caller as a full restripe.
+        """
+        if len(new_content) != entry.size:
+            raise ValueError("_rmw_striped requires an in-place (same-size) update")
+        by_index = dict(entry.placements)
+        providers_by_index = {idx: prov for prov, idx in entry.placements}
+        if len(by_index) != codec.n:
+            raise ValueError(
+                f"entry {entry.path!r} has {len(by_index)} placements, codec needs {codec.n}"
+            )
+        frag_len = codec.fragment_size(entry.size)
+        if frag_len == 0:
+            return entry
+        lo = offset // frag_len
+        hi = (offset + max(len(patch), 1) - 1) // frag_len
+        affected = [i for i in range(codec.k) if lo <= i <= hi]
+        parities = list(range(codec.k, codec.n))
+        touched = affected + parities
+        self._heal_before_touching({providers_by_index[i] for i in touched})
+
+        # Phase 1: read old affected data fragments and old parities.
+        read_ops = [
+            CloudOp(
+                providers_by_index[i],
+                "get",
+                self.container,
+                self._fragment_key(entry.path, i, entry.version),
+            )
+            for i in touched
+        ]
+        read_phase = self._run_phase(read_ops)
+        if not read_phase.ok():
+            self._mark_degraded()
+
+        # Phase 2: write the new affected fragments + parities.  Fragment
+        # content comes from re-encoding the composed object; unaffected data
+        # fragments are bit-identical because size and boundaries are fixed.
+        fragments = codec.encode(new_content)
+        write_ops = [
+            CloudOp(
+                providers_by_index[i],
+                "put",
+                self.container,
+                self._fragment_key(entry.path, i, entry.version),
+                fragments[i],
+            )
+            for i in touched
+        ]
+        self._run_phase(write_ops)
+        from dataclasses import replace
+
+        new_digests = tuple(self._digest(f) for f in fragments)
+        return replace(entry, modified=self.clock.now, digests=new_digests)
+
+    def _rank_providers_by_index(
+        self, by_index: dict[int, str], size: int, codec: ErasureCodec
+    ) -> list[int]:
+        frag_size = codec.fragment_size(size)
+        return sorted(
+            by_index,
+            key=lambda i: self._estimate_latency(by_index[i], frag_size, "down"),
+        )
+
+    def _remove_placements(
+        self, key_base: str, placements: list[tuple[str, int]], version: int, replicated: bool
+    ) -> None:
+        self._heal_before_touching({p for p, _ in placements})
+        ops = []
+        for prov, idx in placements:
+            key = (
+                f"{key_base}#v{version}"
+                if replicated
+                else self._fragment_key(key_base, idx, version)
+            )
+            ops.append(CloudOp(prov, "remove", self.container, key))
+        self._run_phase(ops)
+
+    # --------------------------------------------------- metadata management
+    @abstractmethod
+    def _meta_write_targets(self) -> list[str]:
+        """Providers that receive directory metadata groups (scheme policy)."""
+
+    def _meta_codec(self) -> ErasureCodec | None:
+        """Codec for metadata groups; None means plain replication."""
+        return None
+
+    def _persist_metadata(self, directory: str) -> None:
+        """Write-through the directory's metadata group (version = clock tick)."""
+        blob = self.meta.encode_dir(directory)
+        key_base = group_key(directory)
+        targets = self._meta_write_targets()
+        codec = self._meta_codec()
+        # Metadata groups are identified by key alone (no version suffix):
+        # the newest write wins, exactly like the paper's metadata updates.
+        if codec is None:
+            self._heal_before_touching(set(targets))
+            ops = [CloudOp(p, "put", self.container, key_base, blob) for p in targets]
+        else:
+            self._heal_before_touching(set(targets))
+            fragments = codec.encode(blob)
+            ops = [
+                CloudOp(p, "put", self.container, f"{key_base}.{i}", fragments[i])
+                for i, p in enumerate(targets)
+            ]
+        if self.sequential_replication and codec is None:
+            for op in ops:
+                self._run_phase([op])
+        else:
+            self._run_phase(ops)
+        self.meta.touch(directory)
+        self._meta_sizes[directory] = len(blob)
+
+    def _fetch_metadata(self, directory: str) -> None:
+        """Charge a metadata-group read on a client-cache miss."""
+        if self.meta.is_cached(directory):
+            return
+        size = self._meta_sizes.get(directory)
+        if size is None:
+            # Never persisted (empty directory): nothing to fetch.
+            self.meta.touch(directory)
+            return
+        key_base = group_key(directory)
+        targets = self._meta_write_targets()
+        codec = self._meta_codec()
+        try:
+            if codec is None:
+                self._read_replicated_meta(key_base, targets)
+            else:
+                placements = [(p, i) for i, p in enumerate(targets)]
+                self._read_striped_meta(key_base, size, codec, placements)
+        except DataUnavailable:
+            # Metadata group unreachable in the cloud; the in-client
+            # namespace remains authoritative, so degrade but continue.
+            self._mark_degraded()
+        self.meta.touch(directory)
+
+    def _read_replicated_meta(self, key: str, providers: list[str]) -> None:
+        ranked = self._rank_providers(list(providers), 0, "down")
+        for name in ranked:
+            if not self.provider(name).is_available() or self._is_stale(
+                name, self.container, key
+            ):
+                self._mark_degraded()
+                continue
+            phase = self._run_phase([CloudOp(name, "get", self.container, key)])
+            if phase.outcomes[0].ok:
+                return
+            self._mark_degraded()
+        raise DataUnavailable(key, f"no metadata replica reachable on {providers}")
+
+    def _read_striped_meta(
+        self,
+        key_base: str,
+        size: int,
+        codec: ErasureCodec,
+        placements: list[tuple[str, int]],
+    ) -> None:
+        by_index = {idx: prov for prov, idx in placements}
+        order = sorted(by_index)
+        usable = [
+            i
+            for i in order
+            if self.provider(by_index[i]).is_available()
+            and not self._is_stale(by_index[i], self.container, f"{key_base}.{i}")
+        ]
+        if any(i not in usable for i in order[: codec.k]):
+            self._mark_degraded()
+        chosen = usable[: codec.k]
+        if len(chosen) < codec.k:
+            raise DataUnavailable(key_base, "metadata stripe unreachable")
+        ops = [
+            CloudOp(by_index[i], "get", self.container, f"{key_base}.{i}")
+            for i in chosen
+        ]
+        self._run_phase(ops)
+
+    # ------------------------------------------------- namespace recovery
+    @_public_op
+    def recover_namespace(self) -> OpReport:
+        """Rebuild the in-client namespace from the cloud metadata groups.
+
+        This is what a restarted client (or a second machine pointed at the
+        same Cloud-of-Clouds) runs before serving: list the metadata-group
+        objects, fetch each through the scheme's own redundancy, and merge
+        the entries.  Everything is charged like normal traffic.
+
+        Returns a ``recover`` report; afterwards :attr:`namespace` holds
+        every file a previous client persisted metadata for.
+        """
+        self._begin_op()
+        codec = self._meta_codec()
+        targets = self._meta_write_targets()
+        group_keys = self._list_meta_group_keys(targets, striped=codec is not None)
+        for base_key in sorted(group_keys):
+            blob = self._fetch_meta_blob(base_key, codec, targets)
+            if blob is None:
+                continue
+            directory = base_key[len("__meta__"):]
+            entries = self.meta.apply_group(blob)
+            if entries:
+                self._meta_sizes[directory] = len(blob)
+                self.meta.touch(directory)
+        self._after_namespace_recovery()
+        report = self._end_op("recover", "namespace")
+        self.collector.add(report)
+        return report
+
+    def _after_namespace_recovery(self) -> None:
+        """Hook for schemes that keep per-object client state (NCCloud)."""
+
+    def _list_meta_group_keys(self, targets: list[str], striped: bool) -> set[str]:
+        """Metadata-group base keys, from the first listable provider."""
+        for name in self._rank_providers(list(targets), 0, "down"):
+            if not self.provider(name).is_available():
+                continue
+            phase = self._run_phase([CloudOp(name, "list", self.container)])
+            outcome = phase.outcomes[0]
+            if not outcome.ok or outcome.data is None:
+                continue
+            keys = outcome.data.decode().split("\n") if outcome.data else []
+            groups: set[str] = set()
+            for key in keys:
+                if not key.startswith("__meta__"):
+                    continue
+                if striped:
+                    base, dot, _idx = key.rpartition(".")
+                    groups.add(base if dot else key)
+                else:
+                    groups.add(key)
+            return groups
+        raise DataUnavailable("namespace", f"no metadata provider listable in {targets}")
+
+    def _fetch_meta_blob(
+        self, base_key: str, codec: ErasureCodec | None, targets: list[str]
+    ) -> bytes | None:
+        """Fetch and reassemble one metadata group's blob (None if gone)."""
+        if codec is None:
+            for name in self._rank_providers(list(targets), 0, "down"):
+                if not self.provider(name).is_available() or self._is_stale(
+                    name, self.container, base_key
+                ):
+                    continue
+                phase = self._run_phase(
+                    [CloudOp(name, "get", self.container, base_key)]
+                )
+                outcome = phase.outcomes[0]
+                if outcome.ok and outcome.data is not None:
+                    return outcome.data
+            return None
+        fragments: dict[int, bytes] = {}
+        for i, name in enumerate(targets):
+            if len(fragments) >= codec.k:
+                break
+            if not self.provider(name).is_available() or self._is_stale(
+                name, self.container, f"{base_key}.{i}"
+            ):
+                continue
+            phase = self._run_phase(
+                [CloudOp(name, "get", self.container, f"{base_key}.{i}")]
+            )
+            outcome = phase.outcomes[0]
+            if outcome.ok and outcome.data is not None:
+                fragments[i] = outcome.data
+        if len(fragments) < codec.k:
+            return None
+        frag_len = len(next(iter(fragments.values())))
+        # Group blobs are JSON: decode at full capacity and strip the zero
+        # padding (JSON never ends in NUL bytes).
+        blob = codec.decode(fragments, frag_len * codec.k)
+        return blob.rstrip(b"\x00")
+
+    # ------------------------------------------------------------ public API
+    @_public_op
+    def put(self, path: str, data: bytes) -> OpReport:
+        """Create or overwrite a whole file."""
+        path = normalize_path(path)
+        self._begin_op()
+        prev = self.namespace.lookup(path)
+        entry = self._put_file(path, bytes(data), prev)
+        self.namespace.upsert(entry)
+        if prev is not None and self._placement_changed(prev, entry):
+            self._remove_stale_fragments(prev)
+        self._persist_metadata(dirname(path))
+        report = self._end_op("put", path)
+        self.collector.add(report)
+        return report
+
+    @_public_op
+    def get(self, path: str) -> tuple[bytes, OpReport]:
+        """Read a whole file (degraded reconstruction during outages)."""
+        path = normalize_path(path)
+        self._begin_op()
+        self._fetch_metadata(dirname(path))
+        entry = self.namespace.get(path)
+        data, _degraded = self._read_file(entry)
+        self.namespace.upsert(entry.touched())
+        report = self._end_op("get", path)
+        self.collector.add(report)
+        if len(data) != entry.size:
+            raise AssertionError(
+                f"scheme returned {len(data)} bytes for {path}, expected {entry.size}"
+            )
+        return data, report
+
+    @_public_op
+    def update(self, path: str, offset: int, patch: bytes) -> OpReport:
+        """Partial write at ``offset`` (the paper's small-update case)."""
+        path = normalize_path(path)
+        if offset < 0:
+            raise ValueError(f"offset must be >= 0, got {offset}")
+        self._begin_op()
+        entry = self.namespace.get(path)
+        old = self._peek_content(entry)
+        new_size = max(entry.size, offset + len(patch))
+        buf = bytearray(new_size)
+        buf[: entry.size] = old
+        buf[offset : offset + len(patch)] = patch
+        new_content = bytes(buf)
+        new_entry = self._update_file(entry, offset, patch, new_content)
+        self.namespace.upsert(new_entry)
+        if self._placement_changed(entry, new_entry):
+            self._remove_stale_fragments(entry)
+        self._persist_metadata(dirname(path))
+        report = self._end_op("update", path)
+        self.collector.add(report)
+        return report
+
+    @_public_op
+    def remove(self, path: str) -> OpReport:
+        """Delete a file everywhere."""
+        path = normalize_path(path)
+        self._begin_op()
+        entry = self.namespace.remove(path)
+        self._remove_file(entry)
+        self._persist_metadata(dirname(path))
+        report = self._end_op("remove", path)
+        self.collector.add(report)
+        return report
+
+    @_public_op
+    def stat(self, path: str) -> tuple[FileEntry, OpReport]:
+        """Metadata lookup (the access type dominating real workloads)."""
+        path = normalize_path(path)
+        self._begin_op()
+        self._fetch_metadata(dirname(path))
+        entry = self.namespace.get(path)
+        report = self._end_op("stat", path)
+        self.collector.add(report)
+        return entry, report
+
+    @_public_op
+    def listdir(self, directory: str) -> tuple[list[str], OpReport]:
+        """Directory listing through the metadata group."""
+        self._begin_op()
+        self._fetch_metadata(directory if directory == "/" else normalize_path(directory))
+        names = self.namespace.list_dir(directory)
+        report = self._end_op("list", directory)
+        self.collector.add(report)
+        return names, report
+
+    # ------------------------------------------------- content introspection
+    def _peek_content(self, entry: FileEntry) -> bytes:
+        """The client's own view of current file content (no wire cost).
+
+        Used by ``update`` to compose the post-update object: the writer
+        already holds the file it is modifying, so materialising it from the
+        simulator's stores is bookkeeping, not a billed transfer.
+        """
+        fragments: dict[int, bytes] = {}
+        codec = self._codec_for(entry)
+        for prov, idx in entry.placements:
+            store = self.provider(prov).store
+            key = (
+                f"{entry.path}#v{entry.version}"
+                if codec is None
+                else self._fragment_key(entry.path, idx, entry.version)
+            )
+            # A pending write-log entry supersedes whatever the provider
+            # currently stores: the stored object is stale until the
+            # consistency update replays the log.
+            logged = self._logged_payload(prov, key)
+            if logged is not None:
+                fragments[idx] = logged
+            elif store.has(self.container, key):
+                fragments[idx] = store.get(self.container, key).data
+        if codec is None:
+            if not fragments:
+                raise DataUnavailable(entry.path, "no replica content found")
+            return next(iter(fragments.values()))
+        return codec.decode(fragments, entry.size)
+
+    def _logged_payload(self, provider: str, key: str) -> bytes | None:
+        log = self._write_logs.get(provider)
+        if not log:
+            return None
+        for e in log.peek():
+            if e.container == self.container and e.key == key and e.kind == "put":
+                return e.data
+        return None
+
+    @staticmethod
+    def _placement_changed(old: FileEntry, new: FileEntry) -> bool:
+        return (
+            old.version != new.version
+            or old.placements != new.placements
+            or old.codec != new.codec
+        )
+
+    def _remove_stale_fragments(self, old: FileEntry) -> None:
+        """Garbage-collect the previous version's objects."""
+        codec = self._codec_for(old)
+        self._remove_placements(
+            old.path, list(old.placements), old.version, replicated=codec is None
+        )
+
+    # --------------------------------------------------------- scheme policy
+    @abstractmethod
+    def _codec_for(self, entry: FileEntry) -> ErasureCodec | None:
+        """Codec used for this entry's data (None = replication)."""
+
+    @abstractmethod
+    def _put_file(self, path: str, data: bytes, prev: FileEntry | None) -> FileEntry:
+        """Place a new version of ``path``; returns the new entry."""
+
+    @abstractmethod
+    def _read_file(self, entry: FileEntry) -> tuple[bytes, bool]:
+        """Fetch and reconstruct content; returns (data, degraded)."""
+
+    @abstractmethod
+    def _remove_file(self, entry: FileEntry) -> None:
+        """Delete the entry's objects from the clouds."""
+
+    def _update_file(
+        self, entry: FileEntry, offset: int, patch: bytes, new_content: bytes
+    ) -> FileEntry:
+        """Default partial-update: rewrite the whole object."""
+        return self._put_file(entry.path, new_content, entry)
+
+    # --------------------------------------------------------------- queries
+    def stored_bytes_by_provider(self) -> dict[str, int]:
+        """Physical bytes currently stored per provider (space-overhead view)."""
+        return {p.name: p.store.total_bytes() for p in self.api.providers()}
+
+    def total_stored_bytes(self) -> int:
+        return sum(self.stored_bytes_by_provider().values())
+
+    def space_overhead(self) -> float:
+        """Physical bytes / logical bytes (1.0 = no redundancy)."""
+        logical = self.namespace.total_bytes()
+        if logical == 0:
+            return 0.0
+        return self.total_stored_bytes() / logical
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(providers={self.provider_names})"

@@ -1,0 +1,15 @@
+"""HyRD exposed alongside the baselines.
+
+:class:`HyrdScheme` *is* :class:`repro.core.hyrd.HyRDClient`; the alias
+exists so experiment code can enumerate every scheme from one package.
+"""
+
+from __future__ import annotations
+
+from repro.core.hyrd import HyRDClient
+
+__all__ = ["HyrdScheme"]
+
+
+class HyrdScheme(HyRDClient):
+    """The paper's scheme, under the schemes namespace."""

@@ -1,0 +1,205 @@
+"""NCCloud: FMSR regenerating codes over the Cloud-of-Clouds (baseline [16]).
+
+NCCloud targets the *repair* cost of erasure-coded cloud storage: after a
+permanent single-cloud failure, a conventional RS/RAID system downloads k
+fragments (the whole object) to rebuild one, while FMSR downloads just one
+chunk from each of the n-1 survivors — ``(n-1)/(k*(n-k))`` of the traffic.
+
+Per-object encoding-coefficient matrices are kept client-side (NCCloud
+persists them as object metadata); :meth:`repair_provider` performs the
+functional repair for every object after a cloud is declared permanently
+failed and reports the traffic actually moved, which the repair benchmark
+compares against the decode-based repair of RACS.
+"""
+
+from __future__ import annotations
+
+from repro.cloud.latency import ClientLink
+from repro.cloud.provider import SimulatedProvider
+from repro.erasure.codec import ErasureCodec
+from repro.erasure.fmsr import FMSRCode
+from repro.fs.namespace import FileEntry
+from repro.schemes.base import CloudOp, Scheme
+from repro.sim.clock import SimClock
+from repro.sim.rng import stable_u64
+
+__all__ = ["NCCloudScheme"]
+
+
+class NCCloudScheme(Scheme):
+    """FMSR(n, n-2): each provider stores n-2 coded chunks per object."""
+
+    name = "nccloud"
+
+    def __init__(
+        self,
+        providers: list[SimulatedProvider],
+        clock: SimClock,
+        link: ClientLink | None = None,
+        seed: int = 0,
+        **kwargs: object,
+    ) -> None:
+        if len(providers) < 3:
+            raise ValueError(f"FMSR needs >= 3 providers, got {len(providers)}")
+        super().__init__(providers, clock, link, seed, **kwargs)  # type: ignore[arg-type]
+        self.n = len(providers)
+        self.k = self.n - 2
+        self.stripe_providers = list(self.provider_names)
+        self._codecs: dict[str, FMSRCode] = {}
+
+    def _object_codec(self, path: str, version: int) -> FMSRCode:
+        """Per-object FMSR instance, deterministically seeded."""
+        return FMSRCode(self.n, self.k, seed=stable_u64("nccloud", path, version))
+
+    # ----------------------------------------------------------- placement
+    def _codec_for(self, entry: FileEntry) -> ErasureCodec | None:
+        return self._codecs[entry.path]
+
+    def _put_file(self, path: str, data: bytes, prev: FileEntry | None) -> FileEntry:
+        version = prev.version + 1 if prev else 1
+        codec = self._object_codec(path, version)
+        placements, digests = self._write_striped(
+            path, data, codec, self.stripe_providers, version
+        )
+        self._codecs[path] = codec
+        now = self.clock.now
+        return FileEntry(
+            path=path,
+            size=len(data),
+            version=version,
+            codec="fmsr",
+            codec_params=(("n", self.n), ("k", self.k)),
+            placements=tuple(placements),
+            klass="regenerating",
+            created=prev.created if prev else now,
+            modified=now,
+            digests=digests,
+        )
+
+    def _read_file(self, entry: FileEntry) -> tuple[bytes, bool]:
+        # FMSR is non-systematic: any k node fragments decode, so fetch the
+        # fastest k rather than preferring data fragments.
+        return self._read_striped(
+            entry.path,
+            entry.size,
+            self._codecs[entry.path],
+            list(entry.placements),
+            entry.version,
+            prefer_systematic=False,
+            digests=entry.digests or None,
+        )
+
+    def _remove_file(self, entry: FileEntry) -> None:
+        self._remove_placements(
+            entry.path, list(entry.placements), entry.version, replicated=False
+        )
+        self._codecs.pop(entry.path, None)
+
+    # ------------------------------------------------------------- metadata
+    def _meta_write_targets(self) -> list[str]:
+        # NCCloud keeps object metadata replicated on every cloud.
+        return list(self.stripe_providers)
+
+    def _after_namespace_recovery(self) -> None:
+        """Rebuild per-object FMSR codecs after a client restart.
+
+        Encoding matrices are deterministic in (path, version), so a fresh
+        client re-derives them.  Limitation (documented): objects that went
+        through a *functional repair* carry an evolved ECM this cannot
+        reproduce — recovering those requires replaying the repair log,
+        which NCCloud proper persists as object metadata.
+        """
+        for path in self.namespace.paths():
+            entry = self.namespace.get(path)
+            if path not in self._codecs:
+                self._codecs[path] = self._object_codec(path, entry.version)
+
+    # ---------------------------------------------------------------- repair
+    def repair_provider(self, failed: str, replacement: str | None = None) -> dict[str, int]:
+        """Functional repair after a *permanent* failure of ``failed``.
+
+        For every stored object, download one chunk from each survivor,
+        linearly combine into fresh chunks, and write them to ``replacement``
+        (defaults to the failed provider itself, modelling its re-provisioned
+        successor).  Returns traffic accounting::
+
+            {"objects": ..., "bytes_downloaded": ..., "bytes_uploaded": ...,
+             "conventional_bytes": ...}
+
+        where ``conventional_bytes`` is what decode-based repair would have
+        downloaded (k full fragments per object).
+        """
+        if failed not in self.stripe_providers:
+            raise ValueError(f"{failed!r} is not part of this Cloud-of-Clouds")
+        target = replacement or failed
+        if target not in self.provider_names:
+            raise ValueError(f"replacement {target!r} is not registered")
+        stats = {"objects": 0, "bytes_downloaded": 0, "bytes_uploaded": 0, "conventional_bytes": 0}
+        for path in self.namespace.paths():
+            entry = self.namespace.get(path)
+            codec = self._codecs[path]
+            failed_idx = entry.fragment_index(failed)
+            survivors = {
+                idx: prov for prov, idx in entry.placements if prov != failed
+            }
+            chunk_len = codec.fragment_size(entry.size) // max(codec.chunks_per_node, 1)
+            self._begin_op()
+            # Download one chunk per survivor.  The survivor computes the
+            # random combination server-side in NCCloud; our passive providers
+            # can't, so we fetch the fragment and charge only one chunk of it
+            # (the bytes that would cross the wire).
+            frags: dict[int, bytes] = {}
+            for idx, prov in sorted(survivors.items()):
+                store = self.provider(prov).store
+                key = self._fragment_key(path, idx, entry.version)
+                frags[idx] = store.get(self.container, key).data
+                self.provider(prov).meter.record_get(chunk_len, self.clock.now)
+            new_fragment, new_codec = codec.repair(frags, failed_idx, entry.size)
+            write = self._run_phase(
+                [
+                    CloudOp(
+                        target,
+                        "put",
+                        self.container,
+                        self._fragment_key(path, failed_idx, entry.version),
+                        new_fragment,
+                    )
+                ]
+            )
+            # Charge the downloaded chunks' wire time in one batch.
+            specs = [
+                self.provider(prov).latency.download_spec(chunk_len, self.rng)
+                for prov in survivors.values()
+            ]
+            self.clock.advance(self.link.elapsed(downloads=specs))
+            self._codecs[path] = new_codec
+            # Functional repair rewrote the failed fragment with *different*
+            # bytes: refresh its digest (and placement, when relocated).
+            # The version must NOT change — every other fragment still lives
+            # under its original versioned key.
+            import dataclasses
+
+            new_placements = tuple(
+                (target if prov == failed else prov, idx)
+                for prov, idx in entry.placements
+            )
+            new_digests = entry.digests
+            if new_digests:
+                digest_list = list(new_digests)
+                digest_list[failed_idx] = self._digest(new_fragment)
+                new_digests = tuple(digest_list)
+            self.namespace.upsert(
+                dataclasses.replace(
+                    entry,
+                    placements=new_placements,
+                    digests=new_digests,
+                    modified=self.clock.now,
+                )
+            )
+            report = self._end_op("repair", path)
+            self.collector.add(report)
+            stats["objects"] += 1
+            stats["bytes_downloaded"] += chunk_len * len(survivors)
+            stats["bytes_uploaded"] += len(new_fragment)
+            stats["conventional_bytes"] += codec.fragment_size(entry.size) * codec.k
+        return stats

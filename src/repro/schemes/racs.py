@@ -1,0 +1,99 @@
+"""RACS: RAID5-style striping across all providers (baseline [1]).
+
+*"RACS transparently stripes data across multiple cloud storage providers
+with RAID-like techniques used by disks and file systems."*  Every object —
+large file, small file, metadata group alike — is split into k = n-1 data
+fragments plus one parity fragment, one per provider.  That buys parallel
+transfer for large objects and 1.33x storage overhead, but:
+
+- small objects pay n round-trips for k tiny fragments (RTT-bound);
+- in-place updates are read-modify-write — the paper's "4 accesses";
+- any read touching an out provider becomes a reconstruction that pulls
+  fragments from *all* survivors (the degraded-read traffic of Figure 6).
+"""
+
+from __future__ import annotations
+
+from repro.cloud.latency import ClientLink
+from repro.cloud.provider import SimulatedProvider
+from repro.erasure.codec import ErasureCodec
+from repro.erasure.raid5 import Raid5Code
+from repro.fs.namespace import FileEntry
+from repro.schemes.base import Scheme
+from repro.sim.clock import SimClock
+
+__all__ = ["RacsScheme"]
+
+
+class RacsScheme(Scheme):
+    """RAID5 (k = n-1 data + 1 parity) over the whole Cloud-of-Clouds."""
+
+    name = "racs"
+
+    def __init__(
+        self,
+        providers: list[SimulatedProvider],
+        clock: SimClock,
+        link: ClientLink | None = None,
+        seed: int = 0,
+        **kwargs: object,
+    ) -> None:
+        if len(providers) < 3:
+            raise ValueError(f"RACS RAID5 needs >= 3 providers, got {len(providers)}")
+        super().__init__(providers, clock, link, seed, **kwargs)  # type: ignore[arg-type]
+        self.codec = Raid5Code(k=len(providers) - 1)
+        self.stripe_providers = list(self.provider_names)
+
+    # ----------------------------------------------------------- placement
+    def _codec_for(self, entry: FileEntry) -> ErasureCodec | None:
+        return self.codec
+
+    def _put_file(self, path: str, data: bytes, prev: FileEntry | None) -> FileEntry:
+        version = prev.version + 1 if prev else 1
+        placements, digests = self._write_striped(
+            path, data, self.codec, self.stripe_providers, version
+        )
+        now = self.clock.now
+        return FileEntry(
+            path=path,
+            size=len(data),
+            version=version,
+            codec="raid5",
+            codec_params=(("k", self.codec.k),),
+            placements=tuple(placements),
+            klass="striped",
+            created=prev.created if prev else now,
+            modified=now,
+            digests=digests,
+        )
+
+    def _read_file(self, entry: FileEntry) -> tuple[bytes, bool]:
+        return self._read_striped(
+            entry.path,
+            entry.size,
+            self.codec,
+            list(entry.placements),
+            entry.version,
+            digests=entry.digests or None,
+        )
+
+    def _update_file(
+        self, entry: FileEntry, offset: int, patch: bytes, new_content: bytes
+    ) -> FileEntry:
+        if len(new_content) == entry.size:
+            return self._rmw_striped(entry, offset, patch, new_content, self.codec)
+        # Growth changes shard boundaries: restripe the whole object.
+        return self._put_file(entry.path, new_content, entry)
+
+    def _remove_file(self, entry: FileEntry) -> None:
+        self._remove_placements(
+            entry.path, list(entry.placements), entry.version, replicated=False
+        )
+
+    # ------------------------------------------------------------- metadata
+    def _meta_write_targets(self) -> list[str]:
+        return list(self.stripe_providers)
+
+    def _meta_codec(self) -> ErasureCodec | None:
+        # RACS treats metadata like any other object: striped.
+        return self.codec

@@ -1,0 +1,75 @@
+"""Single-cloud baseline: one provider, no redundancy.
+
+Figure 4 plots the cost of hosting the Internet Archive on each of the four
+Table II providers individually, and Figure 6 normalises every latency to
+single-cloud Amazon S3.  An outage of the one provider makes data plainly
+unavailable — the vendor lock-in scenario motivating the whole paper.
+"""
+
+from __future__ import annotations
+
+from repro.cloud.latency import ClientLink
+from repro.cloud.provider import SimulatedProvider
+from repro.erasure.codec import ErasureCodec
+from repro.fs.namespace import FileEntry
+from repro.schemes.base import Scheme
+from repro.sim.clock import SimClock
+
+__all__ = ["SingleCloudScheme"]
+
+
+class SingleCloudScheme(Scheme):
+    """All objects (data and metadata) on exactly one provider."""
+
+    name = "single"
+
+    def __init__(
+        self,
+        provider: SimulatedProvider,
+        clock: SimClock,
+        link: ClientLink | None = None,
+        seed: int = 0,
+        **kwargs: object,
+    ) -> None:
+        self.name = f"single-{provider.name}"
+        self.primary = provider.name
+        super().__init__([provider], clock, link, seed, **kwargs)  # type: ignore[arg-type]
+
+    # ----------------------------------------------------------- placement
+    def _codec_for(self, entry: FileEntry) -> ErasureCodec | None:
+        return None
+
+    def _put_file(self, path: str, data: bytes, prev: FileEntry | None) -> FileEntry:
+        version = prev.version + 1 if prev else 1
+        placements, digests = self._write_replicated(
+            path, data, [self.primary], version
+        )
+        now = self.clock.now
+        return FileEntry(
+            path=path,
+            size=len(data),
+            version=version,
+            codec="replication",
+            placements=tuple(placements),
+            klass="single",
+            created=prev.created if prev else now,
+            modified=now,
+            digests=digests,
+        )
+
+    def _read_file(self, entry: FileEntry) -> tuple[bytes, bool]:
+        return self._read_replicated(
+            entry.path,
+            entry.size,
+            [self.primary],
+            entry.version,
+            digest=entry.digests[0] if entry.digests else None,
+        )
+
+    def _remove_file(self, entry: FileEntry) -> None:
+        self._remove_placements(
+            entry.path, list(entry.placements), entry.version, replicated=True
+        )
+
+    def _meta_write_targets(self) -> list[str]:
+        return [self.primary]

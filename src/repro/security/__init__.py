@@ -1,0 +1,16 @@
+"""Confidentiality primitives for the DepSky-CA baseline.
+
+The paper describes DepSky as "combining Byzantine quorum system protocols,
+cryptographic secret sharing, erasure codes, replication and the diversity
+of several cloud providers".  DepSky-CA is the confidentiality-adding
+variant: data is encrypted, the key is secret-shared across the clouds, and
+the ciphertext is erasure-coded — no single provider learns anything.
+
+- :mod:`repro.security.cipher`         -- deterministic keystream cipher
+- :mod:`repro.security.secret_sharing` -- Shamir's scheme over GF(2^8)
+"""
+
+from repro.security.cipher import keystream_cipher, random_key
+from repro.security.secret_sharing import combine_secret, share_secret
+
+__all__ = ["combine_secret", "keystream_cipher", "random_key", "share_secret"]

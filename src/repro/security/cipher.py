@@ -1,0 +1,37 @@
+"""A keystream cipher for the simulation.
+
+Stand-in for AES-CTR (the repo is dependency-free and the paper's
+comparison does not hinge on cipher strength): the 128-bit key keys a
+Philox counter-based generator — the same construction family as real
+counter-mode ciphers — and the payload is XORed with its keystream.
+Identical (key, length) always produces the identical keystream, so
+encryption is deterministic and self-inverse, which is what the storage
+path needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["KEY_BYTES", "random_key", "keystream_cipher"]
+
+KEY_BYTES = 16
+
+
+def random_key(rng: np.random.Generator) -> bytes:
+    """Draw a fresh 128-bit data-encryption key."""
+    return rng.integers(0, 256, KEY_BYTES, dtype=np.uint8).tobytes()
+
+
+def keystream_cipher(key: bytes, data: bytes) -> bytes:
+    """Encrypt/decrypt ``data`` under ``key`` (XOR keystream, self-inverse)."""
+    if len(key) != KEY_BYTES:
+        raise ValueError(f"key must be {KEY_BYTES} bytes, got {len(key)}")
+    if not data:
+        return b""
+    # Philox takes a 128-bit key: exactly our key material.
+    generator = np.random.Generator(
+        np.random.Philox(key=int.from_bytes(key, "little"))
+    )
+    stream = generator.integers(0, 256, size=len(data), dtype=np.uint8)
+    return (np.frombuffer(data, dtype=np.uint8) ^ stream).tobytes()

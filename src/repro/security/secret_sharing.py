@@ -1,0 +1,79 @@
+"""Shamir's secret sharing over GF(2^8), vectorised across secret bytes.
+
+Used by DepSky-CA to split the data-encryption key across providers: any
+``k`` shares reconstruct the key; ``k - 1`` shares are information-
+theoretically independent of it (every byte of each share is masked by
+uniformly random polynomial coefficients).
+
+Construction: per secret byte position, a random polynomial
+``p(x) = secret + c_1 x + ... + c_{k-1} x^{k-1}`` over GF(256); share ``i``
+is ``p(x_i)`` at the public evaluation point ``x_i = i + 1``.  All byte
+positions are evaluated in one GF matrix product.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.erasure.galois import gf_inverse_matrix, gf_matmul, gf_pow
+
+__all__ = ["share_secret", "combine_secret"]
+
+
+def _eval_matrix(xs: list[int], k: int) -> np.ndarray:
+    """Rows of [1, x, x^2, ..., x^{k-1}] for each evaluation point."""
+    m = np.zeros((len(xs), k), dtype=np.uint8)
+    for r, x in enumerate(xs):
+        for j in range(k):
+            m[r, j] = gf_pow(x, j)
+    return m
+
+
+def share_secret(
+    secret: bytes, n: int, k: int, rng: np.random.Generator
+) -> list[bytes]:
+    """Split ``secret`` into ``n`` shares with threshold ``k``.
+
+    Share ``i`` (0-based) corresponds to evaluation point ``i + 1``; callers
+    must remember which index a share came from (DepSky-CA stores it with
+    the provider's fragment).
+    """
+    if not (1 <= k <= n <= 255):
+        raise ValueError(f"need 1 <= k <= n <= 255, got n={n}, k={k}")
+    length = len(secret)
+    coeffs = np.zeros((k, length), dtype=np.uint8)
+    if length:
+        coeffs[0] = np.frombuffer(secret, dtype=np.uint8)
+        if k > 1:
+            coeffs[1:] = rng.integers(0, 256, size=(k - 1, length), dtype=np.uint8)
+    evaluation = _eval_matrix(list(range(1, n + 1)), k)
+    shares = gf_matmul(evaluation, coeffs)  # (n, length)
+    return [shares[i].tobytes() for i in range(n)]
+
+
+def combine_secret(shares: Mapping[int, bytes], k: int) -> bytes:
+    """Reconstruct the secret from any ``k`` shares (index -> share bytes).
+
+    Solves the k x k Vandermonde system and reads off the constant term —
+    equivalent to Lagrange interpolation at x = 0, but reusing the GF
+    linear algebra the erasure codecs already exercise.
+    """
+    if len(shares) < k:
+        raise ValueError(f"need >= {k} shares, got {len(shares)}")
+    indices = sorted(shares)[:k]
+    if any(i < 0 or i > 254 for i in indices):
+        raise ValueError(f"share indices out of range [0, 255): {indices}")
+    lengths = {len(shares[i]) for i in indices}
+    if len(lengths) != 1:
+        raise ValueError(f"shares have inconsistent lengths: {lengths}")
+    (length,) = lengths
+    if length == 0:
+        return b""
+    stacked = np.vstack(
+        [np.frombuffer(shares[i], dtype=np.uint8) for i in indices]
+    )
+    evaluation = _eval_matrix([i + 1 for i in indices], k)
+    coeffs = gf_matmul(gf_inverse_matrix(evaluation), stacked)
+    return coeffs[0].tobytes()

@@ -1,0 +1,58 @@
+"""Simulated wall clock.
+
+Every latency-bearing component in the repo (providers, schemes, the cost
+simulator) reads and advances a shared :class:`SimClock` instead of real time.
+This keeps experiments deterministic and lets a one-year trace run in
+milliseconds of real time.
+"""
+
+from __future__ import annotations
+
+SECONDS_PER_MONTH: float = 30 * 24 * 3600.0
+"""Accounting month used by the cost simulator (30 days, as in typical
+cloud billing simplifications)."""
+
+
+class SimClock:
+    """A monotone simulated clock measured in seconds.
+
+    The clock only moves forward: :meth:`advance` with a negative delta and
+    :meth:`advance_to` with a past instant both raise ``ValueError``.  This
+    catches latency-accounting bugs early (a scheme that "finishes before it
+    started" is always a bug).
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start before t=0 (got {start})")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds since the epoch of the run."""
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Move the clock forward by ``delta`` seconds and return the new time."""
+        if delta < 0:
+            raise ValueError(f"cannot advance clock by negative delta {delta}")
+        self._now += delta
+        return self._now
+
+    def advance_to(self, instant: float) -> float:
+        """Move the clock forward to an absolute ``instant`` (>= now)."""
+        if instant < self._now:
+            raise ValueError(
+                f"cannot move clock backwards: now={self._now}, target={instant}"
+            )
+        self._now = float(instant)
+        return self._now
+
+    def month_index(self) -> int:
+        """0-based accounting month the clock currently sits in."""
+        return int(self._now // SECONDS_PER_MONTH)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self._now:.6f})"

@@ -1,0 +1,72 @@
+"""A small discrete-event loop.
+
+Used by the outage scheduler and the recovery drill example; the bandwidth
+model has its own specialised event loop in :mod:`repro.sim.bandwidth` for
+speed.  Events scheduled for the same instant fire in scheduling order
+(stable), which keeps traces deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+from repro.sim.clock import SimClock
+
+
+class EventLoop:
+    """Priority-queue event loop driving a :class:`SimClock`."""
+
+    def __init__(self, clock: SimClock | None = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self._cancelled: set[int] = set()
+
+    def schedule(self, at: float, callback: Callable[[], None]) -> int:
+        """Schedule ``callback`` at absolute time ``at``; returns a handle."""
+        if at < self.clock.now:
+            raise ValueError(
+                f"cannot schedule event in the past: now={self.clock.now}, at={at}"
+            )
+        handle = next(self._counter)
+        heapq.heappush(self._heap, (float(at), handle, callback))
+        return handle
+
+    def schedule_in(self, delay: float, callback: Callable[[], None]) -> int:
+        """Schedule ``callback`` after ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        return self.schedule(self.clock.now + delay, callback)
+
+    def cancel(self, handle: int) -> None:
+        """Cancel a previously scheduled event (no-op if already fired)."""
+        self._cancelled.add(handle)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def step(self) -> bool:
+        """Fire the next pending event; returns False when the queue is empty."""
+        while self._heap:
+            at, handle, callback = heapq.heappop(self._heap)
+            if handle in self._cancelled:
+                self._cancelled.discard(handle)
+                continue
+            self.clock.advance_to(at)
+            callback()
+            return True
+        return False
+
+    def run_until(self, deadline: float) -> None:
+        """Fire every event at or before ``deadline`` and leave the clock there."""
+        while self._heap and self._heap[0][0] <= deadline:
+            self.step()
+        if deadline > self.clock.now:
+            self.clock.advance_to(deadline)
+
+    def run(self) -> None:
+        """Fire all pending events."""
+        while self.step():
+            pass

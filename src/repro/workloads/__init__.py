@@ -1,0 +1,35 @@
+"""Workload generation: file-size models, PostMark, and the IA trace.
+
+- :mod:`repro.workloads.filesizes` -- size distributions from the studies the
+  paper cites (Agrawal et al. FAST'07; media mixes for digital libraries)
+- :mod:`repro.workloads.trace`     -- trace records + the replayer that
+  drives any scheme
+- :mod:`repro.workloads.postmark`  -- PostMark-compatible generator (Fig. 6)
+- :mod:`repro.workloads.ia_trace`  -- Internet Archive 12-month synthesizer
+  (Fig. 3 statistics; input to the Fig. 4 cost simulation)
+"""
+
+from repro.workloads.filesizes import (
+    AgrawalFileSizes,
+    LogUniformFileSizes,
+    MediaLibraryFileSizes,
+    PostmarkPoolFileSizes,
+)
+from repro.workloads.ia_trace import IATrace, IATraceConfig, MonthStats, synthesize_ia_trace
+from repro.workloads.postmark import PostMarkConfig, generate_postmark
+from repro.workloads.trace import TraceOp, TraceReplayer
+
+__all__ = [
+    "AgrawalFileSizes",
+    "IATrace",
+    "IATraceConfig",
+    "LogUniformFileSizes",
+    "MediaLibraryFileSizes",
+    "MonthStats",
+    "PostMarkConfig",
+    "PostmarkPoolFileSizes",
+    "TraceOp",
+    "TraceReplayer",
+    "generate_postmark",
+    "synthesize_ia_trace",
+]

@@ -1,0 +1,41 @@
+"""Shared fixtures: clocks, provider fleets, payload helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cloud.latency import ClientLink
+from repro.cloud.provider import make_table2_cloud_of_clouds
+from repro.sim.clock import SimClock
+
+
+@pytest.fixture
+def clock() -> SimClock:
+    return SimClock()
+
+
+@pytest.fixture
+def providers(clock):
+    """The four Table II providers on a shared clock."""
+    return make_table2_cloud_of_clouds(clock)
+
+
+@pytest.fixture
+def link() -> ClientLink:
+    return ClientLink()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def payload(rng):
+    """Deterministic random payload factory: payload(n) -> n bytes."""
+
+    def make(n: int) -> bytes:
+        return rng.integers(0, 256, size=n, dtype=np.uint8).tobytes()
+
+    return make

@@ -1,0 +1,128 @@
+"""Tests for the design-choice ablations."""
+
+import pytest
+
+from repro.analysis.ablations import (
+    run_codec_ablation,
+    run_degraded_read_comparison,
+    run_read_policy_ablation,
+    run_repair_comparison,
+    run_replication_sweep,
+    run_threshold_sweep,
+)
+from repro.workloads.postmark import PostMarkConfig
+
+KB, MB = 1024, 1024 * 1024
+
+
+@pytest.fixture(scope="module")
+def pm():
+    return PostMarkConfig(file_pool=15, transactions=50, size_hi=16 * MB)
+
+
+class TestThresholdSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self, pm):
+        return run_threshold_sweep(
+            thresholds=[64 * KB, 1 * MB, 16 * MB], seed=2, pm=pm
+        )
+
+    def test_points_cover_thresholds(self, sweep):
+        assert [p.threshold for p in sweep] == [64 * KB, 1 * MB, 16 * MB]
+
+    def test_small_fraction_monotone_in_threshold(self, sweep):
+        fracs = [p.small_fraction_bytes for p in sweep]
+        assert fracs == sorted(fracs)
+
+    def test_space_overhead_rises_with_threshold(self, sweep):
+        """Bigger threshold -> more bytes replicated 2x instead of 1.5x."""
+        overheads = [p.space_overhead for p in sweep]
+        assert overheads[-1] > overheads[0]
+
+    def test_all_points_positive(self, sweep):
+        for p in sweep:
+            assert p.mean_latency > 0
+            assert 1.0 <= p.space_overhead <= 2.5
+
+
+class TestReplicationSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self, pm):
+        return run_replication_sweep(levels=[1, 2, 3], seed=2, pm=pm)
+
+    def test_resiliency_column(self, sweep):
+        assert [p.survives_outages for p in sweep] == [0, 1, 2]
+
+    def test_space_overhead_grows_with_level(self, sweep):
+        overheads = [p.space_overhead for p in sweep]
+        assert overheads[0] < overheads[1] < overheads[2]
+
+    def test_more_replicas_cost_write_latency(self, sweep):
+        """r=3 writes more small-file bytes than r=1: latency must not drop."""
+        assert sweep[2].mean_latency >= sweep[0].mean_latency * 0.95
+
+
+class TestRepairComparison:
+    def test_fmsr_beats_decode_repair(self):
+        result = run_repair_comparison(seed=0, objects=4, size=1 * MB)
+        assert result["fmsr_ratio"] == pytest.approx(0.75, abs=0.02)
+        assert result["fmsr_repair_bytes"] < result["fmsr_conventional_bytes"]
+        assert result["objects"] == 4.0
+
+    def test_racs_repair_reads_k_fragments(self):
+        result = run_repair_comparison(seed=0, objects=2, size=1 * MB)
+        # RACS decode-based repair downloads ~k/n of stored bytes per object:
+        # k fragments of size/k each = the full object size.
+        assert result["racs_repair_bytes"] == pytest.approx(2 * 1 * MB, rel=0.01)
+
+
+class TestCodecAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_codec_ablation(seed=1)
+
+    def test_configurations_present(self, result):
+        assert set(result) == {"raid5(2+1)", "rs(1+2)", "fmsr(3,1)"}
+
+    def test_raid5_is_leanest(self, result):
+        raid5 = result["raid5(2+1)"]
+        assert raid5["space_overhead"] == min(
+            m["space_overhead"] for m in result.values()
+        )
+        assert raid5["fault_tolerance"] == 1.0
+
+    def test_double_fault_codecs_cost_more(self, result):
+        for name in ("rs(1+2)", "fmsr(3,1)"):
+            assert result[name]["fault_tolerance"] == 2.0
+            assert result[name]["space_overhead"] > result["raid5(2+1)"]["space_overhead"]
+
+
+class TestDegradedReadComparison:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_degraded_read_comparison(seed=1)
+
+    def test_replication_fanout_is_one(self, result):
+        assert result["duracloud"]["degraded_fanout"] == 1.0
+
+    def test_racs_fans_out_to_k(self, result):
+        assert result["racs"]["degraded_fanout"] >= 3.0
+
+    def test_baselines_inflate_hyrd_does_not(self, result):
+        assert result["hyrd"]["inflation"] <= min(
+            result["racs"]["inflation"], result["duracloud"]["inflation"]
+        )
+
+    def test_every_baseline_read_degraded(self, result):
+        assert result["racs"]["degraded_fraction"] == 1.0
+        assert result["duracloud"]["degraded_fraction"] == 1.0
+
+
+class TestReadPolicyAblation:
+    def test_promotion_creates_hot_copies_and_helps_reads(self):
+        result = run_read_policy_ablation(seed=4)
+        on, off = result["promotion_on"], result["promotion_off"]
+        assert on["hot_copies"] > 0
+        assert off["hot_copies"] == 0
+        assert on["mean_get_latency"] <= off["mean_get_latency"] * 1.05
+        assert on["space_overhead"] > off["space_overhead"]  # the copies cost space

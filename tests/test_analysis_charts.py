@@ -1,0 +1,90 @@
+"""Tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.analysis.charts import bar_chart, grouped_bar_chart, line_chart
+
+
+class TestBarChart:
+    def test_basic(self):
+        out = bar_chart({"a": 1.0, "bb": 2.0}, title="T", width=10)
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert len(lines) == 3
+        assert "2.000" in lines[2]
+
+    def test_longest_bar_fills_width(self):
+        out = bar_chart({"a": 1.0, "b": 2.0}, width=10)
+        bar_b = out.splitlines()[1]
+        assert bar_b.count("█") == 10
+
+    def test_proportionality(self):
+        out = bar_chart({"a": 1.0, "b": 2.0}, width=10)
+        a_line, b_line = out.splitlines()
+        assert a_line.count("█") == 5
+
+    def test_zero_values_ok(self):
+        out = bar_chart({"a": 0.0, "b": 0.0})
+        assert "0.000" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+        with pytest.raises(ValueError):
+            bar_chart({"a": -1.0})
+
+    def test_sequence_input_preserves_order(self):
+        out = bar_chart([("z", 1.0), ("a", 2.0)])
+        lines = out.splitlines()
+        assert lines[0].strip().startswith("z")
+
+
+class TestGroupedBarChart:
+    def test_groups_rendered(self):
+        out = grouped_bar_chart(
+            [("normal", {"hyrd": 1.0}), ("outage", {"hyrd": 2.0})], title="G"
+        )
+        assert "normal:" in out and "outage:" in out
+
+    def test_shared_scale(self):
+        out = grouped_bar_chart(
+            [("g1", {"a": 1.0}), ("g2", {"a": 2.0})], width=10
+        )
+        lines = [l for l in out.splitlines() if "█" in l]
+        assert lines[0].count("█") == 5
+        assert lines[1].count("█") == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart([])
+
+
+class TestLineChart:
+    def test_renders_all_series(self):
+        out = line_chart(
+            ["a", "b", "c"],
+            {"s1": [1.0, 2.0, 3.0], "s2": [3.0, 2.0, 1.0]},
+            title="L",
+        )
+        assert "o" in out and "x" in out
+        assert "legend: o=s1  x=s2" in out
+
+    def test_extremes_on_grid_edges(self):
+        out = line_chart(["a", "b"], {"s": [0.0, 10.0]}, height=5)
+        lines = out.splitlines()
+        assert "10.00" in lines[0]  # max label on top
+        assert "0.00" in lines[-3]  # min label on bottom row
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            line_chart(["a"], {"s": [1.0, 2.0]})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart(["a"], {})
+        with pytest.raises(ValueError):
+            line_chart(["a"], {"s": [1.0]}, height=1)
+
+    def test_flat_series_no_crash(self):
+        out = line_chart(["a", "b"], {"s": [5.0, 5.0]})
+        assert "o" in out

@@ -1,0 +1,74 @@
+"""Tests for the vendor lock-in switching-cost analysis."""
+
+import pytest
+
+from repro.analysis.lockin import (
+    SwitchingCost,
+    single_cloud_exit_cost,
+    switching_cost_report,
+)
+from repro.cloud.pricing import GB
+
+
+@pytest.fixture(scope="module")
+def report():
+    return {(sc.scheme, sc.departed): sc for sc in switching_cost_report()}
+
+
+class TestSingleCloudLockIn:
+    def test_amazon_exit_is_full_egress(self, report):
+        sc = report[("single-amazon_s3", "amazon_s3")]
+        assert sc.egress_cost == pytest.approx(0.201)
+        assert sc.bytes_read == GB
+
+    def test_free_egress_providers_exit_free(self, report):
+        assert report[("single-azure", "azure")].egress_cost == 0.0
+        assert report[("single-rackspace", "rackspace")].egress_cost == 0.0
+
+    def test_helper_matches_report(self, report):
+        assert single_cloud_exit_cost("aliyun") == pytest.approx(
+            report[("single-aliyun", "aliyun")].egress_cost
+        )
+
+
+class TestCloudOfCloudsMobility:
+    def test_duracloud_leaving_s3_is_free(self, report):
+        """The surviving Azure replica re-seeds for free egress."""
+        sc = report[("duracloud", "amazon_s3")]
+        assert sc.egress_cost == 0.0
+        assert sc.read_from == ("azure",)
+
+    def test_racs_exit_cheaper_than_single_s3(self, report):
+        """Striping spreads the re-seed read over three providers."""
+        worst = max(
+            report[("racs", d)].egress_cost
+            for d in ("amazon_s3", "azure", "aliyun", "rackspace")
+        )
+        assert worst < single_cloud_exit_cost("amazon_s3")
+
+    def test_racs_rebuild_reads_k_fragments(self, report):
+        sc = report[("racs", "azure")]
+        assert sc.bytes_read == pytest.approx(GB)
+        assert len(sc.read_from) == 3
+
+    def test_hyrd_worst_case_beats_s3_lock_in(self, report):
+        worst = max(
+            report[("hyrd", d)].egress_cost
+            for d in ("amazon_s3", "azure", "aliyun", "rackspace")
+        )
+        assert worst < single_cloud_exit_cost("amazon_s3")
+
+    def test_hyrd_leaving_azure_touches_only_small_class(self, report):
+        sc = report[("hyrd", "azure")]
+        # Azure holds only replicated small bytes (20% of the GB).
+        assert sc.bytes_read == pytest.approx(0.2 * GB)
+        assert sc.read_from == ("aliyun",)
+
+    def test_hyrd_leaving_aliyun_touches_both_classes(self, report):
+        sc = report[("hyrd", "aliyun")]
+        assert sc.bytes_read == pytest.approx(GB)  # 0.2 small + 0.8 large
+        assert set(sc.read_from) == {"azure", "amazon_s3", "rackspace"}
+
+    def test_dataclass_sanity(self):
+        sc = SwitchingCost("s", "p", 10.0, ("a",), 0.5)
+        assert sc.cost_per_logical_gb == 0.5

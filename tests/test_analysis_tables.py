@@ -1,0 +1,41 @@
+"""Unit tests for ASCII table rendering."""
+
+import pytest
+
+from repro.analysis.tables import format_cell, render_table
+
+
+class TestFormatCell:
+    def test_float_formatting(self):
+        assert format_cell(1.23456) == "1.235"
+        assert format_cell(1.23456, ".1f") == "1.2"
+
+    def test_non_float_passthrough(self):
+        assert format_cell("abc") == "abc"
+        assert format_cell(42) == "42"
+
+
+class TestRenderTable:
+    def test_basic_structure(self):
+        out = render_table(["a", "bb"], [[1, 2.0], [30, 4.5]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, separator, 2 rows
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="Table I")
+        assert out.splitlines()[0] == "Table I"
+
+    def test_column_alignment(self):
+        out = render_table(["col"], [["a"], ["longer"]])
+        lines = out.splitlines()
+        assert len(lines[2]) == len(lines[3])
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        out = render_table(["a"], [])
+        assert "a" in out

@@ -1,0 +1,36 @@
+"""Tests for the price-drift what-if analysis."""
+
+import pytest
+
+from repro.analysis.whatif import PricePoint, run_price_sensitivity
+
+
+@pytest.fixture(scope="module")
+def points():
+    return run_price_sensitivity(
+        provider="aliyun", multipliers=[1.0, 8.0], seed=2, months=3
+    )
+
+
+class TestPriceSensitivity:
+    def test_point_structure(self, points):
+        assert len(points) == 2
+        assert all(isinstance(p, PricePoint) for p in points)
+        assert points[0].multiplier == 1.0
+
+    def test_storage_price_scales(self, points):
+        assert points[1].storage_price == pytest.approx(8 * points[0].storage_price)
+
+    def test_costs_rise_with_price(self, points):
+        assert points[1].hyrd_cost > points[0].hyrd_cost
+        assert points[1].racs_cost > points[0].racs_cost
+
+    def test_reclassification_happens(self, points):
+        assert points[0].provider_in_hyrd_cost_set
+        assert not points[1].provider_in_hyrd_cost_set
+
+    def test_advantage_property(self):
+        p = PricePoint(1.0, 0.029, hyrd_cost=8.0, racs_cost=10.0, provider_in_hyrd_cost_set=True)
+        assert p.hyrd_advantage == pytest.approx(0.2)
+        zero = PricePoint(1.0, 0.029, hyrd_cost=1.0, racs_cost=0.0, provider_in_hyrd_cost_set=True)
+        assert zero.hyrd_advantage == 0.0

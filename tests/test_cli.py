@@ -1,0 +1,58 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_known_commands(self):
+        parser = build_parser()
+        for cmd in ("table1", "table2", "fig3", "fig4", "fig5", "fig6",
+                    "threshold", "replication", "codec", "degraded",
+                    "whatif", "availability", "lockin"):
+            args = parser.parse_args([cmd])
+            assert args.command == cmd
+            assert args.seed == 0
+
+    def test_seed_flag(self):
+        args = build_parser().parse_args(["fig5", "--seed", "7"])
+        assert args.seed == 7
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestFastCommands:
+    """Commands cheap enough to execute in unit tests."""
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "amazon_s3" in out
+        assert "Both" in out  # aliyun's category
+
+    def test_fig3(self, capsys):
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "m11" in out
+
+    def test_fig5(self, capsys):
+        assert main(["fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "4MB" in out
+        assert "aliyun" in out
+
+    def test_availability(self, capsys):
+        assert main(["availability"]) == 0
+        out = capsys.readouterr().out
+        assert "duracloud" in out
+        assert "Monte-Carlo" in out
+
+    def test_lockin(self, capsys):
+        assert main(["lockin"]) == 0
+        out = capsys.readouterr().out
+        assert "Vendor lock-in" in out
+        assert "hyrd" in out

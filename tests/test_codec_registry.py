@@ -1,0 +1,36 @@
+"""Unit tests for the codec registry."""
+
+import pytest
+
+from repro.erasure import (
+    FMSRCode,
+    Raid5Code,
+    ReedSolomonCode,
+    ReplicationCode,
+    available_codecs,
+    get_codec,
+)
+from repro.erasure.codec import register_codec
+
+
+class TestRegistry:
+    def test_builtins_present(self):
+        names = available_codecs()
+        assert {"fmsr", "raid5", "replication", "rs"} <= set(names)
+
+    def test_get_each_builtin(self):
+        assert isinstance(get_codec("raid5", k=3), Raid5Code)
+        assert isinstance(get_codec("rs", k=3, m=2), ReedSolomonCode)
+        assert isinstance(get_codec("fmsr", n=4), FMSRCode)
+        assert isinstance(get_codec("replication", n=2), ReplicationCode)
+
+    def test_case_insensitive(self):
+        assert isinstance(get_codec("RAID5", k=2), Raid5Code)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown codec"):
+            get_codec("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_codec("raid5", Raid5Code)

@@ -1,0 +1,74 @@
+"""Unit tests for billing math."""
+
+import pytest
+
+from repro.cloud.pricing import GB, PRICE_PLANS
+from repro.cost.accounting import BillLine, bill_for_month, monthly_bills, scheme_bills
+from repro.sim.clock import SECONDS_PER_MONTH
+
+
+class TestBillLine:
+    def test_total(self):
+        line = BillLine(storage=1.0, data_in=0.5, data_out=2.0, transactions=0.25)
+        assert line.total == pytest.approx(3.75)
+
+    def test_addition(self):
+        a = BillLine(1, 2, 3, 4)
+        b = BillLine(10, 20, 30, 40)
+        c = a + b
+        assert (c.storage, c.data_in, c.data_out, c.transactions) == (11, 22, 33, 44)
+
+    def test_zero(self):
+        assert BillLine.zero().total == 0.0
+
+
+class TestBillForMonth:
+    def test_hand_computed_amazon_bill(self, providers, clock):
+        """1 GB stored for one month + 2 GB out + 10K puts on Amazon S3."""
+        p = providers["amazon_s3"]
+        p.create("c")
+        p.meter.set_stored_bytes(1 * GB, 0.0)
+        p.meter.record_get(2 * GB, 10.0)
+        for _ in range(9_999):  # record_get above already added one tier-2 op
+            p.meter.record_put(0, 10.0)
+        p.meter.record_put(0, 10.0)
+        p.meter.accrue(SECONDS_PER_MONTH)
+        line = bill_for_month(p.meter, p.pricing, 0)
+        assert line.storage == pytest.approx(0.033, rel=0.01)
+        assert line.data_out == pytest.approx(0.402, rel=0.01)
+        # 10K tier-1 puts at $0.047/10K + 1 tier-2 get at $0.0037/10K.
+        assert line.transactions == pytest.approx(0.047 + 0.0037 / 10_000, rel=0.01)
+
+    def test_free_providers_bill_storage_only(self, providers):
+        p = providers["azure"]
+        p.meter.set_stored_bytes(10 * GB, 0.0)
+        p.meter.record_get(100 * GB, 10.0)
+        p.meter.accrue(SECONDS_PER_MONTH)
+        line = bill_for_month(p.meter, p.pricing, 0)
+        assert line.data_out == 0.0
+        assert line.transactions == 0.0
+        assert line.storage == pytest.approx(10 * 0.157, rel=0.01)
+
+    def test_empty_month_is_free(self, providers):
+        line = bill_for_month(
+            providers["aliyun"].meter, providers["aliyun"].pricing, 5
+        )
+        assert line.total == 0.0
+
+
+class TestAggregation:
+    def test_monthly_bills_length(self, providers):
+        p = providers["aliyun"]
+        p.meter.record_put(100, 0.0)
+        bills = monthly_bills(p, 3)
+        assert len(bills) == 3
+
+    def test_scheme_bills_sum_providers(self, providers):
+        a, b = providers["aliyun"], providers["azure"]
+        a.meter.set_stored_bytes(GB, 0.0)
+        b.meter.set_stored_bytes(GB, 0.0)
+        for meter in (a.meter, b.meter):
+            meter.accrue(SECONDS_PER_MONTH)
+        totals, per_provider = scheme_bills([a, b], 1)
+        assert set(per_provider) == {"aliyun", "azure"}
+        assert totals[0].storage == pytest.approx(0.029 + 0.157, rel=0.01)

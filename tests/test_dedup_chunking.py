@@ -1,0 +1,111 @@
+"""Unit tests for dedup chunkers."""
+
+import numpy as np
+import pytest
+
+from repro.dedup.chunking import Chunk, ContentDefinedChunker, FixedSizeChunker
+
+KB = 1024
+
+
+class TestChunk:
+    def test_fingerprint_is_sha256(self):
+        import hashlib
+
+        c = Chunk(offset=0, data=b"hello")
+        assert c.fingerprint == hashlib.sha256(b"hello").hexdigest()
+        assert c.length == 5
+
+
+class TestFixedSizeChunker:
+    def test_exact_sizes(self, payload):
+        chunks = FixedSizeChunker(100).split(payload(350))
+        assert [c.length for c in chunks] == [100, 100, 100, 50]
+        assert [c.offset for c in chunks] == [0, 100, 200, 300]
+
+    def test_reassembly(self, payload):
+        data = payload(12345)
+        chunks = FixedSizeChunker(1000).split(data)
+        assert b"".join(c.data for c in chunks) == data
+
+    def test_empty(self):
+        chunks = FixedSizeChunker(100).split(b"")
+        assert len(chunks) == 1
+        assert chunks[0].data == b""
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedSizeChunker(0)
+
+
+class TestContentDefinedChunker:
+    @pytest.fixture
+    def chunker(self):
+        return ContentDefinedChunker(avg_size=4 * KB)
+
+    def test_reassembly(self, chunker, payload):
+        data = payload(200 * KB)
+        chunks = chunker.split(data)
+        assert b"".join(c.data for c in chunks) == data
+        offsets = [c.offset for c in chunks]
+        assert offsets == sorted(offsets)
+
+    def test_size_bounds_respected(self, chunker, payload):
+        chunks = chunker.split(payload(300 * KB))
+        for c in chunks[:-1]:  # the tail may be short
+            assert chunker.min_size <= c.length <= chunker.max_size
+        assert chunks[-1].length <= chunker.max_size
+
+    def test_average_size_in_ballpark(self, chunker, payload):
+        data = payload(2000 * KB)
+        chunks = chunker.split(data)
+        mean = np.mean([c.length for c in chunks])
+        assert 0.5 * chunker.avg_size < mean < 3.0 * chunker.avg_size
+
+    def test_deterministic(self, chunker, payload):
+        data = payload(100 * KB)
+        a = [c.fingerprint for c in chunker.split(data)]
+        b = [c.fingerprint for c in chunker.split(data)]
+        assert a == b
+
+    def test_shift_resistance(self, chunker, payload):
+        """The CDC property: an insertion early in the stream leaves most
+        downstream chunk fingerprints intact (fixed chunking loses all)."""
+        data = payload(400 * KB)
+        shifted = b"INSERTED-BYTES!" + data
+        fps = {c.fingerprint for c in chunker.split(data)}
+        fps_shifted = {c.fingerprint for c in chunker.split(shifted)}
+        survived = len(fps & fps_shifted) / len(fps)
+        assert survived > 0.8
+
+        fixed = FixedSizeChunker(4 * KB)
+        ffps = {c.fingerprint for c in fixed.split(data)}
+        ffps_shifted = {c.fingerprint for c in fixed.split(shifted)}
+        assert len(ffps & ffps_shifted) / len(ffps) < 0.05
+
+    def test_identical_regions_share_fingerprints(self, chunker, payload):
+        shared = payload(100 * KB)
+        a = payload(40 * KB) + shared
+        b = payload(52 * KB) + shared
+        fps_a = {c.fingerprint for c in chunker.split(a)}
+        fps_b = {c.fingerprint for c in chunker.split(b)}
+        assert len(fps_a & fps_b) >= 5  # the shared tail deduplicates
+
+    def test_empty_input(self, chunker):
+        chunks = chunker.split(b"")
+        assert len(chunks) == 1 and chunks[0].data == b""
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ContentDefinedChunker(avg_size=32)
+        with pytest.raises(ValueError):
+            ContentDefinedChunker(avg_size=4 * KB, min_size=8 * KB)
+        with pytest.raises(ValueError):
+            ContentDefinedChunker(avg_size=4 * KB, window=2)
+
+    def test_max_size_enforced_on_pathological_input(self):
+        # All-zero input never hits the signature pattern naturally.
+        chunker = ContentDefinedChunker(avg_size=4 * KB)
+        chunks = chunker.split(b"\x00" * (64 * KB))
+        assert all(c.length <= chunker.max_size for c in chunks)
+        assert len(chunks) >= (64 * KB) // chunker.max_size

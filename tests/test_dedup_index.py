@@ -1,0 +1,45 @@
+"""Unit tests for the fingerprint index."""
+
+import pytest
+
+from repro.dedup.index import FingerprintIndex
+
+
+class TestFingerprintIndex:
+    def test_first_reference_is_new(self):
+        idx = FingerprintIndex()
+        assert idx.reference("aa", 100) is True
+        assert idx.reference("aa", 100) is False
+        assert idx.refcount("aa") == 2
+        assert len(idx) == 1
+
+    def test_collision_detected(self):
+        idx = FingerprintIndex()
+        idx.reference("aa", 100)
+        with pytest.raises(ValueError, match="collision"):
+            idx.reference("aa", 101)
+
+    def test_release_to_garbage(self):
+        idx = FingerprintIndex()
+        idx.reference("aa", 100)
+        idx.reference("aa", 100)
+        assert idx.release("aa") is False
+        assert idx.release("aa") is True
+        assert "aa" not in idx
+        assert idx.refcount("aa") == 0
+
+    def test_release_unknown(self):
+        with pytest.raises(KeyError):
+            FingerprintIndex().release("zz")
+
+    def test_byte_accounting(self):
+        idx = FingerprintIndex()
+        idx.reference("aa", 100)
+        idx.reference("aa", 100)
+        idx.reference("bb", 50)
+        assert idx.unique_bytes() == 150
+        assert idx.logical_bytes() == 250
+        assert idx.dedup_ratio() == pytest.approx(250 / 150)
+
+    def test_empty_ratio_is_one(self):
+        assert FingerprintIndex().dedup_ratio() == 1.0

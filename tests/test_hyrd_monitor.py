@@ -1,0 +1,61 @@
+"""Unit tests for the Workload Monitor."""
+
+import pytest
+
+from repro.core.config import MB, HyRDConfig
+from repro.core.monitor import FileClass, WorkloadMonitor
+
+
+@pytest.fixture
+def monitor():
+    return WorkloadMonitor(HyRDConfig())
+
+
+class TestClassification:
+    def test_threshold_boundary(self, monitor):
+        assert monitor.classify(MB - 1) == FileClass.SMALL
+        assert monitor.classify(MB) == FileClass.LARGE
+        assert monitor.classify(0) == FileClass.SMALL
+
+    def test_negative_rejected(self, monitor):
+        with pytest.raises(ValueError):
+            monitor.classify(-1)
+
+    def test_custom_threshold(self):
+        m = WorkloadMonitor(HyRDConfig(size_threshold=4096))
+        assert m.classify(4095) == FileClass.SMALL
+        assert m.classify(4096) == FileClass.LARGE
+
+
+class TestStats:
+    def test_observe_accumulates(self, monitor):
+        monitor.observe(100)
+        monitor.observe(2 * MB)
+        monitor.observe_metadata(300)
+        stats = monitor.stats
+        assert stats.counts[FileClass.SMALL] == 1
+        assert stats.counts[FileClass.LARGE] == 1
+        assert stats.counts[FileClass.METADATA] == 1
+        assert stats.bytes_by_class[FileClass.LARGE] == 2 * MB
+
+    def test_fraction_small_bytes(self, monitor):
+        monitor.observe(MB // 2)
+        monitor.observe(MB // 2)
+        monitor.observe(3 * MB)
+        assert monitor.stats.fraction_small_bytes() == pytest.approx(0.25)
+
+    def test_fraction_empty(self, monitor):
+        assert monitor.stats.fraction_small_bytes() == 0.0
+
+    def test_histogram_buckets(self, monitor):
+        monitor.observe(1000)  # <4K
+        monitor.observe(5000)  # 4K-64K
+        monitor.observe(100_000)  # 64K-1M
+        monitor.observe(2 * MB)  # 1M-16M
+        monitor.observe(100 * MB)  # >=16M
+        h = monitor.stats.histogram
+        assert h["<4K"] == 1
+        assert h["4K-64K"] == 1
+        assert h["64K-1M"] == 1
+        assert h["1M-16M"] == 1
+        assert h[">=16M"] == 1

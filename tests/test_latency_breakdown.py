@@ -1,0 +1,61 @@
+"""Tests for the critical-path latency breakdown (profiling support).
+
+The repo's HPC guides say: no optimisation without measuring.  Every
+operation report splits its critical path into RTT wait vs byte transfer;
+the split must reproduce the physics behind Figure 5's threshold argument.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cloud.provider import make_table2_cloud_of_clouds
+from repro.schemes import HyrdScheme, RacsScheme
+from repro.sim.clock import SimClock
+
+KB, MB = 1024, 1024 * 1024
+
+
+@pytest.fixture
+def hyrd(providers, clock):
+    return HyrdScheme(list(providers.values()), clock)
+
+
+def _payload(n):
+    return np.random.default_rng(3).integers(0, 256, n, dtype=np.uint8).tobytes()
+
+
+class TestBreakdown:
+    def test_components_sum_to_elapsed(self, hyrd):
+        report = hyrd.put("/d/f", _payload(64 * KB))
+        assert report.rtt_wait + report.transfer_time == pytest.approx(
+            report.elapsed, rel=1e-6
+        )
+
+    def test_small_ops_rtt_dominated(self, hyrd):
+        report = hyrd.put("/d/small", _payload(4 * KB))
+        assert report.rtt_wait > report.transfer_time
+
+    def test_large_ops_transfer_dominated(self, hyrd):
+        report = hyrd.put("/d/large", _payload(8 * MB))
+        assert report.transfer_time > 3 * report.rtt_wait
+
+    def test_collector_breakdown_aggregates(self, hyrd):
+        hyrd.put("/d/a", _payload(4 * KB))
+        hyrd.put("/d/b", _payload(2 * MB))
+        bd = hyrd.collector.time_breakdown()
+        assert bd["rtt_wait"] + bd["transfer"] == pytest.approx(bd["total"], rel=1e-6)
+        assert bd["total"] > 0
+
+    def test_racs_small_ops_pay_more_rtt_than_hyrd(self, clock):
+        """The mechanism behind Fig. 6: RACS touches the slowest provider's
+        RTT on every small object; HyRD's replicas avoid it."""
+        data = _payload(4 * KB)
+        providers_a = make_table2_cloud_of_clouds(SimClock())
+        clock_a = next(iter(providers_a.values())).clock
+        racs = RacsScheme(list(providers_a.values()), clock_a)
+        providers_b = make_table2_cloud_of_clouds(SimClock())
+        clock_b = next(iter(providers_b.values())).clock
+        hyrd = HyrdScheme(list(providers_b.values()), clock_b)
+        r_racs = racs.put("/d/f", data)
+        r_hyrd = hyrd.put("/d/f", data)
+        assert r_racs.rtt_wait > r_hyrd.rtt_wait

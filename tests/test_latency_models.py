@@ -1,0 +1,81 @@
+"""Unit tests for latency models and the client link."""
+
+import pytest
+
+from repro.cloud.latency import ClientLink, LatencyModel
+from repro.sim.rng import make_rng
+
+
+@pytest.fixture
+def model():
+    return LatencyModel(rtt=0.1, upload_bw=1e6, download_bw=2e6)
+
+
+class TestLatencyModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyModel(rtt=-1, upload_bw=1, download_bw=1)
+        with pytest.raises(ValueError):
+            LatencyModel(rtt=0, upload_bw=0, download_bw=1)
+        with pytest.raises(ValueError):
+            LatencyModel(rtt=0, upload_bw=1, download_bw=1, rtt_sigma=-0.1)
+
+    def test_deterministic_without_rng(self, model):
+        assert model.sample_rtt() == 0.1
+        spec = model.upload_spec(1000)
+        assert spec.start_delay == 0.1
+        assert spec.size_bytes == 1000
+        assert spec.remote_cap == 1e6
+
+    def test_jitter_positive_and_varies(self, model):
+        rng = make_rng(0, "jitter")
+        samples = {model.sample_rtt(rng) for _ in range(16)}
+        assert len(samples) > 1
+        assert all(s > 0 for s in samples)
+
+    def test_zero_sigma_disables_jitter(self):
+        m = LatencyModel(rtt=0.1, upload_bw=1, download_bw=1, rtt_sigma=0, bw_sigma=0)
+        rng = make_rng(0, "x")
+        assert m.sample_rtt(rng) == 0.1
+        assert m.upload_spec(10, rng).remote_cap == 1
+
+    def test_download_spec(self, model):
+        spec = model.download_spec(500)
+        assert spec.remote_cap == 2e6
+
+    def test_control_spec_has_no_payload(self, model):
+        spec = model.control_spec()
+        assert spec.size_bytes == 0
+
+
+class TestClientLink:
+    def test_defaults_are_asymmetric(self):
+        link = ClientLink()
+        assert link.downlink > link.uplink
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClientLink(uplink=0)
+
+    def test_elapsed_empty(self):
+        assert ClientLink().elapsed() == 0.0
+
+    def test_elapsed_takes_slower_direction(self, model):
+        link = ClientLink(uplink=1e6, downlink=1e6)
+        up = [model.upload_spec(1_000_000)]
+        down = [model.download_spec(10)]
+        elapsed = link.elapsed(uploads=up, downloads=down)
+        assert elapsed == pytest.approx(0.1 + 1.0)
+
+    def test_directions_do_not_contend(self, model):
+        link = ClientLink(uplink=1e6, downlink=1e6)
+        up = [model.upload_spec(1_000_000)]
+        down = [model.download_spec(1_000_000)]
+        both = link.elapsed(uploads=up, downloads=down)
+        only_up = link.elapsed(uploads=up)
+        assert both == pytest.approx(only_up, rel=0.3)
+
+    def test_serial_upload_time(self):
+        link = ClientLink(uplink=10.0, downlink=10.0)
+        assert link.serial_upload_time(100) == pytest.approx(10.0)
+        assert link.serial_upload_time(100, remote_cap=5.0) == pytest.approx(20.0)

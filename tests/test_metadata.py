@@ -1,0 +1,100 @@
+"""Unit tests for directory metadata groups and the client cache."""
+
+import pytest
+
+from repro.fs.metadata import MetadataStore, decode_group, encode_group, group_key, is_group_key
+from repro.fs.namespace import FileEntry, Namespace
+
+
+def _entry(path, **kw):
+    defaults = dict(
+        size=10,
+        version=2,
+        codec="raid5",
+        codec_params=(("k", 3),),
+        placements=(("aliyun", 0), ("azure", 1)),
+        klass="small",
+        created=1.5,
+        modified=2.5,
+        access_count=7,
+    )
+    defaults.update(kw)
+    return FileEntry(path=path, **defaults)
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_all_fields(self):
+        entries = [_entry("/d/a"), _entry("/d/b", size=99, codec="replication")]
+        decoded = decode_group(encode_group(entries))
+        assert decoded == sorted(entries, key=lambda e: e.path)
+
+    def test_deterministic_encoding(self):
+        entries = [_entry("/d/b"), _entry("/d/a")]
+        assert encode_group(entries) == encode_group(list(reversed(entries)))
+
+    def test_empty_group(self):
+        assert decode_group(encode_group([])) == []
+
+    def test_corrupt_blob_rejected(self):
+        with pytest.raises(ValueError):
+            decode_group(b"\xff\xfe not json")
+
+    def test_group_key(self):
+        assert is_group_key(group_key("/d"))
+        assert not is_group_key("/d/file")
+
+
+class TestMetadataStore:
+    @pytest.fixture
+    def store(self):
+        ns = Namespace()
+        ns.upsert(_entry("/d/a"))
+        ns.upsert(_entry("/d/b"))
+        ns.upsert(_entry("/e/c"))
+        return MetadataStore(ns, cache_capacity=2)
+
+    def test_encode_dir(self, store):
+        entries = decode_group(store.encode_dir("/d"))
+        assert [e.path for e in entries] == ["/d/a", "/d/b"]
+
+    def test_group_size(self, store):
+        assert store.group_size("/d") == len(store.encode_dir("/d"))
+
+    def test_apply_group_merges(self, store):
+        blob = encode_group([_entry("/f/new")])
+        store.apply_group(blob)
+        assert store.namespace.get("/f/new").path == "/f/new"
+
+    def test_cache_miss_then_hit(self, store):
+        assert not store.is_cached("/d")
+        store.touch("/d")
+        assert store.is_cached("/d")
+        assert store.hits == 1
+        assert store.misses == 1
+
+    def test_lru_eviction(self, store):
+        store.touch("/a")
+        store.touch("/b")
+        store.touch("/c")  # capacity 2: /a evicted
+        assert store.cached_dirs() == ["/b", "/c"]
+        assert not store.is_cached("/a")
+
+    def test_touch_refreshes_recency(self, store):
+        store.touch("/a")
+        store.touch("/b")
+        store.is_cached("/a")  # refresh
+        store.touch("/c")  # /b evicted, not /a
+        assert store.is_cached("/a")
+        assert not store.is_cached("/b")
+
+    def test_invalidate(self, store):
+        store.touch("/d")
+        store.invalidate("/d")
+        assert not store.is_cached("/d")
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            MetadataStore(Namespace(), cache_capacity=0)
+
+    def test_dir_of(self, store):
+        assert store.dir_of("/x/y/z.txt") == "/x/y"

@@ -1,0 +1,101 @@
+"""Unit tests for usage metering and month bucketing."""
+
+import pytest
+
+from repro.cloud.metering import MonthUsage, UsageMeter
+from repro.sim.clock import SECONDS_PER_MONTH
+
+
+class TestOps:
+    def test_put_records_bytes_and_tier1(self):
+        m = UsageMeter()
+        m.record_put(100, 10.0)
+        u = m.month_usage(0)
+        assert u.bytes_in == 100
+        assert u.tier1_ops == 1
+
+    def test_get_records_bytes_and_tier2(self):
+        m = UsageMeter()
+        m.record_get(50, 10.0)
+        u = m.month_usage(0)
+        assert u.bytes_out == 50
+        assert u.tier2_ops == 1
+
+    def test_list_create_are_tier1_remove_tier2(self):
+        m = UsageMeter()
+        m.record_list(0.0)
+        m.record_create(0.0)
+        m.record_remove(0.0)
+        u = m.month_usage(0)
+        assert u.tier1_ops == 2
+        assert u.tier2_ops == 1
+
+    def test_ops_bucket_by_month(self):
+        m = UsageMeter()
+        m.record_put(1, 0.0)
+        m.record_put(2, SECONDS_PER_MONTH + 1)
+        assert m.month_usage(0).bytes_in == 1
+        assert m.month_usage(1).bytes_in == 2
+        assert m.months() == [0, 1]
+
+    def test_empty_month_is_zero(self):
+        assert UsageMeter().month_usage(7).bytes_in == 0
+
+
+class TestStorageAccrual:
+    def test_simple_accrual(self):
+        m = UsageMeter()
+        m.set_stored_bytes(1000, 0.0)
+        m.accrue(SECONDS_PER_MONTH)
+        assert m.month_usage(0).byte_seconds == pytest.approx(1000 * SECONDS_PER_MONTH)
+
+    def test_gb_month_conversion(self):
+        m = UsageMeter()
+        m.set_stored_bytes(1024**3, 0.0)
+        m.accrue(SECONDS_PER_MONTH)
+        assert m.month_usage(0).gb_months == pytest.approx(1.0)
+
+    def test_split_across_month_boundary(self):
+        m = UsageMeter()
+        m.set_stored_bytes(100, 0.5 * SECONDS_PER_MONTH)
+        m.accrue(1.5 * SECONDS_PER_MONTH)
+        assert m.month_usage(0).byte_seconds == pytest.approx(50 * SECONDS_PER_MONTH)
+        assert m.month_usage(1).byte_seconds == pytest.approx(50 * SECONDS_PER_MONTH)
+
+    def test_level_changes_integrate(self):
+        m = UsageMeter()
+        m.set_stored_bytes(100, 0.0)
+        m.set_stored_bytes(300, 0.25 * SECONDS_PER_MONTH)
+        m.accrue(SECONDS_PER_MONTH)
+        expected = (100 * 0.25 + 300 * 0.75) * SECONDS_PER_MONTH
+        assert m.month_usage(0).byte_seconds == pytest.approx(expected)
+
+    def test_backwards_accrual_rejected(self):
+        m = UsageMeter()
+        m.accrue(10.0)
+        with pytest.raises(ValueError):
+            m.accrue(5.0)
+
+    def test_negative_stored_rejected(self):
+        with pytest.raises(ValueError):
+            UsageMeter().set_stored_bytes(-1, 0.0)
+
+
+class TestAggregation:
+    def test_merge(self):
+        a = MonthUsage(bytes_in=1, bytes_out=2, tier1_ops=3, tier2_ops=4, byte_seconds=5)
+        b = MonthUsage(bytes_in=10, bytes_out=20, tier1_ops=30, tier2_ops=40, byte_seconds=50)
+        c = a.merge(b)
+        assert (c.bytes_in, c.bytes_out, c.tier1_ops, c.tier2_ops, c.byte_seconds) == (
+            11,
+            22,
+            33,
+            44,
+            55,
+        )
+
+    def test_total_usage(self):
+        m = UsageMeter()
+        m.record_put(5, 0.0)
+        m.record_put(7, SECONDS_PER_MONTH * 2)
+        assert m.total_usage().bytes_in == 12

@@ -1,0 +1,71 @@
+"""Unit tests for latency statistics and the collector."""
+
+import pytest
+
+from repro.metrics.collector import LatencyCollector, OpReport
+from repro.metrics.stats import LatencySummary, summarize
+
+
+class TestSummarize:
+    def test_empty(self):
+        s = summarize([])
+        assert s == LatencySummary.empty()
+        assert s.count == 0
+
+    def test_basic_stats(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.total == pytest.approx(10.0)
+        assert s.p50 == pytest.approx(2.5)
+        assert s.max == 4.0
+
+    def test_percentile_ordering(self):
+        s = summarize(list(range(100)))
+        assert s.p50 <= s.p95 <= s.p99 <= s.max
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([1.0, -0.5])
+
+
+class TestOpReport:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OpReport(op="get", path="/a", elapsed=-1.0)
+
+
+class TestCollector:
+    @pytest.fixture
+    def collector(self):
+        c = LatencyCollector()
+        c.add(OpReport(op="get", path="/a", elapsed=1.0, bytes_down=10, cloud_ops=2))
+        c.add(OpReport(op="get", path="/b", elapsed=3.0, degraded=True))
+        c.add(OpReport(op="put", path="/c", elapsed=2.0, bytes_up=20, cloud_ops=4))
+        return c
+
+    def test_len_and_extend(self, collector):
+        assert len(collector) == 3
+        collector.extend([OpReport(op="stat", path="/d", elapsed=0.1)])
+        assert len(collector) == 4
+
+    def test_latencies_filters(self, collector):
+        assert collector.latencies("get") == [1.0, 3.0]
+        assert collector.latencies(degraded=True) == [3.0]
+        assert collector.latencies("get", degraded=False) == [1.0]
+
+    def test_summary_by_op(self, collector):
+        by_op = collector.by_op()
+        assert by_op["get"].count == 2
+        assert by_op["put"].mean == pytest.approx(2.0)
+
+    def test_mean_latency(self, collector):
+        assert collector.mean_latency() == pytest.approx(2.0)
+
+    def test_degraded_fraction(self, collector):
+        assert collector.degraded_fraction() == pytest.approx(1 / 3)
+        assert LatencyCollector().degraded_fraction() == 0.0
+
+    def test_total_bytes_and_ops(self, collector):
+        assert collector.total_bytes() == (20, 10)
+        assert collector.total_cloud_ops() == 6

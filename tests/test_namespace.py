@@ -1,0 +1,114 @@
+"""Unit tests for paths, file entries and the namespace index."""
+
+import pytest
+
+from repro.fs.namespace import FileEntry, Namespace, basename, dirname, normalize_path
+
+
+class TestPaths:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("/a/b", "/a/b"),
+            ("a/b", "/a/b"),
+            ("/a//b/", "/a/b"),
+            ("/top.txt", "/top.txt"),
+        ],
+    )
+    def test_normalize(self, raw, expected):
+        assert normalize_path(raw) == expected
+
+    @pytest.mark.parametrize("bad", ["", "/", "//", "/a/../b", "/./a"])
+    def test_invalid_paths(self, bad):
+        with pytest.raises(ValueError):
+            normalize_path(bad)
+
+    def test_dirname(self):
+        assert dirname("/a/b/c.txt") == "/a/b"
+        assert dirname("/c.txt") == "/"
+
+    def test_basename(self):
+        assert basename("/a/b/c.txt") == "c.txt"
+
+
+class TestFileEntry:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FileEntry(path="/a", size=-1)
+        with pytest.raises(ValueError):
+            FileEntry(path="/a", size=0, version=0)
+
+    def test_providers_and_fragment_index(self):
+        e = FileEntry(path="/a", size=10, placements=(("p1", 0), ("p2", 1)))
+        assert e.providers == ("p1", "p2")
+        assert e.fragment_index("p2") == 1
+        with pytest.raises(KeyError):
+            e.fragment_index("p3")
+
+    def test_bumped(self):
+        e = FileEntry(path="/a", size=10, created=1.0, modified=1.0)
+        e2 = e.bumped(20, 5.0, klass="large")
+        assert e2.version == 2
+        assert e2.size == 20
+        assert e2.modified == 5.0
+        assert e2.created == 1.0
+        assert e2.klass == "large"
+
+    def test_touched(self):
+        e = FileEntry(path="/a", size=1)
+        assert e.touched().access_count == 1
+        assert e.access_count == 0  # immutable
+
+
+class TestNamespace:
+    def test_upsert_get_remove(self):
+        ns = Namespace()
+        ns.upsert(FileEntry(path="/d/f", size=5))
+        assert "/d/f" in ns
+        assert ns.get("/d/f").size == 5
+        removed = ns.remove("/d/f")
+        assert removed.size == 5
+        assert "/d/f" not in ns
+
+    def test_get_missing(self):
+        with pytest.raises(FileNotFoundError):
+            Namespace().get("/nope")
+        with pytest.raises(FileNotFoundError):
+            Namespace().remove("/nope")
+
+    def test_lookup_returns_none(self):
+        assert Namespace().lookup("/nope") is None
+
+    def test_list_dir(self):
+        ns = Namespace()
+        ns.upsert(FileEntry(path="/d/b", size=1))
+        ns.upsert(FileEntry(path="/d/a", size=1))
+        ns.upsert(FileEntry(path="/other/c", size=1))
+        assert ns.list_dir("/d") == ["/d/a", "/d/b"]
+        assert ns.list_dir("/empty") == []
+
+    def test_root_directory_files(self):
+        ns = Namespace()
+        ns.upsert(FileEntry(path="/top.txt", size=1))
+        assert ns.list_dir("/") == ["/top.txt"]
+
+    def test_directories_cleaned_up(self):
+        ns = Namespace()
+        ns.upsert(FileEntry(path="/d/a", size=1))
+        assert ns.directories() == ["/d"]
+        ns.remove("/d/a")
+        assert ns.directories() == []
+
+    def test_total_bytes_and_len(self):
+        ns = Namespace()
+        ns.upsert(FileEntry(path="/a", size=10))
+        ns.upsert(FileEntry(path="/b", size=5))
+        assert ns.total_bytes() == 15
+        assert len(ns) == 2
+
+    def test_upsert_overwrites(self):
+        ns = Namespace()
+        ns.upsert(FileEntry(path="/a", size=10))
+        ns.upsert(FileEntry(path="/a", size=20, version=2))
+        assert ns.get("/a").size == 20
+        assert len(ns) == 1

@@ -1,0 +1,95 @@
+"""Unit tests for the in-memory object store."""
+
+import pytest
+
+from repro.cloud.errors import ContainerExists, NoSuchContainer, NoSuchObject
+from repro.cloud.objectstore import ObjectStore
+
+
+@pytest.fixture
+def store():
+    s = ObjectStore()
+    s.create_container("c")
+    return s
+
+
+class TestContainers:
+    def test_create_and_has(self, store):
+        assert store.has_container("c")
+        assert not store.has_container("other")
+
+    def test_duplicate_create_rejected(self, store):
+        with pytest.raises(ContainerExists):
+            store.create_container("c")
+
+    def test_exist_ok(self, store):
+        store.create_container("c", exist_ok=True)
+
+    def test_containers_sorted(self, store):
+        store.create_container("b")
+        store.create_container("a")
+        assert store.containers() == ["a", "b", "c"]
+
+    def test_missing_container_raises(self, store):
+        with pytest.raises(NoSuchContainer):
+            store.list("nope")
+        with pytest.raises(NoSuchContainer):
+            store.put("nope", "k", b"", 0.0)
+
+
+class TestObjects:
+    def test_put_get_roundtrip(self, store):
+        store.put("c", "k", b"hello", 1.0)
+        obj = store.get("c", "k")
+        assert obj.data == b"hello"
+        assert obj.version == 1
+        assert obj.created == 1.0
+        assert obj.modified == 1.0
+
+    def test_overwrite_bumps_version_keeps_created(self, store):
+        store.put("c", "k", b"v1", 1.0)
+        obj = store.put("c", "k", b"v2", 2.0)
+        assert obj.version == 2
+        assert obj.created == 1.0
+        assert obj.modified == 2.0
+        assert store.get("c", "k").data == b"v2"
+
+    def test_get_missing(self, store):
+        with pytest.raises(NoSuchObject):
+            store.get("c", "nope")
+
+    def test_remove(self, store):
+        store.put("c", "k", b"x", 0.0)
+        removed = store.remove("c", "k")
+        assert removed.data == b"x"
+        assert not store.has("c", "k")
+        with pytest.raises(NoSuchObject):
+            store.remove("c", "k")
+
+    def test_list_sorted(self, store):
+        for key in ("z", "a", "m"):
+            store.put("c", key, b"", 0.0)
+        assert store.list("c") == ["a", "m", "z"]
+
+    def test_put_copies_input(self, store):
+        data = bytearray(b"abc")
+        store.put("c", "k", bytes(data), 0.0)
+        data[0] = 0
+        assert store.get("c", "k").data == b"abc"
+
+
+class TestInventory:
+    def test_total_bytes_and_count(self, store):
+        store.create_container("d")
+        store.put("c", "a", b"12345", 0.0)
+        store.put("d", "b", b"123", 0.0)
+        assert store.total_bytes() == 8
+        assert store.object_count() == 2
+        store.remove("c", "a")
+        assert store.total_bytes() == 3
+
+    def test_overwrite_counts_once(self, store):
+        store.put("c", "k", b"12345678", 0.0)
+        store.put("c", "k", b"12", 1.0)
+        assert store.total_bytes() == 2
+        assert store.object_count() == 1

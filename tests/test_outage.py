@@ -1,0 +1,91 @@
+"""Unit tests for outage windows and schedules."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cloud.outage import OutageSchedule, OutageWindow
+
+
+class TestOutageWindow:
+    def test_covers_half_open(self):
+        w = OutageWindow(10.0, 20.0)
+        assert not w.covers(9.99)
+        assert w.covers(10.0)
+        assert w.covers(19.99)
+        assert not w.covers(20.0)
+
+    def test_open_ended(self):
+        w = OutageWindow(5.0)
+        assert w.covers(1e12)
+        assert math.isinf(w.duration)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OutageWindow(-1.0, 2.0)
+        with pytest.raises(ValueError):
+            OutageWindow(5.0, 5.0)
+
+
+class TestOutageSchedule:
+    def test_empty_schedule_always_up(self):
+        s = OutageSchedule()
+        assert not s.is_out(0.0)
+        assert s.next_return(0.0) is None
+
+    def test_is_out(self):
+        s = OutageSchedule([OutageWindow(10, 20), OutageWindow(30, 40)])
+        assert s.is_out(15)
+        assert not s.is_out(25)
+        assert s.is_out(30)
+
+    def test_overlap_rejected(self):
+        s = OutageSchedule([OutageWindow(10, 20)])
+        with pytest.raises(ValueError):
+            s.add(OutageWindow(15, 25))
+        with pytest.raises(ValueError):
+            s.add(OutageWindow(5, 11))
+
+    def test_adjacent_windows_allowed(self):
+        s = OutageSchedule([OutageWindow(10, 20)])
+        s.add(OutageWindow(20, 30))
+        assert len(s.windows) == 2
+
+    def test_windows_sorted(self):
+        s = OutageSchedule([OutageWindow(30, 40), OutageWindow(10, 20)])
+        assert [w.start for w in s.windows] == [10, 30]
+
+    def test_next_return(self):
+        s = OutageSchedule([OutageWindow(10, 20)])
+        assert s.next_return(15) == 20
+        assert s.next_return(5) is None
+
+    def test_next_return_open_ended_is_none(self):
+        s = OutageSchedule([OutageWindow(10)])
+        assert s.next_return(15) is None
+
+    def test_next_outage_after(self):
+        s = OutageSchedule([OutageWindow(10, 20), OutageWindow(50, 60)])
+        assert s.next_outage_after(0) == 10
+        assert s.next_outage_after(10) == 50
+        assert s.next_outage_after(55) is None
+
+    def test_total_downtime(self):
+        s = OutageSchedule([OutageWindow(10, 20), OutageWindow(90, 200)])
+        assert s.total_downtime(100) == pytest.approx(20.0)
+        assert s.total_downtime(15) == pytest.approx(5.0)
+
+    def test_poisson_generation(self):
+        rng = np.random.default_rng(0)
+        s = OutageSchedule.poisson(rng, horizon=1e6, mtbf=1e4, mttr=100)
+        assert len(s.windows) > 10
+        starts = [w.start for w in s.windows]
+        assert starts == sorted(starts)
+        # Availability should be roughly mtbf/(mtbf+mttr) ~ 99%.
+        downtime = s.total_downtime(1e6)
+        assert 0.001 < downtime / 1e6 < 0.05
+
+    def test_poisson_validation(self):
+        with pytest.raises(ValueError):
+            OutageSchedule.poisson(np.random.default_rng(0), 10, 0, 1)

@@ -1,0 +1,124 @@
+"""Tests for feature/region-aware placement (§VI's service-diversity item)."""
+
+import pytest
+
+from repro.cloud.features import TABLE2_FEATURES, ProviderFeatures
+from repro.core.config import MB, HyRDConfig
+from repro.core.dispatcher import PlacementPolicyError
+from repro.core.hyrd import HyRDClient
+
+
+def _hyrd(providers, clock, **config_kw):
+    return HyRDClient(
+        list(providers.values()), clock, config=HyRDConfig(**config_kw)
+    )
+
+
+class TestProviderFeatures:
+    def test_table2_presets_attached(self, providers):
+        for name, p in providers.items():
+            assert p.features == TABLE2_FEATURES[name]
+
+    def test_regions_are_distinct_in_table2(self):
+        regions = {f.region for f in TABLE2_FEATURES.values()}
+        assert len(regions) == 4
+
+    def test_feature_query(self):
+        f = ProviderFeatures(region="r", geo_redundant=True)
+        assert f.has("geo_redundant")
+        assert not f.has("mountable_fs")
+        with pytest.raises(KeyError):
+            f.has("nonexistent")
+        with pytest.raises(KeyError):
+            f.has("region")  # not boolean
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProviderFeatures(region="")
+        with pytest.raises(ValueError):
+            ProviderFeatures(region="r", sla_nines=-1)
+
+
+class TestRegionPolicy:
+    def test_default_policy_unchanged(self, providers, clock):
+        hyrd = _hyrd(providers, clock)
+        assert hyrd.dispatcher.replica_targets() == ["aliyun", "azure"]
+
+    def test_table2_regions_already_satisfy_two(self, providers, clock):
+        # aliyun (cn-hangzhou) + azure (asia-east): two regions already.
+        hyrd = _hyrd(providers, clock, min_distinct_regions=2)
+        targets = hyrd.dispatcher.replica_targets()
+        regions = {providers[n].features.region for n in targets}
+        assert len(regions) >= 2
+
+    def test_region_constraint_forces_swap(self, providers, clock):
+        """Collapse aliyun and azure into one region: the dispatcher must
+        swap one replica out to another region."""
+        import dataclasses
+
+        providers["azure"].features = dataclasses.replace(
+            providers["azure"].features, region="cn-hangzhou"
+        )
+        providers["aliyun"].features = dataclasses.replace(
+            providers["aliyun"].features, region="cn-hangzhou"
+        )
+        hyrd = _hyrd(providers, clock, min_distinct_regions=2)
+        targets = hyrd.dispatcher.replica_targets()
+        regions = {providers[n].features.region for n in targets}
+        assert len(regions) == 2
+        assert "aliyun" in targets  # the fastest stays
+
+    def test_impossible_region_policy_raises(self, providers, clock):
+        import dataclasses
+
+        for p in providers.values():
+            p.features = dataclasses.replace(p.features, region="one-region")
+        hyrd = _hyrd(providers, clock)
+        hyrd.config = HyRDConfig(min_distinct_regions=2)
+        hyrd.dispatcher.config = hyrd.config
+        with pytest.raises(PlacementPolicyError):
+            hyrd.dispatcher.replica_targets()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HyRDConfig(min_distinct_regions=0)
+
+
+class TestFeaturePolicy:
+    def test_required_feature_filters_targets(self, providers, clock, payload):
+        hyrd = _hyrd(providers, clock, required_features=("geo_redundant",))
+        targets = hyrd.dispatcher.replica_targets()
+        # Only amazon_s3 and azure are geo-redundant in the Table II fleet.
+        assert set(targets) <= {"amazon_s3", "azure"}
+        hyrd.put("/d/s", payload(4096))
+        entry = hyrd.namespace.get("/d/s")
+        assert set(entry.providers) <= {"amazon_s3", "azure"}
+
+    def test_unsatisfiable_feature_policy_raises(self, providers, clock):
+        hyrd = _hyrd(providers, clock)
+        hyrd.config = HyRDConfig(required_features=("geo_redundant",), replication_level=3)
+        hyrd.dispatcher.config = hyrd.config
+        with pytest.raises(PlacementPolicyError):
+            hyrd.dispatcher.replica_targets()
+
+    def test_erasure_stripe_feature_policy_raises_when_thin(self, providers, clock):
+        hyrd = _hyrd(providers, clock)
+        hyrd.config = HyRDConfig(required_features=("mountable_fs",))
+        hyrd.dispatcher.config = hyrd.config
+        # Only azure + rackspace offer a mountable fs: stripe impossible.
+        with pytest.raises(PlacementPolicyError):
+            hyrd.dispatcher.erasure_targets()
+
+    def test_end_to_end_with_policy(self, providers, clock, payload):
+        hyrd = _hyrd(
+            providers, clock, min_distinct_regions=2, hot_file_threshold=0
+        )
+        small, large = payload(4096), payload(2 * MB)
+        hyrd.put("/d/s", small)
+        hyrd.put("/d/l", large)
+        assert hyrd.get("/d/s")[0] == small
+        assert hyrd.get("/d/l")[0] == large
+        for path in ("/d/s", "/d/l"):
+            entry = hyrd.namespace.get(path)
+            regions = {providers[n].features.region for n in entry.providers}
+            assert len(regions) >= 2

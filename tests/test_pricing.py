@@ -1,0 +1,78 @@
+"""Unit tests for the Table II price plans."""
+
+import pytest
+
+from repro.cloud.pricing import (
+    CATEGORIES,
+    GB,
+    PRICE_PLANS,
+    PricingPlan,
+    ProviderCategory,
+)
+
+
+class TestTable2Fidelity:
+    """The preset plans must match Table II of the paper, cell by cell."""
+
+    def test_providers_present(self):
+        assert set(PRICE_PLANS) == {"amazon_s3", "azure", "aliyun", "rackspace"}
+
+    def test_amazon(self):
+        p = PRICE_PLANS["amazon_s3"]
+        assert p.storage_gb_month == 0.033
+        assert p.data_out_gb == 0.201
+        assert p.tier1_per_10k == 0.047
+        assert p.tier2_per_10k == 0.0037
+
+    def test_azure(self):
+        p = PRICE_PLANS["azure"]
+        assert p.storage_gb_month == 0.157
+        assert p.data_out_gb == 0.0
+        assert p.tier1_per_10k == 0.0
+
+    def test_aliyun(self):
+        p = PRICE_PLANS["aliyun"]
+        assert p.storage_gb_month == 0.029
+        assert p.data_out_gb == 0.123
+        assert p.tier1_per_10k == 0.0016
+        assert p.tier2_per_10k == 0.0016
+
+    def test_rackspace(self):
+        p = PRICE_PLANS["rackspace"]
+        assert p.storage_gb_month == 0.13
+        assert p.data_out_gb == 0.0
+
+    def test_data_in_free_everywhere(self):
+        assert all(p.data_in_gb == 0.0 for p in PRICE_PLANS.values())
+
+    def test_category_row(self):
+        assert CATEGORIES["amazon_s3"] == ProviderCategory.COST_ORIENTED
+        assert CATEGORIES["azure"] == ProviderCategory.PERFORMANCE_ORIENTED
+        assert CATEGORIES["aliyun"] == ProviderCategory.BOTH
+        assert CATEGORIES["rackspace"] == ProviderCategory.COST_ORIENTED
+
+
+class TestPricingMath:
+    def test_storage_cost(self):
+        plan = PricingPlan(0.10, 0, 0, 0, 0)
+        assert plan.storage_cost(2.5) == pytest.approx(0.25)
+
+    def test_data_out_cost(self):
+        plan = PricingPlan(0, 0, 0.20, 0, 0)
+        assert plan.data_out_cost(5 * GB) == pytest.approx(1.0)
+
+    def test_transaction_costs_per_10k(self):
+        plan = PricingPlan(0, 0, 0, 0.047, 0.0037)
+        assert plan.tier1_cost(10_000) == pytest.approx(0.047)
+        assert plan.tier2_cost(20_000) == pytest.approx(0.0074)
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(ValueError):
+            PricingPlan(-0.1, 0, 0, 0, 0)
+
+    def test_category_flags(self):
+        assert ProviderCategory.BOTH & ProviderCategory.COST_ORIENTED
+        assert ProviderCategory.BOTH & ProviderCategory.PERFORMANCE_ORIENTED
+        assert not (
+            ProviderCategory.COST_ORIENTED & ProviderCategory.PERFORMANCE_ORIENTED
+        )

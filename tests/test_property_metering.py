@@ -1,0 +1,94 @@
+"""Property-based tests: metering and billing invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud.metering import UsageMeter
+from repro.cloud.pricing import PRICE_PLANS
+from repro.cost.accounting import bill_for_month
+from repro.sim.clock import SECONDS_PER_MONTH
+
+
+@st.composite
+def meter_history(draw):
+    """A time-ordered mix of op records and storage-level changes."""
+    n = draw(st.integers(1, 30))
+    raw = [
+        (
+            draw(st.floats(0, 5 * SECONDS_PER_MONTH, allow_nan=False)),
+            draw(st.sampled_from(["put", "get", "list", "remove", "level"])),
+            draw(st.integers(0, 10**9)),
+        )
+        for _ in range(n)
+    ]
+    return sorted(raw, key=lambda r: r[0])
+
+
+def _apply(meter: UsageMeter, history) -> None:
+    for t, kind, value in history:
+        if kind == "put":
+            meter.record_put(value, t)
+        elif kind == "get":
+            meter.record_get(value, t)
+        elif kind == "list":
+            meter.record_list(t)
+        elif kind == "remove":
+            meter.record_remove(t)
+        elif kind == "level":
+            meter.set_stored_bytes(value, t)
+
+
+class TestMeterProperties:
+    @given(history=meter_history())
+    def test_usage_nonnegative(self, history):
+        meter = UsageMeter()
+        _apply(meter, history)
+        meter.accrue(6 * SECONDS_PER_MONTH)
+        for m in meter.months():
+            u = meter.month_usage(m)
+            assert u.bytes_in >= 0
+            assert u.bytes_out >= 0
+            assert u.tier1_ops >= 0
+            assert u.tier2_ops >= 0
+            assert u.byte_seconds >= 0
+
+    @given(history=meter_history())
+    def test_total_equals_sum_of_months(self, history):
+        meter = UsageMeter()
+        _apply(meter, history)
+        meter.accrue(6 * SECONDS_PER_MONTH)
+        total = meter.total_usage()
+        assert total.bytes_in == sum(
+            meter.month_usage(m).bytes_in for m in meter.months()
+        )
+        assert total.tier1_ops == sum(
+            meter.month_usage(m).tier1_ops for m in meter.months()
+        )
+
+    @given(history=meter_history())
+    def test_byte_time_integral_conserved(self, history):
+        """Sum of per-month byte-seconds equals the piecewise integral."""
+        meter = UsageMeter()
+        end = 6 * SECONDS_PER_MONTH
+        _apply(meter, history)
+        meter.accrue(end)
+        from_months = sum(meter.month_usage(m).byte_seconds for m in meter.months())
+
+        level, last, integral = 0.0, 0.0, 0.0
+        for t, kind, value in history:
+            if kind == "level":
+                integral += level * (t - last)
+                level, last = float(value), t
+        integral += level * (end - last)
+        assert from_months == __import__("pytest").approx(integral, rel=1e-9, abs=1e-3)
+
+    @given(history=meter_history())
+    @settings(max_examples=40)
+    def test_bills_nonnegative_and_monotone_in_usage(self, history):
+        meter = UsageMeter()
+        _apply(meter, history)
+        meter.accrue(6 * SECONDS_PER_MONTH)
+        for plan in PRICE_PLANS.values():
+            for m in meter.months():
+                line = bill_for_month(meter, plan, m)
+                assert line.total >= 0

@@ -1,0 +1,90 @@
+"""Property-based tests: namespace vs a dict model, metadata round-trips."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fs.metadata import decode_group, encode_group
+from repro.fs.namespace import FileEntry, Namespace, dirname, normalize_path
+
+# Path components: non-empty, no '/', no '.'/'..' semantics.
+component = st.text(
+    alphabet=st.sampled_from("abcdefgh0123_-"), min_size=1, max_size=6
+)
+path_strategy = st.builds(
+    lambda parts: "/" + "/".join(parts),
+    st.lists(component, min_size=1, max_size=4),
+)
+
+
+@st.composite
+def namespace_ops(draw):
+    n = draw(st.integers(1, 30))
+    ops = []
+    for _ in range(n):
+        kind = draw(st.sampled_from(["upsert", "remove"]))
+        path = draw(path_strategy)
+        size = draw(st.integers(0, 10**6))
+        ops.append((kind, path, size))
+    return ops
+
+
+class TestNamespaceModel:
+    @given(ops=namespace_ops())
+    def test_matches_dict_model(self, ops):
+        ns = Namespace()
+        model: dict[str, int] = {}
+        for kind, path, size in ops:
+            norm = normalize_path(path)
+            if kind == "upsert":
+                ns.upsert(FileEntry(path=norm, size=size))
+                model[norm] = size
+            else:
+                if norm in model:
+                    removed = ns.remove(norm)
+                    assert removed.size == model.pop(norm)
+                else:
+                    try:
+                        ns.remove(norm)
+                        raise AssertionError("remove of missing path succeeded")
+                    except FileNotFoundError:
+                        pass
+        assert ns.paths() == sorted(model)
+        assert ns.total_bytes() == sum(model.values())
+        # Directory listings partition the path set exactly.
+        listed = [p for d in ns.directories() for p in ns.list_dir(d)]
+        assert sorted(listed) == sorted(model)
+
+    @given(ops=namespace_ops())
+    def test_dirname_consistency(self, ops):
+        ns = Namespace()
+        for kind, path, size in ops:
+            if kind == "upsert":
+                ns.upsert(FileEntry(path=normalize_path(path), size=size))
+        for d in ns.directories():
+            for p in ns.list_dir(d):
+                assert dirname(p) == d
+
+
+class TestMetadataGroupProperties:
+    @given(
+        entries=st.lists(
+            st.builds(
+                FileEntry,
+                path=path_strategy,
+                size=st.integers(0, 10**9),
+                version=st.integers(1, 100),
+                codec=st.sampled_from(["replication", "raid5", "rs", "fmsr"]),
+                klass=st.sampled_from(["small", "large", "metadata"]),
+                created=st.floats(0, 1e9, allow_nan=False),
+                modified=st.floats(0, 1e9, allow_nan=False),
+                access_count=st.integers(0, 1000),
+            ),
+            max_size=10,
+            unique_by=lambda e: e.path,
+        )
+    )
+    @settings(max_examples=60)
+    def test_group_roundtrip(self, entries):
+        assert decode_group(encode_group(entries)) == sorted(
+            entries, key=lambda e: e.path
+        )

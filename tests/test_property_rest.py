@@ -1,0 +1,86 @@
+"""Property-based tests: the REST layer agrees with direct provider calls."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud.latency import LatencyModel
+from repro.cloud.pricing import PRICE_PLANS
+from repro.cloud.provider import SimulatedProvider
+from repro.cloud.rest import RestAdapter, RestRequest
+from repro.sim.clock import SimClock
+
+key_strategy = st.text(
+    alphabet=st.sampled_from("abcdef012-_."), min_size=1, max_size=12
+).filter(lambda s: s not in (".", ".."))
+
+
+@st.composite
+def rest_script(draw):
+    n = draw(st.integers(1, 25))
+    ops = []
+    for _ in range(n):
+        kind = draw(st.sampled_from(["put", "get", "delete", "list"]))
+        key = draw(key_strategy)
+        body = draw(st.binary(max_size=200))
+        ops.append((kind, key, body))
+    return ops
+
+
+def _fresh_adapter() -> RestAdapter:
+    provider = SimulatedProvider(
+        name="p",
+        clock=SimClock(),
+        latency=LatencyModel(rtt=0.01, upload_bw=1e6, download_bw=1e6),
+        pricing=PRICE_PLANS["aliyun"],
+    )
+    return RestAdapter(provider)
+
+
+class TestRestAgainstModel:
+    @given(script=rest_script())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_dict_model(self, script):
+        adapter = _fresh_adapter()
+        assert adapter.execute(RestRequest("PUT", "/c")).status == 201
+        model: dict[str, bytes] = {}
+        for kind, key, body in script:
+            if kind == "put":
+                resp = adapter.execute(RestRequest("PUT", f"/c/{key}", body))
+                assert resp.status == 200
+                model[key] = body
+            elif kind == "get":
+                resp = adapter.execute(RestRequest("GET", f"/c/{key}"))
+                if key in model:
+                    assert resp.status == 200
+                    assert resp.body == model[key]
+                else:
+                    assert resp.status == 404
+            elif kind == "delete":
+                resp = adapter.execute(RestRequest("DELETE", f"/c/{key}"))
+                if key in model:
+                    assert resp.status == 204
+                    del model[key]
+                else:
+                    assert resp.status == 404
+            elif kind == "list":
+                resp = adapter.execute(RestRequest("GET", "/c"))
+                assert resp.status == 200
+                listed = resp.body.decode().split("\n") if resp.body else []
+                assert listed == sorted(model)
+
+    @given(script=rest_script())
+    @settings(max_examples=30, deadline=None)
+    def test_version_header_tracks_object_lifetime(self, script):
+        """Versions count puts since the object's creation; deletion resets."""
+        adapter = _fresh_adapter()
+        adapter.execute(RestRequest("PUT", "/c"))
+        versions: dict[str, int] = {}
+        for kind, key, body in script:
+            if kind == "put":
+                resp = adapter.execute(RestRequest("PUT", f"/c/{key}", body))
+                versions[key] = versions.get(key, 0) + 1
+                assert resp.headers["x-version"] == str(versions[key])
+            elif kind == "delete":
+                resp = adapter.execute(RestRequest("DELETE", f"/c/{key}"))
+                if resp.status == 204:
+                    versions.pop(key, None)

@@ -1,0 +1,74 @@
+"""Unit tests for the RAID5 XOR codec."""
+
+import pytest
+
+from repro.erasure.raid5 import Raid5Code
+
+
+class TestRaid5:
+    def test_properties(self):
+        c = Raid5Code(3)
+        assert c.n == 4
+        assert c.k == 3
+        assert c.parity_index == 3
+        assert c.fault_tolerance == 1
+        assert c.storage_overhead == pytest.approx(4 / 3)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            Raid5Code(0)
+
+    def test_parity_is_xor(self, payload):
+        data = payload(300)
+        c = Raid5Code(3)
+        frags = c.encode(data)
+        parity = bytes(
+            a ^ b ^ cc for a, b, cc in zip(frags[0], frags[1], frags[2])
+        )
+        assert frags[3] == parity
+
+    def test_full_decode(self, payload):
+        data = payload(1001)
+        c = Raid5Code(4)
+        frags = c.encode(data)
+        assert c.decode({i: frags[i] for i in range(4)}, 1001) == data
+
+    def test_decode_with_each_single_loss(self, payload):
+        data = payload(777)
+        c = Raid5Code(3)
+        frags = c.encode(data)
+        for lost in range(4):
+            available = {i: f for i, f in enumerate(frags) if i != lost}
+            assert c.decode(available, 777) == data
+
+    def test_two_data_losses_rejected(self, payload):
+        c = Raid5Code(3)
+        frags = c.encode(payload(100))
+        with pytest.raises(ValueError):
+            c.decode({2: frags[2], 3: frags[3]}, 100)
+
+    def test_reconstruct_each_fragment(self, payload):
+        data = payload(512)
+        c = Raid5Code(3)
+        frags = c.encode(data)
+        for lost in range(4):
+            available = {i: f for i, f in enumerate(frags) if i != lost}
+            assert c.reconstruct_fragment(available, lost, 512) == frags[lost]
+
+    def test_reconstruct_requires_all_others(self, payload):
+        c = Raid5Code(3)
+        frags = c.encode(payload(100))
+        with pytest.raises(ValueError):
+            c.reconstruct_fragment({1: frags[1], 2: frags[2]}, 0, 100)
+
+    def test_empty_payload(self):
+        c = Raid5Code(2)
+        frags = c.encode(b"")
+        assert c.decode({0: b"", 2: b""}, 0) == b""
+        assert c.reconstruct_fragment({0: b"", 1: b""}, 2, 0) == b""
+
+    def test_wrong_length_rejected(self, payload):
+        c = Raid5Code(2)
+        frags = c.encode(payload(100))
+        with pytest.raises(ValueError):
+            c.decode({0: frags[0] + b"x", 1: frags[1], 2: frags[2]}, 100)

@@ -1,0 +1,80 @@
+"""Unit tests for write logs (outage recovery state)."""
+
+import pytest
+
+from repro.core.recovery import LoggedWrite, WriteLog
+
+
+class TestLoggedWrite:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoggedWrite("move", "c", "k", None, 0.0)
+        with pytest.raises(ValueError):
+            LoggedWrite("put", "c", "k", None, 0.0)
+        with pytest.raises(ValueError):
+            LoggedWrite("remove", "c", "k", b"x", 0.0)
+
+
+class TestWriteLog:
+    def test_empty(self):
+        log = WriteLog()
+        assert not log
+        assert len(log) == 0
+        assert log.drain() == []
+
+    def test_log_put_and_drain(self):
+        log = WriteLog()
+        log.log_put("c", "k", b"data", 1.0)
+        assert len(log) == 1
+        (entry,) = log.drain()
+        assert entry.kind == "put"
+        assert entry.data == b"data"
+        assert not log  # drained
+
+    def test_last_wins_per_key(self):
+        log = WriteLog()
+        log.log_put("c", "k", b"v1", 1.0)
+        log.log_put("c", "k", b"v2", 2.0)
+        assert len(log) == 1
+        (entry,) = log.peek()
+        assert entry.data == b"v2"
+
+    def test_remove_supersedes_put(self):
+        log = WriteLog()
+        log.log_put("c", "k", b"v1", 1.0)
+        log.log_remove("c", "k", 2.0)
+        (entry,) = log.peek()
+        assert entry.kind == "remove"
+
+    def test_replay_order_is_recency_order(self):
+        log = WriteLog()
+        log.log_put("c", "a", b"1", 1.0)
+        log.log_put("c", "b", b"2", 2.0)
+        log.log_put("c", "a", b"3", 3.0)  # re-log moves to the end
+        assert [e.key for e in log.peek()] == ["b", "a"]
+
+    def test_distinct_keys_tracked_separately(self):
+        log = WriteLog()
+        log.log_put("c1", "k", b"1", 0.0)
+        log.log_put("c2", "k", b"2", 0.0)
+        assert len(log) == 2
+
+    def test_discard(self):
+        log = WriteLog()
+        log.log_put("c", "k", b"1", 0.0)
+        log.discard("c", "k")
+        assert not log
+        log.discard("c", "missing")  # no-op
+
+    def test_pending_bytes(self):
+        log = WriteLog()
+        log.log_put("c", "a", b"12345", 0.0)
+        log.log_remove("c", "b", 0.0)
+        assert log.pending_bytes() == 5
+
+    def test_payload_copied(self):
+        log = WriteLog()
+        buf = bytearray(b"abc")
+        log.log_put("c", "k", bytes(buf), 0.0)
+        buf[0] = 0
+        assert log.peek()[0].data == b"abc"

@@ -1,0 +1,105 @@
+"""Unit tests for the systematic Reed-Solomon codec."""
+
+from itertools import combinations
+
+import pytest
+
+from repro.erasure.reed_solomon import ReedSolomonCode
+
+
+class TestConstruction:
+    def test_properties(self):
+        rs = ReedSolomonCode(k=4, m=2)
+        assert rs.n == 6
+        assert rs.k == 4
+        assert rs.fault_tolerance == 2
+        assert rs.storage_overhead == pytest.approx(1.5)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ReedSolomonCode(k=0, m=1)
+        with pytest.raises(ValueError):
+            ReedSolomonCode(k=-1, m=1)
+        with pytest.raises(ValueError):
+            ReedSolomonCode(k=200, m=100)
+
+    def test_generator_matrix_read_only(self):
+        rs = ReedSolomonCode(k=2, m=1)
+        with pytest.raises(ValueError):
+            rs.generator_matrix[0, 0] = 9
+
+
+class TestRoundTrip:
+    def test_systematic_prefix(self, payload):
+        data = payload(900)
+        rs = ReedSolomonCode(k=3, m=2)
+        frags = rs.encode(data)
+        assert b"".join(frags[:3]) == data  # 900 divides evenly by 3
+
+    def test_all_k_subsets_decode(self, payload):
+        data = payload(500)
+        rs = ReedSolomonCode(k=3, m=2)
+        frags = rs.encode(data)
+        for subset in combinations(range(5), 3):
+            available = {i: frags[i] for i in subset}
+            assert rs.decode(available, 500) == data
+
+    def test_empty_payload(self):
+        rs = ReedSolomonCode(k=3, m=1)
+        frags = rs.encode(b"")
+        assert all(f == b"" for f in frags)
+        assert rs.decode({0: b"", 1: b"", 3: b""}, 0) == b""
+
+    def test_one_byte(self):
+        rs = ReedSolomonCode(k=3, m=2)
+        frags = rs.encode(b"Z")
+        assert rs.decode({2: frags[2], 3: frags[3], 4: frags[4]}, 1) == b"Z"
+
+    def test_insufficient_fragments(self, payload):
+        rs = ReedSolomonCode(k=3, m=1)
+        frags = rs.encode(payload(100))
+        with pytest.raises(ValueError):
+            rs.decode({0: frags[0], 1: frags[1]}, 100)
+
+    def test_wrong_fragment_length_rejected(self, payload):
+        rs = ReedSolomonCode(k=2, m=1)
+        frags = rs.encode(payload(100))
+        with pytest.raises(ValueError):
+            rs.decode({0: frags[0][:-1], 1: frags[1], 2: frags[2]}, 100)
+
+    def test_out_of_range_index_rejected(self, payload):
+        rs = ReedSolomonCode(k=2, m=1)
+        frags = rs.encode(payload(10))
+        with pytest.raises(ValueError):
+            rs.decode({0: frags[0], 7: frags[1]}, 10)
+
+
+class TestReconstruction:
+    def test_rebuild_each_fragment(self, payload):
+        data = payload(333)
+        rs = ReedSolomonCode(k=3, m=2)
+        frags = rs.encode(data)
+        for lost in range(5):
+            available = {i: f for i, f in enumerate(frags) if i != lost}
+            assert rs.reconstruct_fragment(available, lost, 333) == frags[lost]
+
+    def test_rebuild_from_minimum(self, payload):
+        data = payload(64)
+        rs = ReedSolomonCode(k=2, m=2)
+        frags = rs.encode(data)
+        rebuilt = rs.reconstruct_fragment({1: frags[1], 3: frags[3]}, 0, 64)
+        assert rebuilt == frags[0]
+
+    def test_rebuild_empty(self):
+        rs = ReedSolomonCode(k=2, m=1)
+        frags = rs.encode(b"")
+        assert rs.reconstruct_fragment({0: frags[0], 1: frags[1]}, 2, 0) == b""
+
+    def test_decode_cache_reused(self, payload):
+        rs = ReedSolomonCode(k=2, m=2)
+        data = payload(100)
+        frags = rs.encode(data)
+        subset = {0: frags[0], 3: frags[3]}
+        assert rs.decode(subset, 100) == data
+        assert rs.decode(subset, 100) == data  # second call hits the cache
+        assert len(rs._decode_cache) == 1

@@ -1,0 +1,50 @@
+"""Unit tests for the replication pseudo-codec."""
+
+import pytest
+
+from repro.erasure.replication import ReplicationCode
+
+
+class TestReplication:
+    def test_properties(self):
+        c = ReplicationCode(3)
+        assert c.n == 3
+        assert c.k == 1
+        assert c.fault_tolerance == 2
+        assert c.storage_overhead == pytest.approx(3.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ReplicationCode(0)
+
+    def test_encode_copies(self, payload):
+        data = payload(100)
+        assert ReplicationCode(2).encode(data) == [data, data]
+
+    def test_decode_any_single(self, payload):
+        data = payload(64)
+        c = ReplicationCode(3)
+        frags = c.encode(data)
+        for i in range(3):
+            assert c.decode({i: frags[i]}, 64) == data
+
+    def test_decode_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicationCode(2).decode({}, 0)
+
+    def test_size_mismatch_rejected(self, payload):
+        c = ReplicationCode(2)
+        frags = c.encode(payload(10))
+        with pytest.raises(ValueError):
+            c.decode({0: frags[0]}, 11)
+
+    def test_fragment_size_is_full(self):
+        assert ReplicationCode(2).fragment_size(1234) == 1234
+
+    def test_reconstruct(self, payload):
+        data = payload(32)
+        c = ReplicationCode(3)
+        frags = c.encode(data)
+        assert c.reconstruct_fragment({1: frags[1]}, 0, 32) == data
+        with pytest.raises(ValueError):
+            c.reconstruct_fragment({1: frags[1]}, 5, 32)

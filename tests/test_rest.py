@@ -1,0 +1,77 @@
+"""Unit tests for the RESTful adapter layer."""
+
+import pytest
+
+from repro.cloud.outage import OutageWindow
+from repro.cloud.rest import RestAdapter, RestRequest, RestResponse
+
+
+@pytest.fixture
+def adapter(providers):
+    return RestAdapter(providers["amazon_s3"])
+
+
+class TestRestRequest:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RestRequest("POST", "/c")
+        with pytest.raises(ValueError):
+            RestRequest("GET", "no-slash")
+
+    def test_split_path(self):
+        assert RestRequest("GET", "/c").split_path() == ("c", None)
+        assert RestRequest("GET", "/c/a/b.txt").split_path() == ("c", "a/b.txt")
+        assert RestRequest("GET", "/c/").split_path() == ("c", None)
+
+
+class TestVerbMapping:
+    def test_create_container(self, adapter):
+        assert adapter.execute(RestRequest("PUT", "/bucket")).status == 201
+
+    def test_put_get_roundtrip(self, adapter):
+        adapter.execute(RestRequest("PUT", "/b"))
+        put = adapter.execute(RestRequest("PUT", "/b/key", b"payload"))
+        assert put.status == 200
+        assert put.headers["x-version"] == "1"
+        got = adapter.execute(RestRequest("GET", "/b/key"))
+        assert got.ok and got.body == b"payload"
+
+    def test_version_header_increments(self, adapter):
+        adapter.execute(RestRequest("PUT", "/b"))
+        adapter.execute(RestRequest("PUT", "/b/k", b"1"))
+        second = adapter.execute(RestRequest("PUT", "/b/k", b"2"))
+        assert second.headers["x-version"] == "2"
+
+    def test_list(self, adapter):
+        adapter.execute(RestRequest("PUT", "/b"))
+        adapter.execute(RestRequest("PUT", "/b/a", b""))
+        adapter.execute(RestRequest("PUT", "/b/z", b""))
+        listing = adapter.execute(RestRequest("GET", "/b"))
+        assert listing.body == b"a\nz"
+
+    def test_delete(self, adapter):
+        adapter.execute(RestRequest("PUT", "/b"))
+        adapter.execute(RestRequest("PUT", "/b/k", b"x"))
+        assert adapter.execute(RestRequest("DELETE", "/b/k")).status == 204
+        assert adapter.execute(RestRequest("GET", "/b/k")).status == 404
+
+    def test_delete_container_not_allowed(self, adapter):
+        adapter.execute(RestRequest("PUT", "/b"))
+        assert adapter.execute(RestRequest("DELETE", "/b")).status == 405
+
+
+class TestErrorMapping:
+    def test_404_on_missing(self, adapter):
+        assert adapter.execute(RestRequest("GET", "/nope/key")).status == 404
+
+    def test_409_on_duplicate_container(self, adapter):
+        adapter.execute(RestRequest("PUT", "/b"))
+        assert adapter.execute(RestRequest("PUT", "/b")).status == 409
+
+    def test_503_during_outage(self, adapter, clock):
+        adapter.provider.outages.add(OutageWindow(0.0))
+        assert adapter.execute(RestRequest("GET", "/b/k")).status == 503
+
+    def test_response_ok_flag(self):
+        assert RestResponse(204).ok
+        assert not RestResponse(404).ok

@@ -1,0 +1,213 @@
+"""Unit tests for the scheme framework (phases, reports, metadata, healing)."""
+
+import pytest
+
+from repro.cloud.outage import OutageWindow
+from repro.schemes import RacsScheme, SingleCloudScheme
+from repro.schemes.base import CloudOp, DataUnavailable
+
+
+@pytest.fixture
+def single(providers, clock):
+    return SingleCloudScheme(providers["aliyun"], clock)
+
+
+@pytest.fixture
+def racs(providers, clock):
+    return RacsScheme(list(providers.values()), clock)
+
+
+class TestPhaseExecution:
+    def test_clock_advances_with_ops(self, single, clock, payload):
+        t0 = clock.now
+        single.put("/d/a", payload(1000))
+        assert clock.now > t0
+
+    def test_reports_collected(self, single, payload):
+        single.put("/d/a", payload(10))
+        single.get("/d/a")
+        ops = [r.op for r in single.collector.reports]
+        assert ops == ["put", "get"]
+
+    def test_report_bytes_accounting(self, single, payload):
+        report = single.put("/d/a", payload(1000))
+        # data + metadata write-through
+        assert report.bytes_up > 1000
+        _, got = single.get("/d/a")
+        assert got.bytes_down == 1000
+
+    def test_cloudop_validation(self):
+        with pytest.raises(ValueError):
+            CloudOp("p", "frobnicate", "c")
+        with pytest.raises(ValueError):
+            CloudOp("p", "put", "c", "k", None)
+
+    def test_nested_ops_rejected(self, single):
+        single._begin_op()
+        with pytest.raises(RuntimeError):
+            single._begin_op()
+        single._acc = None  # reset for teardown hygiene
+
+    def test_duplicate_providers_rejected(self, providers, clock):
+        with pytest.raises(ValueError):
+            RacsScheme(
+                [providers["aliyun"], providers["aliyun"], providers["azure"]], clock
+            )
+
+
+class TestPublicApi:
+    def test_put_get_roundtrip(self, single, payload):
+        data = payload(5000)
+        single.put("/d/a", data)
+        got, report = single.get("/d/a")
+        assert got == data
+        assert report.op == "get"
+
+    def test_get_missing_raises(self, single):
+        with pytest.raises(FileNotFoundError):
+            single.get("/nope")
+
+    def test_update_grows_file(self, single, payload):
+        single.put("/d/a", payload(100))
+        single.update("/d/a", 90, b"0123456789ABCDEF")
+        got, _ = single.get("/d/a")
+        assert len(got) == 106
+        assert got[90:] == b"0123456789ABCDEF"
+
+    def test_update_in_place(self, single, payload):
+        data = payload(100)
+        single.put("/d/a", data)
+        single.update("/d/a", 10, b"XX")
+        got, _ = single.get("/d/a")
+        assert got[10:12] == b"XX"
+        assert got[:10] == data[:10]
+        assert got[12:] == data[12:]
+
+    def test_remove(self, single, payload):
+        single.put("/d/a", payload(10))
+        single.remove("/d/a")
+        with pytest.raises(FileNotFoundError):
+            single.get("/d/a")
+
+    def test_remove_frees_provider_bytes(self, single, payload):
+        single.put("/d/a", payload(1000))
+        single.remove("/d/a")
+        # Only the (small) metadata group remains.
+        assert single.total_stored_bytes() < 500
+
+    def test_stat_and_listdir(self, single, payload):
+        single.put("/d/a", payload(10))
+        single.put("/d/b", payload(20))
+        entry, _ = single.stat("/d/a")
+        assert entry.size == 10
+        names, _ = single.listdir("/d")
+        assert names == ["/d/a", "/d/b"]
+
+    def test_overwrite_gc_old_version(self, single, payload):
+        single.put("/d/a", payload(1000))
+        single.put("/d/a", payload(2000))
+        data_bytes = sum(
+            obj.size
+            for objs in single.provider("aliyun").store._containers.values()
+            for key, obj in objs.items()
+            if not key.startswith("__meta__")
+        )
+        assert data_bytes == 2000  # v1 garbage-collected
+
+    def test_path_normalization(self, single, payload):
+        single.put("d//a", payload(5))
+        got, _ = single.get("/d/a")
+        assert len(got) == 5
+
+
+class TestMetadataWriteThrough:
+    def test_meta_object_persisted(self, single, payload):
+        single.put("/docs/a", payload(10))
+        store = single.provider("aliyun").store
+        assert store.has(single.container, "__meta__/docs")
+
+    def test_meta_updated_on_remove(self, single, payload):
+        single.put("/docs/a", payload(10))
+        single.put("/docs/b", payload(10))
+        single.remove("/docs/a")
+        from repro.fs.metadata import decode_group
+
+        blob = store_blob = single.provider("aliyun").store.get(
+            single.container, "__meta__/docs"
+        ).data
+        entries = decode_group(blob)
+        assert [e.path for e in entries] == ["/docs/b"]
+
+    def test_stat_hits_cache_second_time(self, single, payload):
+        single.put("/docs/a", payload(10))
+        _, first = single.stat("/docs/a")
+        _, second = single.stat("/docs/a")
+        assert second.cloud_ops == 0  # cache hit: no provider requests
+        assert second.elapsed == 0.0
+
+
+class TestOutagesAndHealing:
+    def test_striped_degraded_read(self, racs, providers, clock, payload):
+        data = payload(9000)
+        racs.put("/d/a", data)
+        providers["azure"].outages.add(OutageWindow(clock.now, clock.now + 3600))
+        got, report = racs.get("/d/a")
+        assert got == data
+        assert report.degraded
+
+    def test_write_logged_during_outage(self, racs, providers, clock, payload):
+        providers["azure"].outages.add(OutageWindow(clock.now, clock.now + 3600))
+        racs.put("/d/a", payload(900))
+        assert len(racs.pending_log("azure")) > 0
+
+    def test_heal_replays_log(self, racs, providers, clock, payload):
+        data = payload(900)
+        window = OutageWindow(clock.now, clock.now + 3600)
+        providers["azure"].outages.add(window)
+        racs.put("/d/a", data)
+        clock.advance_to(window.end)
+        reports = racs.heal_returned()
+        assert len(reports) == 1
+        assert reports[0].op == "heal"
+        assert len(racs.pending_log("azure")) == 0
+        # Azure now holds its fragment; a normal (non-degraded) read works.
+        got, report = racs.get("/d/a")
+        assert got == data
+        assert not report.degraded
+
+    def test_heal_noop_when_no_logs(self, racs):
+        assert racs.heal_returned() == []
+
+    def test_too_many_outages_raise(self, racs, providers, clock, payload):
+        racs.put("/d/a", payload(900))
+        for name in ("azure", "aliyun"):
+            providers[name].outages.add(OutageWindow(clock.now, clock.now + 60))
+        with pytest.raises(DataUnavailable):
+            racs.get("/d/a")
+
+    def test_update_during_outage_then_heal(self, racs, providers, clock, payload):
+        data = payload(9000)
+        racs.put("/d/a", data)
+        window = OutageWindow(clock.now, clock.now + 3600)
+        providers["azure"].outages.add(window)
+        racs.update("/d/a", 100, b"PATCH")
+        got, _ = racs.get("/d/a")
+        assert got[100:105] == b"PATCH"
+        clock.advance_to(window.end)
+        racs.heal_returned()
+        got2, report = racs.get("/d/a")
+        assert got2[100:105] == b"PATCH"
+        assert not report.degraded
+
+
+class TestSpaceOverhead:
+    def test_single_has_no_redundancy(self, single, payload):
+        single.put("/d/a", payload(10_000))
+        assert single.space_overhead() == pytest.approx(1.0, abs=0.05)
+
+    def test_racs_overhead_is_4_over_3(self, racs, payload):
+        racs.put("/d/a", payload(30_000))
+        assert racs.space_overhead() == pytest.approx(4 / 3, abs=0.05)
+
+    def test_empty_scheme_zero(self, single):
+        assert single.space_overhead() == 0.0

@@ -1,0 +1,96 @@
+"""Unit tests for the DepSky-style quorum baseline."""
+
+import pytest
+
+from repro.cloud.outage import OutageWindow
+from repro.schemes import DepSkyScheme
+from repro.schemes.base import DataUnavailable
+
+
+@pytest.fixture
+def depsky(providers, clock):
+    return DepSkyScheme(list(providers.values()), clock)
+
+
+class TestQuorum:
+    def test_needs_2f_plus_1(self, providers, clock):
+        with pytest.raises(ValueError):
+            DepSkyScheme([providers["aliyun"], providers["azure"]], clock, f=1)
+
+    def test_write_quorum_size(self, depsky):
+        assert depsky.write_quorum == 3
+
+    def test_replicas_on_all_providers(self, depsky, providers, payload):
+        data = payload(1000)
+        depsky.put("/d/a", data)
+        for name in providers:
+            assert providers[name].store.get(depsky.container, "/d/a#v1").data == data
+
+    def test_space_overhead_is_n(self, depsky, payload):
+        depsky.put("/d/a", payload(40_000))
+        assert depsky.space_overhead() == pytest.approx(4.0, abs=0.1)
+
+    def test_write_acks_at_quorum_not_slowest(self, payload):
+        """The write returns at the (n-f)-th upload: making the straggler
+        pathologically slow must not change the write latency."""
+        import dataclasses
+
+        from repro.cloud.latency import ClientLink
+        from repro.cloud.provider import make_table2_cloud_of_clouds
+        from repro.sim.clock import SimClock
+
+        def put_elapsed(strangle: bool) -> float:
+            clock = SimClock()
+            fleet = make_table2_cloud_of_clouds(clock)
+            if strangle:
+                fleet["rackspace"].latency = dataclasses.replace(
+                    fleet["rackspace"].latency, upload_bw=0.05e6
+                )
+            scheme = DepSkyScheme(
+                list(fleet.values()), clock, link=ClientLink(uplink=40e6)
+            )
+            return scheme.put("/d/a", payload(2_000_000)).elapsed
+
+        fast, strangled = put_elapsed(False), put_elapsed(True)
+        # 2 MB at 0.05 MB/s would be 40 s; the quorum write must not see it.
+        assert strangled < fast * 1.5
+        assert strangled < 10.0
+
+
+class TestReads:
+    def test_read_verifies_f_probes(self, depsky, payload):
+        depsky.put("/d/a", payload(100))
+        _, report = depsky.get("/d/a")
+        assert len(report.providers) == 2  # 1 data fetch + f=1 head probe
+
+    def test_read_survives_outage(self, depsky, providers, clock, payload):
+        data = payload(100)
+        depsky.put("/d/a", data)
+        providers["aliyun"].outages.add(OutageWindow(clock.now, clock.now + 60))
+        got, report = depsky.get("/d/a")
+        assert got == data
+        assert report.degraded
+
+    def test_read_survives_f_plus_more_outages(self, depsky, providers, clock, payload):
+        data = payload(100)
+        depsky.put("/d/a", data)
+        for name in ("aliyun", "azure", "amazon_s3"):
+            providers[name].outages.add(OutageWindow(clock.now, clock.now + 60))
+        got, _ = depsky.get("/d/a")
+        assert got == data  # last replica still serves
+
+    def test_total_outage_raises(self, depsky, providers, clock, payload):
+        depsky.put("/d/a", payload(100))
+        for name in providers:
+            providers[name].outages.add(OutageWindow(clock.now, clock.now + 60))
+        with pytest.raises(DataUnavailable):
+            depsky.get("/d/a")
+
+
+class TestDegradedWrites:
+    def test_write_below_quorum_marks_degraded(self, depsky, providers, clock, payload):
+        for name in ("aliyun", "azure"):
+            providers[name].outages.add(OutageWindow(clock.now, clock.now + 3600))
+        report = depsky.put("/d/a", payload(100))
+        assert report.degraded  # only 2 < quorum 3 acks
+        assert len(depsky.pending_log("aliyun")) > 0

@@ -1,0 +1,58 @@
+"""Unit tests for the simulated clock."""
+
+import pytest
+
+from repro.sim.clock import SECONDS_PER_MONTH, SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(5.0).now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(-1.0)
+
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(2.5) == 2.5
+        assert clock.advance(0.5) == 3.0
+        assert clock.now == 3.0
+
+    def test_advance_zero_allowed(self):
+        clock = SimClock(1.0)
+        clock.advance(0.0)
+        assert clock.now == 1.0
+
+    def test_negative_advance_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.advance(-0.1)
+
+    def test_advance_to(self):
+        clock = SimClock()
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+
+    def test_advance_to_past_rejected(self):
+        clock = SimClock(5.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(4.9)
+
+    def test_advance_to_same_instant(self):
+        clock = SimClock(5.0)
+        clock.advance_to(5.0)
+        assert clock.now == 5.0
+
+    def test_month_index(self):
+        clock = SimClock()
+        assert clock.month_index() == 0
+        clock.advance_to(SECONDS_PER_MONTH - 1)
+        assert clock.month_index() == 0
+        clock.advance_to(SECONDS_PER_MONTH)
+        assert clock.month_index() == 1
+        clock.advance_to(3.5 * SECONDS_PER_MONTH)
+        assert clock.month_index() == 3

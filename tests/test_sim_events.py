@@ -1,0 +1,78 @@
+"""Unit tests for the discrete event loop."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.sim.events import EventLoop
+
+
+class TestEventLoop:
+    def test_events_fire_in_time_order(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(3.0, lambda: fired.append("c"))
+        loop.schedule(1.0, lambda: fired.append("a"))
+        loop.schedule(2.0, lambda: fired.append("b"))
+        loop.run()
+        assert fired == ["a", "b", "c"]
+        assert loop.clock.now == 3.0
+
+    def test_same_time_events_fire_in_schedule_order(self):
+        loop = EventLoop()
+        fired = []
+        for tag in range(5):
+            loop.schedule(1.0, lambda t=tag: fired.append(t))
+        loop.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_schedule_in_past_rejected(self):
+        loop = EventLoop(SimClock(10.0))
+        with pytest.raises(ValueError):
+            loop.schedule(9.0, lambda: None)
+
+    def test_schedule_in_relative(self):
+        loop = EventLoop(SimClock(10.0))
+        fired = []
+        loop.schedule_in(5.0, lambda: fired.append(loop.clock.now))
+        loop.run()
+        assert fired == [15.0]
+
+    def test_negative_delay_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(ValueError):
+            loop.schedule_in(-1.0, lambda: None)
+
+    def test_cancel(self):
+        loop = EventLoop()
+        fired = []
+        handle = loop.schedule(1.0, lambda: fired.append("x"))
+        loop.schedule(2.0, lambda: fired.append("y"))
+        loop.cancel(handle)
+        loop.run()
+        assert fired == ["y"]
+
+    def test_run_until_stops_at_deadline(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, lambda: fired.append(1))
+        loop.schedule(5.0, lambda: fired.append(5))
+        loop.run_until(3.0)
+        assert fired == [1]
+        assert loop.clock.now == 3.0
+        assert len(loop) == 1
+
+    def test_events_can_schedule_events(self):
+        loop = EventLoop()
+        fired = []
+
+        def first():
+            fired.append("first")
+            loop.schedule_in(1.0, lambda: fired.append("second"))
+
+        loop.schedule(1.0, first)
+        loop.run()
+        assert fired == ["first", "second"]
+        assert loop.clock.now == 2.0
+
+    def test_step_on_empty_returns_false(self):
+        assert EventLoop().step() is False

@@ -1,0 +1,93 @@
+"""Unit tests for file-size distributions (workload fidelity checks)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.filesizes import (
+    AgrawalFileSizes,
+    LogUniformFileSizes,
+    MediaLibraryFileSizes,
+    PostmarkPoolFileSizes,
+)
+
+KB = 1024
+MB = 1024 * 1024
+
+
+class TestLogUniform:
+    def test_bounds_respected(self, rng):
+        sizes = LogUniformFileSizes(lo=1 * KB, hi=1 * MB).sample(rng, 5000)
+        assert sizes.min() >= 1 * KB * 0.99
+        assert sizes.max() <= 1 * MB
+
+    def test_log_uniformity(self, rng):
+        sizes = LogUniformFileSizes(lo=1 * KB, hi=1 * MB).sample(rng, 20_000)
+        # Median in log space sits near the geometric mean of the bounds.
+        geo = np.sqrt(1 * KB * 1 * MB)
+        assert 0.8 * geo < np.median(sizes) < 1.25 * geo
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogUniformFileSizes(lo=0, hi=100).sample(np.random.default_rng(0), 1)
+
+    def test_minimum_one_byte(self, rng):
+        sizes = LogUniformFileSizes(lo=1, hi=2).sample(rng, 100)
+        assert sizes.min() >= 1
+
+
+class TestAgrawal:
+    """The distribution must hit the statistics the paper cites (§II-B)."""
+
+    def test_half_of_files_below_4k(self, rng):
+        sizes = AgrawalFileSizes().sample(rng, 50_000)
+        assert 0.50 <= (sizes < 4 * KB).mean() <= 0.60
+
+    def test_large_files_hold_most_bytes(self, rng):
+        sizes = AgrawalFileSizes().sample(rng, 50_000)
+        large_share = sizes[sizes >= 3 * MB].sum() / sizes.sum()
+        assert large_share >= 0.70
+
+    def test_large_files_are_count_minority(self, rng):
+        sizes = AgrawalFileSizes().sample(rng, 50_000)
+        assert (sizes >= 3 * MB).mean() <= 0.10
+
+
+class TestPostmarkPool:
+    def test_bounds(self, rng):
+        sizes = PostmarkPoolFileSizes().sample(rng, 20_000)
+        assert sizes.min() >= 1 * KB * 0.99
+        assert sizes.max() <= 100 * MB
+
+    def test_small_majority_large_minority(self, rng):
+        sizes = PostmarkPoolFileSizes().sample(rng, 20_000)
+        assert (sizes < 4 * KB).mean() >= 0.45
+        assert 0.05 <= (sizes >= 1 * MB).mean() <= 0.20
+
+    def test_bytes_dominated_by_large(self, rng):
+        sizes = PostmarkPoolFileSizes().sample(rng, 20_000)
+        assert sizes[sizes >= 1 * MB].sum() / sizes.sum() >= 0.80
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PostmarkPoolFileSizes(lo=100, hi=100)
+
+
+class TestMediaLibrary:
+    def test_scale_shrinks_everything(self, rng):
+        full = MediaLibraryFileSizes().sample(rng, 20_000).mean()
+        eighth = MediaLibraryFileSizes(scale=0.125).sample(rng, 20_000).mean()
+        assert eighth == pytest.approx(full / 8, rel=0.15)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            MediaLibraryFileSizes(scale=0)
+
+    def test_mixture_weights_validated(self):
+        from repro.workloads.filesizes import _Band, _BandMixture
+
+        with pytest.raises(ValueError):
+            _BandMixture([_Band(1, 2, 0.5)])
+
+    def test_mean_size_helper(self, rng):
+        d = MediaLibraryFileSizes()
+        assert d.mean_size(rng, 2000) > 1 * MB

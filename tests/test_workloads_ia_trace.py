@@ -1,0 +1,99 @@
+"""Unit tests for the Internet Archive trace synthesizer (Figure 3)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.ia_trace import (
+    IATraceConfig,
+    _fit_read_bytes,
+    _solve_tilt,
+    _tilted_weights,
+    synthesize_ia_trace,
+)
+
+
+@pytest.fixture
+def trace(rng):
+    return synthesize_ia_trace(IATraceConfig(writes_per_month=20), rng)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IATraceConfig(months=0)
+        with pytest.raises(ValueError):
+            IATraceConfig(read_volume_ratio=0)
+        with pytest.raises(ValueError):
+            IATraceConfig(seasonality=1.0)
+
+
+class TestFigure3Statistics:
+    def test_read_write_byte_ratio(self, trace):
+        """Fig. 3a: reads outweigh writes 2.1:1 by volume."""
+        assert trace.total_read_to_write_bytes == pytest.approx(2.1, rel=0.05)
+
+    def test_read_write_request_ratio(self, trace):
+        """Fig. 3b: read requests outnumber writes 3.5:1."""
+        assert trace.total_read_to_write_requests == pytest.approx(3.5, rel=0.05)
+
+    def test_twelve_months(self, trace):
+        assert len(trace.stats) == 12
+        assert [s.month for s in trace.stats] == list(range(12))
+
+    def test_monthly_volumes_fluctuate(self, trace):
+        written = [s.bytes_written for s in trace.stats]
+        assert max(written) > 1.2 * min(written)  # seasonality visible
+
+    def test_ops_match_stats(self, trace):
+        for s in trace.stats:
+            month_ops = [op for op in trace.ops if op.month == s.month]
+            puts = [op for op in month_ops if op.kind == "put"]
+            gets = [op for op in month_ops if op.kind == "get"]
+            assert len(puts) == s.write_requests
+            assert len(gets) == s.read_requests
+            assert sum(op.size for op in puts) == s.bytes_written
+
+    def test_reads_follow_writes(self, trace):
+        """Every get targets a path already written."""
+        written: set[str] = set()
+        for op in trace.ops:
+            if op.kind == "put":
+                written.add(op.path)
+            else:
+                assert op.path in written
+
+    def test_reads_can_target_older_months(self, trace):
+        first_month_paths = {
+            op.path for op in trace.ops if op.kind == "put" and op.month == 0
+        }
+        late_reads = {
+            op.path for op in trace.ops if op.kind == "get" and op.month >= 6
+        }
+        assert first_month_paths & late_reads  # archive items stay popular
+
+
+class TestTiltMachinery:
+    def test_solve_tilt_hits_target(self, rng):
+        sizes = np.exp(rng.uniform(np.log(1e3), np.log(1e8), 3000))
+        for frac in (0.3, 0.6, 1.0, 2.0):
+            target = frac * sizes.mean()
+            lam = _solve_tilt(sizes, target)
+            w = _tilted_weights(sizes, lam)
+            assert (w * sizes).sum() == pytest.approx(target, rel=0.01)
+
+    def test_tilt_degenerate_uniform_sizes(self):
+        sizes = np.full(10, 500.0)
+        assert _solve_tilt(sizes, 500.0) == 0.0
+
+    def test_fit_read_bytes_converges(self, rng):
+        lib = np.exp(rng.uniform(np.log(1e3), np.log(1e8), 500))
+        picks = rng.integers(0, 500, size=80)
+        target = 0.6 * lib.mean() * 80
+        fitted = _fit_read_bytes(lib, picks, target)
+        assert lib[fitted].sum() == pytest.approx(target, rel=0.04)
+
+    def test_fit_preserves_pick_count(self, rng):
+        lib = np.exp(rng.uniform(np.log(1e3), np.log(1e6), 100))
+        picks = rng.integers(0, 100, size=30)
+        fitted = _fit_read_bytes(lib, picks, lib.mean() * 30)
+        assert len(fitted) == 30

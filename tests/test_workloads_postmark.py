@@ -1,0 +1,103 @@
+"""Unit tests for the PostMark generator."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.postmark import PostMarkConfig, generate_postmark
+
+KB = 1024
+MB = 1024 * 1024
+
+
+@pytest.fixture
+def config():
+    return PostMarkConfig(file_pool=20, transactions=100, size_hi=4 * MB)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PostMarkConfig(file_pool=0)
+        with pytest.raises(ValueError):
+            PostMarkConfig(size_lo=0)
+        with pytest.raises(ValueError):
+            PostMarkConfig(op_mix=(("get", 0.5),))
+        with pytest.raises(ValueError):
+            PostMarkConfig(op_mix=(("frobnicate", 1.0),))
+
+
+class TestGeneration:
+    def test_pool_phase_is_all_puts(self, config, rng):
+        ops = generate_postmark(config, rng)
+        pool = ops[: config.file_pool]
+        assert all(op.kind == "put" for op in pool)
+        assert len({op.path for op in pool}) == config.file_pool
+
+    def test_op_count(self, config, rng):
+        ops = generate_postmark(config, rng)
+        assert len(ops) == config.file_pool + config.transactions
+
+    def test_sizes_within_bounds(self, config, rng):
+        ops = generate_postmark(config, rng)
+        for op in ops:
+            if op.kind == "put":
+                assert config.size_lo <= op.size <= config.size_hi
+
+    def test_deterministic_per_seed(self, config):
+        a = generate_postmark(config, np.random.default_rng(5))
+        b = generate_postmark(config, np.random.default_rng(5))
+        assert a == b
+
+    def test_trace_validity(self, config, rng):
+        """No read/update/remove/stat may target a dead or unborn path."""
+        ops = generate_postmark(config, rng)
+        live: set[str] = set()
+        for op in ops:
+            if op.kind == "put":
+                live.add(op.path)
+            elif op.kind == "list":
+                continue
+            else:
+                assert op.path in live, f"{op.kind} on dead path {op.path}"
+                if op.kind == "remove":
+                    live.remove(op.path)
+
+    def test_update_offsets_inside_file(self, config, rng):
+        ops = generate_postmark(config, rng)
+        sizes: dict[str, int] = {}
+        for op in ops:
+            if op.kind == "put":
+                sizes[op.path] = op.size
+            elif op.kind == "update":
+                assert op.offset + op.size <= max(sizes[op.path], op.size)
+
+    def test_subdirectories_used(self, rng):
+        config = PostMarkConfig(file_pool=40, transactions=0, subdirectories=4)
+        ops = generate_postmark(config, rng)
+        dirs = {op.path.rsplit("/", 1)[0] for op in ops}
+        assert len(dirs) == 4
+
+    def test_mix_roughly_respected(self, rng):
+        config = PostMarkConfig(
+            file_pool=10,
+            transactions=2000,
+            size_hi=1 * MB,
+            op_mix=(("get", 0.5), ("stat", 0.5)),
+        )
+        ops = generate_postmark(config, rng)[10:]
+        kinds = [op.kind for op in ops]
+        get_frac = kinds.count("get") / len(kinds)
+        assert 0.45 < get_frac < 0.55
+
+    def test_delete_pool_at_end(self, rng):
+        config = PostMarkConfig(
+            file_pool=10, transactions=20, size_hi=1 * MB, delete_pool_at_end=True
+        )
+        ops = generate_postmark(config, rng)
+        live = set()
+        for op in ops:
+            if op.kind == "put":
+                live.add(op.path)
+            elif op.kind == "remove":
+                live.discard(op.path)
+        assert live == set()
