@@ -9,10 +9,13 @@ operation.
 """
 
 import numpy as np
+import pytest
 
 from repro.analysis.charts import line_chart
 from repro.analysis.tables import render_table
 from repro.cloud.provider import make_table2_cloud_of_clouds
+from repro.core.config import HyRDConfig
+from repro.core.resilience import ResilienceConfig
 from repro.schemes import DuraCloudScheme, HyrdScheme, RacsScheme
 from repro.sim.clock import SimClock
 from repro.sim.rng import make_rng
@@ -21,6 +24,12 @@ from repro.workloads.trace import TraceReplayer
 
 KB, MB = 1024, 1024 * 1024
 RATES = [0.0, 0.05, 0.1, 0.2]
+
+# Backoff ablation: same scheme, same retry attempts, but the exponential
+# waits between attempts are zeroed out.
+_NO_BACKOFF_CONFIG = HyRDConfig(
+    resilience=ResilienceConfig(retry=ResilienceConfig().retry.without_backoff())
+)
 
 
 def _mean_latency(builder, rate, seed=0):
@@ -41,6 +50,9 @@ def test_latency_vs_fault_rate(benchmark, emit):
         "duracloud": lambda p, c: DuraCloudScheme([p["amazon_s3"], p["azure"]], c),
         "racs": lambda p, c: RacsScheme(list(p.values()), c),
         "hyrd": lambda p, c: HyrdScheme(list(p.values()), c),
+        "hyrd-nobackoff": lambda p, c: HyrdScheme(
+            list(p.values()), c, config=_NO_BACKOFF_CONFIG
+        ),
     }
 
     def experiment():
@@ -79,3 +91,10 @@ def test_latency_vs_fault_rate(benchmark, emit):
     for i in range(len(RATES)):
         assert series["hyrd"][i] < series["racs"][i]
         assert series["hyrd"][i] < series["duracloud"][i]
+    # Backoff ablation: the waits are the only difference, so with no faults
+    # the two HyRD columns are identical, and under faults the no-backoff
+    # variant is never slower (it pays retry round trips but never sleeps).
+    assert series["hyrd-nobackoff"][0] == pytest.approx(series["hyrd"][0])
+    for i in range(len(RATES)):
+        assert series["hyrd-nobackoff"][i] <= series["hyrd"][i]
+    assert series["hyrd-nobackoff"][-1] < series["hyrd"][-1]

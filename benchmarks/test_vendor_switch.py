@@ -8,7 +8,6 @@ egress bytes against the analytic model in :mod:`repro.analysis.lockin`.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis.tables import render_table
 from repro.cloud.provider import make_table2_cloud_of_clouds

@@ -14,6 +14,7 @@ __all__ = [
     "ContainerExists",
     "ProviderUnavailable",
     "TransientProviderError",
+    "CircuitOpenError",
 ]
 
 
@@ -54,6 +55,23 @@ class ProviderUnavailable(CloudError):
 
     def __init__(self, provider: str, at: float) -> None:
         super().__init__(f"provider {provider!r} unavailable at t={at:.3f}s")
+        self.provider = provider
+        self.at = at
+
+
+class CircuitOpenError(ProviderUnavailable):
+    """The client's circuit breaker for this provider is open.
+
+    Client-side fail-fast: no request leaves the machine, so unlike a real
+    :class:`ProviderUnavailable` it costs no wire round trip.  Subclasses it
+    because every consumer must treat the two identically (skip the
+    provider, write-log the mutation).
+    """
+
+    def __init__(self, provider: str, at: float) -> None:
+        CloudError.__init__(
+            self, f"circuit open for provider {provider!r} at t={at:.3f}s"
+        )
         self.provider = provider
         self.at = at
 

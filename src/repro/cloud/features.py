@@ -14,7 +14,7 @@ The Table II presets use each provider's 2014-era public characteristics
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["ProviderFeatures", "TABLE2_FEATURES"]
 

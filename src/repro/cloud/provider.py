@@ -15,8 +15,11 @@ accounting global and providers simple.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.cloud.errors import ProviderUnavailable, TransientProviderError
 from repro.cloud.features import TABLE2_FEATURES, ProviderFeatures
+from repro.faults.profile import FaultProfile
 from repro.sim.rng import make_rng
 from repro.cloud.latency import LatencyModel
 from repro.cloud.metering import UsageMeter
@@ -54,6 +57,7 @@ class SimulatedProvider:
         fault_rate: float = 0.0,
         fault_seed: int = 0,
         features: "ProviderFeatures | None" = None,
+        faults: FaultProfile | None = None,
     ) -> None:
         if not (0.0 <= fault_rate < 1.0):
             raise ValueError(f"fault_rate must be in [0, 1), got {fault_rate}")
@@ -70,20 +74,56 @@ class SimulatedProvider:
         self.fault_rate = fault_rate
         self._fault_rng = make_rng(fault_seed, "provider-faults", name)
         self.features = features if features is not None else ProviderFeatures()
+        #: scripted fault profile (bursts, brownouts, flapping, corruption);
+        #: layered on top of the outage schedule and the base fault rate
+        self.faults = faults.bind(name) if faults is not None else None
 
     # ---------------------------------------------------------- availability
     def is_available(self, t: float | None = None) -> bool:
-        return not self.outages.is_out(self.clock.now if t is None else t)
+        t = self.clock.now if t is None else t
+        if self.outages.is_out(t):
+            return False
+        return not (self.faults is not None and self.faults.is_out(t))
+
+    def _effective_fault_rate(self, t: float) -> float:
+        """Base transient rate layered with any scripted burst/throttle."""
+        rate = self.fault_rate
+        if self.faults is not None:
+            extra = self.faults.extra_fault_rate(t)
+            if extra > 0.0:
+                rate = 1.0 - (1.0 - rate) * (1.0 - extra)
+        return rate
 
     def _check_available(self) -> None:
         now = self.clock.now
-        if self.outages.is_out(now):
+        if not self.is_available(now):
             raise ProviderUnavailable(self.name, now)
-        if self.fault_rate > 0.0 and self._fault_rng.random() < self.fault_rate:
+        rate = self._effective_fault_rate(now)
+        if rate > 0.0 and self._fault_rng.random() < rate:
             raise TransientProviderError(self.name, now)
 
     def _sync_storage_meter(self) -> None:
         self.meter.set_stored_bytes(self.store.total_bytes(), self.clock.now)
+
+    # ------------------------------------------------------ degraded latency
+    def effective_latency(self, t: float | None = None) -> LatencyModel:
+        """The latency model as degraded by any active brownout.
+
+        Schemes cost their transfers through this, so a browned-out provider
+        really does answer slowly — the client only *learns* about it through
+        the measurements its health tracker accumulates.
+        """
+        if self.faults is None:
+            return self.latency
+        rtt_f, bw_f = self.faults.latency_factors(self.clock.now if t is None else t)
+        if rtt_f == 1.0 and bw_f == 1.0:
+            return self.latency
+        return replace(
+            self.latency,
+            rtt=self.latency.rtt * rtt_f,
+            upload_bw=self.latency.upload_bw * bw_f,
+            download_bw=self.latency.download_bw * bw_f,
+        )
 
     # ------------------------------------------------- the five paper ops
     def create(self, container: str, *, exist_ok: bool = False) -> None:
@@ -100,10 +140,17 @@ class SimulatedProvider:
         return keys
 
     def get(self, container: str, key: str) -> bytes:
-        """Read an object (paper op: *Get*)."""
+        """Read an object (paper op: *Get*).
+
+        A scripted :class:`~repro.faults.profile.SilentCorruption` window can
+        flip bits in the *returned* copy (the stored object is untouched);
+        only end-to-end digest verification catches it.
+        """
         self._check_available()
         obj = self.store.get(container, key)
         self.meter.record_get(obj.size, self.clock.now)
+        if self.faults is not None:
+            return self.faults.maybe_corrupt(obj.data, self.clock.now)
         return obj.data
 
     def put(self, container: str, key: str, data: bytes) -> StoredObject:
@@ -141,13 +188,16 @@ class SimulatedProvider:
 def make_table2_cloud_of_clouds(
     clock: SimClock,
     outages: dict[str, OutageSchedule] | None = None,
+    faults: dict[str, FaultProfile] | None = None,
 ) -> dict[str, SimulatedProvider]:
     """The paper's experimental Cloud-of-Clouds: the four Table II providers.
 
     Returns ``{name: provider}`` with pricing from Table II and latency from
-    :data:`TABLE2_LATENCY`; pass ``outages`` to inject failures per provider.
+    :data:`TABLE2_LATENCY`; pass ``outages`` and/or ``faults`` to inject
+    failures per provider.
     """
     outages = outages or {}
+    faults = faults or {}
     providers: dict[str, SimulatedProvider] = {}
     for name in ("amazon_s3", "azure", "aliyun", "rackspace"):
         providers[name] = SimulatedProvider(
@@ -158,5 +208,6 @@ def make_table2_cloud_of_clouds(
             outages=outages.get(name),
             category=CATEGORIES[name],
             features=TABLE2_FEATURES[name],
+            faults=faults.get(name),
         )
     return providers

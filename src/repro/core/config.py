@@ -7,7 +7,9 @@ extremely rare"), RAID5 erasure coding for large files.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+from repro.core.resilience import ResilienceConfig
 
 __all__ = ["HyRDConfig", "MB"]
 
@@ -49,6 +51,10 @@ class HyRDConfig:
     required_features:
         Boolean :class:`~repro.cloud.features.ProviderFeatures` names every
         chosen provider must offer (e.g. ``("geo_redundant",)``).
+    resilience:
+        Client reaction to provider misbehaviour: retry backoff, circuit
+        breakers, hedged reads, health tracking
+        (:class:`~repro.core.resilience.ResilienceConfig`).
     seed:
         Root seed for all stochastic behaviour (jitter, probes).
     """
@@ -63,6 +69,7 @@ class HyRDConfig:
     cost_percentile: float = 75.0
     min_distinct_regions: int = 1
     required_features: tuple[str, ...] = ()
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
     seed: int = 0
 
     def __post_init__(self) -> None:

@@ -19,6 +19,7 @@ Policy reproduced here:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.core.config import HyRDConfig
 from repro.core.evaluator import CostPerformanceEvaluator
@@ -53,6 +54,26 @@ class RequestDispatcher:
         self.config = config
         self.evaluator = evaluator
         self._codec_cache: ErasureCodec | None = None
+        self._usable_guard: Callable[[str], bool] | None = None
+
+    def set_usable_guard(self, guard: Callable[[str], bool] | None) -> None:
+        """Install a client-side usability predicate (circuit-breaker feed).
+
+        The guard only influences *preference order* on replication paths:
+        guard-passing providers sort first in :meth:`replica_targets` and
+        :meth:`promotion_target`.  It never changes set membership — an
+        outaged provider must still receive its placement slot so mutations
+        land in the write log, and the erasure stripe's membership is pinned
+        by the cached codec sizing.
+        """
+        self._usable_guard = guard
+
+    def _prefer_usable(self, names: list[str]) -> list[str]:
+        """Stable-sort guard-passing providers ahead of tripped ones."""
+        if self._usable_guard is None:
+            return names
+        guard = self._usable_guard
+        return sorted(names, key=lambda n: 0 if guard(n) else 1)
 
     def refresh(self) -> None:
         """Drop cached placement state after a re-evaluation or exclusion.
@@ -137,7 +158,10 @@ class RequestDispatcher:
         for name in self._feature_eligible(self.evaluator.ranked_by_speed()):
             if name not in pool:
                 pool.append(name)
-        return self._enforce_regions(perf[:r], pool, r)
+        chosen = self._enforce_regions(perf[:r], pool, r)
+        # Preference-order only: a breaker-tripped provider keeps its slot
+        # (its writes must land in the write log) but loses its priority.
+        return self._prefer_usable(chosen)
 
     def erasure_targets(self) -> list[str]:
         """Cost-oriented providers for the large-file stripe.
@@ -223,6 +247,8 @@ class RequestDispatcher:
         )
 
     def promotion_target(self) -> str:
-        """Fastest performance-oriented provider (hot-copy home)."""
-        perf = self.evaluator.performance_oriented()
-        return perf[0] if perf else self.evaluator.ranked_by_speed()[0]
+        """Fastest *usable* performance-oriented provider (hot-copy home)."""
+        perf = self._prefer_usable(self.evaluator.performance_oriented())
+        if perf:
+            return perf[0]
+        return self._prefer_usable(self.evaluator.ranked_by_speed())[0]

@@ -25,6 +25,7 @@ from repro.cloud.errors import CloudError, ProviderUnavailable
 from repro.cloud.pricing import ProviderCategory
 from repro.cloud.provider import SimulatedProvider
 from repro.core.config import HyRDConfig
+from repro.core.resilience import ProviderHealth, RetryPolicy
 from repro.sim.rng import make_rng
 
 __all__ = ["ProviderProfile", "CostPerformanceEvaluator"]
@@ -61,6 +62,7 @@ class CostPerformanceEvaluator:
         config: HyRDConfig,
         probe_size: int = 256 * 1024,
         probe_repeats: int = 3,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         if not providers:
             raise ValueError("evaluator needs at least one provider")
@@ -70,8 +72,14 @@ class CostPerformanceEvaluator:
         self.config = config
         self.probe_size = probe_size
         self.probe_repeats = probe_repeats
+        #: probe retry discipline; defaults to the config's ``probe_retry``
+        #: policy (6 immediate attempts — the historical behaviour, now a knob)
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else config.resilience.probe_retry
+        )
         self.rng = make_rng(config.seed, "evaluator")
         self.profiles: dict[str, ProviderProfile] = {}
+        self._scores: dict[str, float] = {}
         self._excluded: set[str] = set()
 
     # ------------------------------------------------------------- probing
@@ -79,27 +87,37 @@ class CostPerformanceEvaluator:
         """Measure one provider: mean elapsed time of put+get probe pairs.
 
         Probes are real metered transactions (the paper's evaluator
-        "directly interacts with the individual cloud storage providers").
-        Unavailable providers score infinitely slow.
+        "directly interacts with the individual cloud storage providers"),
+        retried under :attr:`retry_policy`, and costed through the
+        provider's *effective* latency — an active brownout is measured, not
+        assumed away.  Unavailable providers score infinitely slow.
         """
         from repro.cloud.errors import TransientProviderError
 
         payload = bytes(self.probe_size)
+        policy = self.retry_policy
         samples: list[float] = []
         for _ in range(self.probe_repeats):
-            for attempt in range(6):  # transient failures: retry the probe
+            backoff_spent = 0.0
+            for attempt in range(policy.max_attempts):
                 try:
                     provider.create(_PROBE_CONTAINER, exist_ok=True)
                     provider.put(_PROBE_CONTAINER, _PROBE_KEY, payload)
                     provider.get(_PROBE_CONTAINER, _PROBE_KEY)
                     break
                 except TransientProviderError:
+                    if attempt + 1 >= policy.max_attempts:
+                        return float("inf")
+                    wait = policy.backoff(attempt, self.rng)
+                    if backoff_spent + wait > policy.deadline:
+                        return float("inf")
+                    backoff_spent += wait
                     continue
                 except ProviderUnavailable:
                     return float("inf")
-            else:
+            else:  # pragma: no cover - loop exits via break or return
                 return float("inf")
-            lat = provider.latency
+            lat = provider.effective_latency()
             up = lat.upload_spec(self.probe_size, self.rng)
             down = lat.download_spec(self.probe_size, self.rng)
             samples.append(
@@ -114,15 +132,8 @@ class CostPerformanceEvaluator:
             pass
         return float(np.mean(samples))
 
-    def evaluate(self) -> dict[str, ProviderProfile]:
-        """(Re-)measure every provider and classify; returns the profiles."""
-        scores = {
-            name: self._probe_latency(p) for name, p in self.providers.items()
-        }
-        finite = [s for s in scores.values() if np.isfinite(s)]
-        if not finite:
-            raise RuntimeError("every provider is unavailable; cannot evaluate")
-
+    def _classify(self, scores: dict[str, float]) -> dict[str, ProviderProfile]:
+        """Build profiles from latency scores + published prices."""
         # Performance-oriented: the fastest ceil(perf_fraction * n) providers.
         n = len(self.providers)
         perf_count = max(1, int(np.ceil(self.config.perf_fraction * n)))
@@ -141,20 +152,54 @@ class CostPerformanceEvaluator:
         if not cost_names:  # degenerate configs: cheapest provider qualifies
             cost_names = {min(prices, key=prices.get)}  # type: ignore[arg-type]
 
-        self.profiles = {}
+        profiles: dict[str, ProviderProfile] = {}
         for name, p in self.providers.items():
             category = ProviderCategory.NONE
             if name in perf_names:
                 category |= ProviderCategory.PERFORMANCE_ORIENTED
             if name in cost_names:
                 category |= ProviderCategory.COST_ORIENTED
-            self.profiles[name] = ProviderProfile(
+            profiles[name] = ProviderProfile(
                 name=name,
                 latency_score=scores[name],
                 storage_price=p.pricing.storage_gb_month,
                 egress_price=p.pricing.data_out_gb,
                 category=category,
             )
+        return profiles
+
+    def evaluate(self) -> dict[str, ProviderProfile]:
+        """(Re-)measure every provider and classify; returns the profiles."""
+        scores = {
+            name: self._probe_latency(p) for name, p in self.providers.items()
+        }
+        finite = [s for s in scores.values() if np.isfinite(s)]
+        if not finite:
+            raise RuntimeError("every provider is unavailable; cannot evaluate")
+        self._scores = scores
+        self.profiles = self._classify(scores)
+        return self.profiles
+
+    def rerank(
+        self, health: dict[str, ProviderHealth]
+    ) -> dict[str, ProviderProfile]:
+        """Re-classify using health-penalised scores, without re-probing.
+
+        Each provider's measured probe score is scaled by its health
+        tracker's penalty (slowdown × error rate), then the usual
+        classification reruns.  A browned-out provider whose clean probe
+        made it performance-oriented loses that slot to the next-fastest
+        healthy provider — the evaluator's answer to degradation that is
+        too soft to trip a breaker.
+        """
+        self._require_profiles()
+        weight = self.config.resilience.health_error_weight
+        scores = {
+            name: raw
+            * (health[name].penalty(weight) if name in health else 1.0)
+            for name, raw in self._scores.items()
+        }
+        self.profiles = self._classify(scores)
         return self.profiles
 
     # ----------------------------------------------------------- exclusion

@@ -54,11 +54,15 @@ class HyRDClient(Scheme):
             link,
             seed=self.config.seed,
             metadata_cache_capacity=self.config.metadata_cache_capacity,
+            resilience=self.config.resilience,
         )
         self.monitor = WorkloadMonitor(self.config)
         self.evaluator = CostPerformanceEvaluator(providers, self.config)
         self.evaluator.evaluate()
         self.dispatcher = RequestDispatcher(self.config, self.evaluator)
+        # Breaker state feeds placement preference: tripped providers keep
+        # their slots but lose priority (hot copies land elsewhere).
+        self.dispatcher.set_usable_guard(self._provider_usable)
         #: path -> (provider, version) of promoted hot copies (Figure 2)
         self._hot: dict[str, tuple[str, int]] = {}
         self._hot_digests: dict[str, str] = {}
@@ -293,6 +297,19 @@ class HyRDClient(Scheme):
         :meth:`misplaced_paths` / :meth:`migrate` to realign them lazily.
         """
         profiles = self.evaluator.evaluate()
+        self.dispatcher.refresh()
+        return profiles
+
+    def refresh_health_ranking(self) -> dict[str, "object"]:
+        """Re-classify providers from accumulated health, without re-probing.
+
+        The cheap sibling of :meth:`reevaluate`: the scheme engine's
+        :class:`~repro.core.resilience.ProviderHealth` trackers already hold
+        EWMA error rates and observed slowdowns from live traffic, so the
+        Evaluator can demote a browned-out performance provider (and restore
+        it once its health recovers) with zero probe transactions.
+        """
+        profiles = self.evaluator.rerank(self.health)
         self.dispatcher.refresh()
         return profiles
 

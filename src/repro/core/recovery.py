@@ -27,19 +27,23 @@ __all__ = ["LoggedWrite", "WriteLog"]
 class LoggedWrite:
     """One pending mutation for an offline provider."""
 
-    kind: str  # "put" | "remove"
+    kind: str  # "put" | "remove" | "create"
     container: str
-    key: str
-    data: bytes | None  # payload for puts, None for removes
+    key: str  # "" for container-level mutations (create)
+    data: bytes | None  # payload for puts, None otherwise
     logged_at: float
 
     def __post_init__(self) -> None:
-        if self.kind not in ("put", "remove"):
-            raise ValueError(f"kind must be 'put' or 'remove', got {self.kind!r}")
+        if self.kind not in ("put", "remove", "create"):
+            raise ValueError(
+                f"kind must be 'put', 'remove' or 'create', got {self.kind!r}"
+            )
         if self.kind == "put" and self.data is None:
             raise ValueError("logged put requires data")
-        if self.kind == "remove" and self.data is not None:
-            raise ValueError("logged remove must not carry data")
+        if self.kind != "put" and self.data is not None:
+            raise ValueError(f"logged {self.kind} must not carry data")
+        if self.kind == "create" and self.key:
+            raise ValueError("logged create is container-level (key must be empty)")
 
 
 class WriteLog:
@@ -65,6 +69,17 @@ class WriteLog:
         k = (container, key)
         self._entries.pop(k, None)
         self._entries[k] = LoggedWrite("remove", container, key, None, now)
+
+    def log_create(self, container: str, now: float) -> None:
+        """Record that ``container`` must exist after recovery.
+
+        Used when container initialisation exhausts its retries: without
+        this record the failure would be silent and the provider would never
+        be healed (its object log can stay empty forever).
+        """
+        k = (container, "")
+        self._entries.pop(k, None)
+        self._entries[k] = LoggedWrite("create", container, "", None, now)
 
     def discard(self, container: str, key: str) -> None:
         """Drop a pending entry (e.g. the object was re-placed elsewhere)."""

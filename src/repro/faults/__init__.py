@@ -1,0 +1,24 @@
+"""Scripted fault injection: composable per-provider fault profiles."""
+
+from repro.faults.profile import (
+    FaultEffect,
+    FaultProfile,
+    FlappingOutage,
+    LatencyBrownout,
+    SilentCorruption,
+    Throttling,
+    TransientErrorBurst,
+)
+from repro.faults.scenario import FaultScenario, make_fault_storm
+
+__all__ = [
+    "FaultEffect",
+    "FaultProfile",
+    "FaultScenario",
+    "FlappingOutage",
+    "LatencyBrownout",
+    "SilentCorruption",
+    "Throttling",
+    "TransientErrorBurst",
+    "make_fault_storm",
+]

@@ -1,0 +1,246 @@
+"""Composable, seeded, sim-clock-driven fault profiles.
+
+The seed models provider misbehaviour as a binary outage window
+(:class:`~repro.cloud.outage.OutageSchedule`) plus one uniform
+``fault_rate``.  Real multi-cloud failures are richer: throttling bursts,
+latency *brownouts* (the provider answers, slowly), flapping outages and
+silent corruption.  A :class:`FaultProfile` layers any mix of those effects
+on top of the existing outage/fault machinery; the provider consults one
+unified pipeline (:meth:`FaultProfile.is_out`,
+:meth:`FaultProfile.extra_fault_rate`, :meth:`FaultProfile.latency_factors`,
+:meth:`FaultProfile.maybe_corrupt`) so schemes never need to know which
+effect fired.
+
+Every effect is a frozen dataclass over *sim-time* windows, and every random
+decision draws from a stream derived from the root seed — the same seed and
+the same operation sequence reproduce the same faults, which is what makes
+the resilience tests and benches assertable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.rng import make_rng
+
+__all__ = [
+    "FaultEffect",
+    "TransientErrorBurst",
+    "Throttling",
+    "LatencyBrownout",
+    "FlappingOutage",
+    "SilentCorruption",
+    "FaultProfile",
+]
+
+
+@dataclass(frozen=True)
+class FaultEffect:
+    """Base class: one provider misbehaviour over a half-open time window."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError(f"start must be >= 0, got {self.start}")
+        if self.end <= self.start:
+            raise ValueError(f"end must be > start, got [{self.start}, {self.end})")
+
+    def active(self, t: float) -> bool:
+        return self.start <= t < self.end
+
+    # Effect hooks; subclasses override the ones they implement. ------------
+    def extra_fault_rate(self, t: float) -> float:
+        """Additional per-request transient-failure probability at ``t``."""
+        return 0.0
+
+    def is_out(self, t: float) -> bool:
+        """True when the effect makes the provider unreachable at ``t``."""
+        return False
+
+    def latency_factors(self, t: float) -> tuple[float, float]:
+        """(rtt multiplier, bandwidth multiplier) contributed at ``t``."""
+        return (1.0, 1.0)
+
+    def corruption_rate(self, t: float) -> float:
+        """Probability that a Get at ``t`` returns silently corrupted bytes."""
+        return 0.0
+
+
+@dataclass(frozen=True)
+class TransientErrorBurst(FaultEffect):
+    """A window where individual requests fail (HTTP 500s) at ``rate``."""
+
+    rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not (0.0 <= self.rate < 1.0):
+            raise ValueError(f"rate must be in [0, 1), got {self.rate}")
+
+    def extra_fault_rate(self, t: float) -> float:
+        return self.rate if self.active(t) else 0.0
+
+
+@dataclass(frozen=True)
+class Throttling(TransientErrorBurst):
+    """Admission-control rejections (HTTP 429/503-with-retry-after).
+
+    Mechanically identical to a transient-error burst — a fraction of
+    requests bounce and the client must retry — but kept as its own type so
+    scenarios read like the incident reports they model.
+    """
+
+
+@dataclass(frozen=True)
+class LatencyBrownout(FaultEffect):
+    """The provider stays up but slows down: RTT and bandwidth degrade.
+
+    ``rtt_factor`` multiplies the request round trip; ``bw_factor``
+    multiplies sustained throughput (use < 1.0 to shrink it).  This is the
+    degradation mode the binary outage model cannot express, and the one the
+    health tracker exists to catch.
+    """
+
+    rtt_factor: float = 1.0
+    bw_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.rtt_factor < 1.0:
+            raise ValueError(f"rtt_factor must be >= 1, got {self.rtt_factor}")
+        if not (0.0 < self.bw_factor <= 1.0):
+            raise ValueError(f"bw_factor must be in (0, 1], got {self.bw_factor}")
+
+    def latency_factors(self, t: float) -> tuple[float, float]:
+        if not self.active(t):
+            return (1.0, 1.0)
+        return (self.rtt_factor, self.bw_factor)
+
+
+@dataclass(frozen=True)
+class FlappingOutage(FaultEffect):
+    """The provider goes up and down on a deterministic duty cycle.
+
+    Within ``[start, end)`` the provider is *down* for the first
+    ``downtime`` seconds of every ``period``-second cycle.  Flapping is what
+    stresses a circuit breaker's half-open logic: a plain outage window trips
+    it once, a flapper trips it repeatedly.
+    """
+
+    period: float = 60.0
+    downtime: float = 30.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.period <= 0:
+            raise ValueError(f"period must be > 0, got {self.period}")
+        if not (0.0 < self.downtime < self.period):
+            raise ValueError(
+                f"downtime must be in (0, period), got {self.downtime}"
+            )
+
+    def is_out(self, t: float) -> bool:
+        if not self.active(t):
+            return False
+        return (t - self.start) % self.period < self.downtime
+
+    def next_up(self, t: float) -> float:
+        """First instant >= ``t`` at which the flapper is up (for tests)."""
+        while self.is_out(t):
+            phase = (t - self.start) % self.period
+            t += self.downtime - phase
+        return t
+
+
+@dataclass(frozen=True)
+class SilentCorruption(FaultEffect):
+    """A window where Gets return bit-flipped payloads at ``rate``.
+
+    The provider reports success; only end-to-end verification (the
+    per-fragment digests, HAIL-style) can catch it.
+    """
+
+    rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not (0.0 <= self.rate <= 1.0):
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+
+    def corruption_rate(self, t: float) -> float:
+        return self.rate if self.active(t) else 0.0
+
+
+class FaultProfile:
+    """A provider's scripted misbehaviour: an ordered list of effects.
+
+    One profile belongs to one provider; :meth:`bind` derives its RNG stream
+    from ``(seed, "fault-profile", provider_name)`` so two providers given
+    structurally identical profiles still fail independently.
+    """
+
+    def __init__(self, effects: list[FaultEffect] | None = None, seed: int = 0) -> None:
+        self.effects: list[FaultEffect] = list(effects or [])
+        self.seed = seed
+        self._rng: np.random.Generator = make_rng(seed, "fault-profile", "unbound")
+
+    def bind(self, provider_name: str) -> "FaultProfile":
+        """Attach the profile to a provider (re-keys the RNG stream)."""
+        self._rng = make_rng(self.seed, "fault-profile", provider_name)
+        return self
+
+    def add(self, effect: FaultEffect) -> "FaultProfile":
+        self.effects.append(effect)
+        return self
+
+    # ------------------------------------------------------ unified pipeline
+    def is_out(self, t: float) -> bool:
+        return any(e.is_out(t) for e in self.effects)
+
+    def extra_fault_rate(self, t: float) -> float:
+        """Combined transient-failure probability from every active effect.
+
+        Independent failure sources compose as ``1 - prod(1 - r_i)``.
+        """
+        ok = 1.0
+        for e in self.effects:
+            ok *= 1.0 - e.extra_fault_rate(t)
+        return 1.0 - ok
+
+    def latency_factors(self, t: float) -> tuple[float, float]:
+        """(rtt multiplier, bandwidth multiplier), compounded across effects."""
+        rtt_f, bw_f = 1.0, 1.0
+        for e in self.effects:
+            r, b = e.latency_factors(t)
+            rtt_f *= r
+            bw_f *= b
+        return rtt_f, bw_f
+
+    def corruption_rate(self, t: float) -> float:
+        ok = 1.0
+        for e in self.effects:
+            ok *= 1.0 - e.corruption_rate(t)
+        return 1.0 - ok
+
+    def maybe_corrupt(self, data: bytes, t: float) -> bytes:
+        """Possibly bit-flip ``data`` for a Get at ``t`` (never in place)."""
+        rate = self.corruption_rate(t)
+        if rate <= 0.0 or not data:
+            return data
+        if self._rng.random() >= rate:
+            return data
+        corrupted = bytearray(data)
+        pos = int(self._rng.integers(0, len(corrupted)))
+        corrupted[pos] ^= 1 + int(self._rng.integers(0, 255))
+        return bytes(corrupted)
+
+    def __bool__(self) -> bool:
+        return bool(self.effects)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kinds = [type(e).__name__ for e in self.effects]
+        return f"FaultProfile({kinds})"

@@ -33,6 +33,8 @@ class OpReport:
     cloud_ops: int = 0  # number of provider requests issued
     rtt_wait: float = 0.0  # critical-path time spent on request round trips
     transfer_time: float = 0.0  # critical-path time spent moving bytes
+    retries: int = 0  # transient-failure retries burned by this operation
+    hedged: bool = False  # a hedged backup request fired during this operation
 
     def __post_init__(self) -> None:
         if self.elapsed < 0:
@@ -41,15 +43,31 @@ class OpReport:
 
 @dataclass
 class LatencyCollector:
-    """Aggregates :class:`OpReport` streams for one scheme run."""
+    """Aggregates :class:`OpReport` streams for one scheme run.
+
+    Besides per-operation reports it keeps resilience *counters* bumped by
+    the scheme engine as events happen: ``retries`` (transient-failure
+    retries), ``breaker_open`` / ``breaker_half_open`` / ``breaker_closed``
+    (circuit state transitions), ``breaker_fast_fail`` (requests skipped
+    client-side because a breaker was open), ``hedged_reads`` (backup
+    requests fired) and ``hedge_wins`` (backup answered first).
+    """
 
     reports: list[OpReport] = field(default_factory=list)
+    counters: dict[str, int] = field(default_factory=dict)
 
     def add(self, report: OpReport) -> None:
         self.reports.append(report)
 
     def extend(self, reports: list[OpReport]) -> None:
         self.reports.extend(reports)
+
+    def bump(self, counter: str, n: int = 1) -> None:
+        """Increment a named resilience counter."""
+        self.counters[counter] = self.counters.get(counter, 0) + n
+
+    def counter(self, name: str) -> int:
+        return self.counters.get(name, 0)
 
     def __len__(self) -> int:
         return len(self.reports)

@@ -22,11 +22,12 @@ from __future__ import annotations
 import functools
 import hashlib
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.cloud.errors import (
+    CircuitOpenError,
     CloudError,
     ProviderUnavailable,
     TransientProviderError,
@@ -35,6 +36,7 @@ from repro.cloud.gcsapi import GcsApi
 from repro.cloud.latency import ClientLink
 from repro.cloud.provider import SimulatedProvider
 from repro.core.recovery import WriteLog
+from repro.core.resilience import CircuitBreaker, ProviderHealth, ResilienceConfig
 from repro.erasure.codec import ErasureCodec
 from repro.fs.metadata import MetadataStore, group_key
 from repro.fs.namespace import FileEntry, Namespace, dirname, normalize_path
@@ -150,6 +152,8 @@ class _OpAcc:
     degraded: bool = False
     rtt_wait: float = 0.0
     transfer_time: float = 0.0
+    retries: int = 0
+    hedged: bool = False
 
 
 class Scheme(ABC):
@@ -164,7 +168,9 @@ class Scheme(ABC):
     sequential_replication: bool = False
 
     #: how many times a request is retried after a transient provider
-    #: failure (HTTP 500/throttle) before being treated as failed
+    #: failure (HTTP 500/throttle) before being treated as failed; folded
+    #: into the default :class:`~repro.core.resilience.RetryPolicy` when no
+    #: explicit ``resilience`` config is given
     transient_retries: int = 2
 
     def __init__(
@@ -174,6 +180,7 @@ class Scheme(ABC):
         link: ClientLink | None = None,
         seed: int = 0,
         metadata_cache_capacity: int = 256,
+        resilience: ResilienceConfig | None = None,
     ) -> None:
         if not providers:
             raise ValueError("a scheme needs at least one provider")
@@ -185,6 +192,28 @@ class Scheme(ABC):
         self.link = link if link is not None else ClientLink()
         self.seed = seed
         self.rng: np.random.Generator = make_rng(seed, "scheme", self.name)
+        if resilience is None:
+            resilience = ResilienceConfig()
+            if self.transient_retries != 2:
+                # Honour subclass retry overrides when no explicit config given.
+                resilience = replace(
+                    resilience,
+                    retry=replace(
+                        resilience.retry, max_attempts=1 + self.transient_retries
+                    ),
+                )
+        self.resilience = resilience
+        self.retry_policy = resilience.retry
+        #: deterministic jitter stream for retry backoff (sim-time waits)
+        self._retry_rng: np.random.Generator = make_rng(seed, "retry", self.name)
+        self._breakers: dict[str, CircuitBreaker] = (
+            {p.name: resilience.make_breaker(p.name) for p in providers}
+            if resilience.breaker_enabled
+            else {}
+        )
+        self.health: dict[str, ProviderHealth] = {
+            p.name: resilience.make_health(p.name) for p in providers
+        }
         self.namespace = Namespace()
         self.meta = MetadataStore(self.namespace, metadata_cache_capacity)
         self.collector = LatencyCollector()
@@ -196,17 +225,26 @@ class Scheme(ABC):
 
     # ------------------------------------------------------------- lifecycle
     def _init_containers(self) -> None:
-        """Create the scheme's container on every provider (best effort)."""
+        """Create the scheme's container on every provider.
+
+        A provider that cannot create it — outage or exhausted transient
+        retries alike — gets a ``create`` entry in its write log, so the
+        consistency update repairs the container exactly like any missed
+        mutation instead of leaving it silently absent.
+        """
         for p in self.api.providers():
-            for _ in range(1 + self.transient_retries):
+            for _ in range(self.retry_policy.max_attempts):
                 try:
                     p.create(self.container, exist_ok=True)
                     break
                 except TransientProviderError:
                     continue
                 except ProviderUnavailable:
-                    # Created lazily by the first healed write.
+                    self._write_logs[p.name].log_create(self.container, self.clock.now)
                     break
+            else:
+                # Exhausted transient retries: same missed-mutation path.
+                self._write_logs[p.name].log_create(self.container, self.clock.now)
 
     @property
     def provider_names(self) -> list[str]:
@@ -224,10 +262,36 @@ class Scheme(ABC):
         return lat.rtt + size / min(bw, linkbw)
 
     def _rank_providers(
-        self, names: list[str], size: int = 0, direction: str = "down"
+        self,
+        names: list[str],
+        size: int = 0,
+        direction: str = "down",
+        adaptive: bool = False,
     ) -> list[str]:
-        """Names sorted fastest-first for a transfer of ``size`` bytes."""
-        return sorted(names, key=lambda n: self._estimate_latency(n, size, direction))
+        """Names sorted fastest-first for a transfer of ``size`` bytes.
+
+        With ``adaptive`` the static estimate is scaled by each provider's
+        health penalty, so a browned-out or error-prone provider loses its
+        preferred-replica slot even though its nominal latency model says it
+        should be fastest.
+        """
+
+        def score(n: str) -> float:
+            est = self._estimate_latency(n, size, direction)
+            if adaptive:
+                health = self.health.get(n)
+                if health is not None:
+                    est *= health.penalty(self.resilience.health_error_weight)
+            return est
+
+        return sorted(names, key=score)
+
+    def _provider_usable(self, name: str) -> bool:
+        """Available right now and not fast-failed by its circuit breaker."""
+        if not self.provider(name).is_available():
+            return False
+        breaker = self._breakers.get(name)
+        return breaker is None or breaker.would_allow(self.clock.now)
 
     def _is_stale(self, provider: str, container: str, key: str) -> bool:
         """True when the provider missed writes to this key during an outage."""
@@ -238,35 +302,127 @@ class Scheme(ABC):
             e.container == container and e.key == key for e in log.peek()
         )
 
-    def _run_phase(self, ops: list[CloudOp], advance: bool = True) -> PhaseResult:
+    @staticmethod
+    def _delayed(spec: TransferSpec, extra: float) -> TransferSpec:
+        """Shift a transfer's start by ``extra`` seconds of serialized waiting."""
+        if extra <= 0.0:
+            return spec
+        return replace(spec, start_delay=spec.start_delay + extra)
+
+    def _expected_latency(self, outcome: OpOutcome) -> float:
+        """Clean-model latency expectation for one completed request.
+
+        Uses the provider's *base* latency (never the brownout-degraded one):
+        the health tracker compares what the client observed against what a
+        healthy provider would have delivered, so brownouts register as
+        slowdown even though no request errors.
+        """
+        lat = self.provider(outcome.op.provider).latency
+        if outcome.op.kind == "put":
+            size = len(outcome.op.data or b"")
+            return lat.rtt + size / min(lat.upload_bw, self.link.uplink)
+        if outcome.op.kind == "get":
+            size = len(outcome.data or b"")
+            return lat.rtt + size / min(lat.download_bw, self.link.downlink)
+        return lat.rtt
+
+    def _note_breaker(self, breaker: CircuitBreaker, before: str) -> None:
+        if breaker.state != before:
+            self.collector.bump(f"breaker_{breaker.state}")
+
+    def _run_phase(
+        self,
+        ops: list[CloudOp],
+        advance: bool = True,
+        bypass_breakers: bool = False,
+    ) -> PhaseResult:
         """Execute one phase of concurrent provider requests.
 
         State changes apply instantly; wire time is computed by batching all
         transfer specs through the client link.  Mutations aimed at an
         unavailable provider are recorded in its write log.  When ``advance``
         the clock moves to the phase's end (quorum schemes advance manually).
+
+        Resilience hooks: each involved provider's circuit breaker is
+        consulted once per phase — a denied provider fast-fails every op
+        aimed at it (:class:`CircuitOpenError`, zero wire cost, mutations
+        write-logged).  Transient failures retry under the scheme's
+        :class:`~repro.core.resilience.RetryPolicy`, with backoff waits and
+        failed-attempt round trips serialized into the op's transfer spec.
+        ``bypass_breakers`` is set by the consistency update, whose forced
+        replay is itself the half-open probe that re-admits a healed
+        provider.
         """
         outcomes: list[OpOutcome] = []
         uploads: list[tuple[int, TransferSpec]] = []
         downloads: list[tuple[int, TransferSpec]] = []
         bytes_up = 0
         bytes_down = 0
+        now = self.clock.now
+        policy = self.retry_policy
+
+        # One breaker decision per provider per phase, so a half-open probe
+        # admits the provider's whole phase (and its outcome settles the
+        # breaker) rather than flip-flopping per request.
+        allowed: dict[str, bool] = {}
+        for name in {op.provider for op in ops}:
+            breaker = self._breakers.get(name)
+            if breaker is None or bypass_breakers:
+                allowed[name] = True
+                continue
+            before = breaker.state
+            allowed[name] = breaker.allow(now)
+            self._note_breaker(breaker, before)
 
         for i, op in enumerate(ops):
             provider = self.provider(op.provider)
+            health = self.health.get(op.provider)
+            # Bypass skips the *gate* only; outcomes still feed the breaker,
+            # so a successful consistency-update replay closes it.
+            breaker = self._breakers.get(op.provider)
+            if not allowed[op.provider]:
+                # Client-side fast fail: no request leaves the machine.
+                self._log_missed_mutation(op)
+                self.collector.bump("breaker_fast_fail")
+                outcomes.append(
+                    OpOutcome(op=op, ok=False, error=CircuitOpenError(op.provider, now))
+                )
+                continue
+            lat = provider.effective_latency()
             data: bytes | None = None
             error: Exception | None = None
-            for attempt in range(1 + self.transient_retries):
+            penalty = 0.0  # serialized failed-attempt RTTs + backoff waits
+            backoff_spent = 0.0
+            for attempt in range(policy.max_attempts):
                 try:
                     data = self._apply_op(provider, op)
                     error = None
                     break
                 except TransientProviderError as exc:
-                    # Each failed attempt burns a round trip; retry.
-                    uploads.append((i, provider.latency.control_spec(self.rng)))
                     error = exc
+                    if health is not None:
+                        health.record_attempt(False)
+                    # Each failed attempt burns a round trip before the
+                    # client can react; it serializes with the retry chain.
+                    rtt = lat.sample_rtt(self.rng)
+                    uploads.append(
+                        (i, TransferSpec(start_delay=penalty + rtt, size_bytes=0.0))
+                    )
+                    penalty += rtt
+                    if attempt + 1 >= policy.max_attempts:
+                        break
+                    wait = policy.backoff(attempt, self._retry_rng)
+                    if backoff_spent + wait > policy.deadline:
+                        break  # backoff budget exhausted: give up early
+                    backoff_spent += wait
+                    penalty += wait
+                    self.collector.bump("retries")
+                    if self._acc is not None:
+                        self._acc.retries += 1
                 except ProviderUnavailable as exc:
                     error = exc
+                    if health is not None:
+                        health.record_attempt(False)
                     break
                 except CloudError as exc:
                     error = exc
@@ -276,21 +432,39 @@ class Scheme(ABC):
                     # Mutations the provider missed — outage or exhausted
                     # retries alike — are logged for the consistency update.
                     self._log_missed_mutation(op)
+                if breaker is not None:
+                    before = breaker.state
+                    breaker.record_failure(now)
+                    self._note_breaker(breaker, before)
                 outcomes.append(OpOutcome(op=op, ok=False, error=error))
                 # Failure detection costs one control round-trip.
-                uploads.append((i, provider.latency.control_spec(self.rng)))
+                uploads.append(
+                    (
+                        i,
+                        TransferSpec(
+                            start_delay=penalty + lat.sample_rtt(self.rng),
+                            size_bytes=0.0,
+                        ),
+                    )
+                )
                 continue
+            if health is not None:
+                health.record_attempt(True)
+            if breaker is not None:
+                before = breaker.state
+                breaker.record_success(now)
+                self._note_breaker(breaker, before)
             outcomes.append(OpOutcome(op=op, ok=True, data=data))
             if op.kind == "put":
                 size = len(op.data or b"")
-                uploads.append((i, provider.latency.upload_spec(size, self.rng)))
+                uploads.append((i, self._delayed(lat.upload_spec(size, self.rng), penalty)))
                 bytes_up += size
             elif op.kind == "get":
                 size = len(data or b"")
-                downloads.append((i, provider.latency.download_spec(size, self.rng)))
+                downloads.append((i, self._delayed(lat.download_spec(size, self.rng), penalty)))
                 bytes_down += size
             else:  # control-plane request
-                uploads.append((i, provider.latency.control_spec(self.rng)))
+                uploads.append((i, self._delayed(lat.control_spec(self.rng), penalty)))
 
         elapsed = 0.0
         critical_rtt = 0.0
@@ -303,6 +477,14 @@ class Scheme(ABC):
                 if res.finish_time > elapsed:
                     elapsed = res.finish_time
                     critical_rtt = spec.start_delay
+
+        # Feed observed latency into the health trackers: the ratio against
+        # the clean expectation is what surfaces brownouts to the client.
+        for o in outcomes:
+            if o.ok and o.finish > 0.0:
+                health = self.health.get(o.op.provider)
+                if health is not None:
+                    health.record_latency(o.finish, self._expected_latency(o))
 
         if advance and elapsed > 0:
             self.clock.advance(elapsed)
@@ -393,6 +575,8 @@ class Scheme(ABC):
         entries = log.drain()
         ops: list[CloudOp] = [CloudOp(name, "create", self.container)]
         for e in entries:
+            if e.kind == "create":
+                continue  # the leading create op already covers it
             if e.kind == "put":
                 ops.append(CloudOp(name, "put", e.container, e.key, e.data))
             else:
@@ -400,7 +584,12 @@ class Scheme(ABC):
                 # issue the delete when the object exists there.
                 if self.provider(name).store.has(e.container, e.key):
                     ops.append(CloudOp(name, "remove", e.container, e.key))
-        self._run_phase(ops)
+        # The replay ignores circuit breakers: it only runs once the provider
+        # is available again, and its outcome is the decisive health probe —
+        # a successful replay closes the breaker, a failure re-opens it.
+        # Respecting an open breaker here would fast-fail the drained log
+        # back into itself without advancing the clock (a livelock).
+        self._run_phase(ops, bypass_breakers=True)
 
     def _heal_before_touching(self, providers: set[str]) -> None:
         """Consistency-update any returned-but-stale provider we are about to use."""
@@ -438,6 +627,8 @@ class Scheme(ABC):
             cloud_ops=acc.cloud_ops,
             rtt_wait=acc.rtt_wait,
             transfer_time=acc.transfer_time,
+            retries=acc.retries,
+            hedged=acc.hedged,
         )
 
     # ----------------------------------------------------- placement helpers
@@ -484,13 +675,40 @@ class Scheme(ABC):
         When ``digest`` is given every fetched copy is verified; a corrupt
         replica is treated like an unavailable one and the next copy serves
         (HAIL's availability-through-verification behaviour).
+
+        Ranking is health-adaptive (a browned-out replica loses its
+        preferred slot) and, when
+        :attr:`~repro.core.resilience.ResilienceConfig.hedge_reads` is on
+        and two candidates exist, a backup request fires at the next-ranked
+        replica once the primary overruns its estimated p95 latency — the
+        first intact response wins.
         """
         key = f"{key_base}#v{version}"
-        ranked = self._rank_providers(list(providers), size, "down")
+        ranked = self._rank_providers(list(providers), size, "down", adaptive=True)
         degraded = False
         last_error: Exception | None = None
-        for name in ranked:
-            if not self.provider(name).is_available() or self._is_stale(
+
+        candidates = [
+            n
+            for n in ranked
+            if self._provider_usable(n)
+            and not self._is_stale(n, self.container, key)
+        ]
+        degraded = len(candidates) < len(ranked)
+        if self.resilience.hedge_reads and len(candidates) >= 2:
+            hedged = self._hedged_replicated_get(key, size, candidates, digest)
+            if hedged is not None:
+                data, hedge_degraded = hedged
+                degraded = degraded or hedge_degraded
+                if degraded:
+                    self._mark_degraded()
+                return data, degraded
+            # Both hedge legs failed; fall back to the remaining replicas.
+            degraded = True
+            candidates = candidates[2:]
+
+        for name in candidates:
+            if not self._provider_usable(name) or self._is_stale(
                 name, self.container, key
             ):
                 degraded = True
@@ -506,9 +724,82 @@ class Scheme(ABC):
                 return outcome.data, degraded
             degraded = True
             last_error = outcome.error
+        detail = f" ({last_error})" if last_error is not None else ""
         raise DataUnavailable(
-            key_base, f"no intact replica reachable on {providers} ({last_error})"
+            key_base, f"no intact replica reachable on {providers}{detail}"
         )
+
+    def _hedged_replicated_get(
+        self, key: str, size: int, candidates: list[str], digest: str | None
+    ) -> tuple[bytes, bool] | None:
+        """Primary request plus a delayed backup; first intact response wins.
+
+        Models request hedging on the sim clock: the primary phase runs
+        without advancing time; if its response would land after the hedge
+        trigger delay (estimated p95 for this transfer) — or it failed — the
+        backup fires and the clock advances to the *winner's* finish.  The
+        loser is cancelled, so its wire time is never waited on, but both
+        requests were issued: providers metered both, and both count as
+        cloud ops (hedging's real cost).
+
+        Returns ``(data, degraded)`` or ``None`` when both legs failed.
+        """
+        primary, backup = candidates[0], candidates[1]
+        cfg = self.resilience
+        factor = cfg.hedge_min_delay_factor
+        health = self.health.get(primary)
+        if health is not None:
+            factor = max(health.p95_slowdown(cfg.hedge_quantile_dev), factor)
+        hedge_delay = self._estimate_latency(primary, size, "down") * factor
+
+        p_phase = self._run_phase(
+            [CloudOp(primary, "get", self.container, key)], advance=False
+        )
+        p = p_phase.outcomes[0]
+        p_ok = (
+            p.ok
+            and p.data is not None
+            and (digest is None or self._digest(p.data) == digest)
+        )
+        if p_ok and p_phase.elapsed <= hedge_delay:
+            if p_phase.elapsed > 0:
+                self.clock.advance(p_phase.elapsed)
+            return p.data, False
+
+        # Primary is slow, failed or corrupt: fire the backup.  A detected
+        # failure releases the hedge immediately; a silently slow primary
+        # only releases it at the trigger delay.
+        self.collector.bump("hedged_reads")
+        if self._acc is not None:
+            self._acc.hedged = True
+        backup_start = hedge_delay if p_ok else min(hedge_delay, p_phase.elapsed)
+        b_phase = self._run_phase(
+            [CloudOp(backup, "get", self.container, key)], advance=False
+        )
+        b = b_phase.outcomes[0]
+        b_ok = (
+            b.ok
+            and b.data is not None
+            and (digest is None or self._digest(b.data) == digest)
+        )
+        b_finish = backup_start + b_phase.elapsed
+
+        if p_ok and (not b_ok or p_phase.elapsed <= b_finish):
+            if p_phase.elapsed > 0:
+                self.clock.advance(p_phase.elapsed)
+            return p.data, False
+        if b_ok:
+            self.collector.bump("hedge_wins")
+            if b_finish > 0:
+                self.clock.advance(b_finish)
+            # Degraded only when the primary actually failed — a hedge that
+            # merely outran a slow-but-healthy primary is a normal read.
+            return b.data, not p_ok
+        # Both legs failed: charge the time burned finding out.
+        lost = max(p_phase.elapsed, b_finish)
+        if lost > 0:
+            self.clock.advance(lost)
+        return None
 
     def _write_striped(
         self,
@@ -558,7 +849,7 @@ class Scheme(ABC):
         def usable(idx: int) -> bool:
             prov = by_index[idx]
             key = self._fragment_key(key_base, idx, version)
-            return self.provider(prov).is_available() and not self._is_stale(
+            return self._provider_usable(prov) and not self._is_stale(
                 prov, self.container, key
             )
 
@@ -683,8 +974,6 @@ class Scheme(ABC):
             for i in touched
         ]
         self._run_phase(write_ops)
-        from dataclasses import replace
-
         new_digests = tuple(self._digest(f) for f in fragments)
         return replace(entry, modified=self.clock.now, digests=new_digests)
 
@@ -771,9 +1060,9 @@ class Scheme(ABC):
         self.meta.touch(directory)
 
     def _read_replicated_meta(self, key: str, providers: list[str]) -> None:
-        ranked = self._rank_providers(list(providers), 0, "down")
+        ranked = self._rank_providers(list(providers), 0, "down", adaptive=True)
         for name in ranked:
-            if not self.provider(name).is_available() or self._is_stale(
+            if not self._provider_usable(name) or self._is_stale(
                 name, self.container, key
             ):
                 self._mark_degraded()
@@ -796,7 +1085,7 @@ class Scheme(ABC):
         usable = [
             i
             for i in order
-            if self.provider(by_index[i]).is_available()
+            if self._provider_usable(by_index[i])
             and not self._is_stale(by_index[i], self.container, f"{key_base}.{i}")
         ]
         if any(i not in usable for i in order[: codec.k]):

@@ -155,7 +155,7 @@ class NCCloudScheme(Scheme):
                 frags[idx] = store.get(self.container, key).data
                 self.provider(prov).meter.record_get(chunk_len, self.clock.now)
             new_fragment, new_codec = codec.repair(frags, failed_idx, entry.size)
-            write = self._run_phase(
+            self._run_phase(
                 [
                     CloudOp(
                         target,

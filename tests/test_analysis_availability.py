@@ -4,7 +4,6 @@ import pytest
 
 from repro.analysis.availability import (
     DAY,
-    HOUR,
     STANDARD_PLACEMENTS,
     SchemePlacement,
     analytic_report,

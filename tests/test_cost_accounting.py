@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cloud.pricing import GB, PRICE_PLANS
+from repro.cloud.pricing import GB
 from repro.cost.accounting import BillLine, bill_for_month, monthly_bills, scheme_bills
 from repro.sim.clock import SECONDS_PER_MONTH
 

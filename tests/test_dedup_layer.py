@@ -1,6 +1,5 @@
 """Unit + integration tests for the dedup layer over real schemes."""
 
-import numpy as np
 import pytest
 
 from repro.dedup.chunking import ContentDefinedChunker

@@ -1,0 +1,224 @@
+"""Unit tests for the scripted fault-injection layer (repro.faults)."""
+
+import pytest
+
+from repro.cloud.latency import LatencyModel
+from repro.cloud.pricing import PRICE_PLANS
+from repro.cloud.provider import SimulatedProvider, make_table2_cloud_of_clouds
+from repro.faults import (
+    FaultProfile,
+    FaultScenario,
+    FlappingOutage,
+    LatencyBrownout,
+    SilentCorruption,
+    Throttling,
+    TransientErrorBurst,
+    make_fault_storm,
+)
+from repro.sim.clock import SimClock
+
+
+def _provider(clock, faults=None, fault_rate=0.0):
+    return SimulatedProvider(
+        name="p1",
+        clock=clock,
+        latency=LatencyModel(rtt=0.05, upload_bw=5e6, download_bw=5e6),
+        pricing=PRICE_PLANS["aliyun"],
+        fault_rate=fault_rate,
+        faults=faults,
+    )
+
+
+class TestEffectWindows:
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            TransientErrorBurst(-1.0, 10.0, rate=0.1)
+        with pytest.raises(ValueError):
+            TransientErrorBurst(5.0, 5.0, rate=0.1)
+        with pytest.raises(ValueError):
+            TransientErrorBurst(0.0, 10.0, rate=1.0)
+
+    def test_burst_active_only_inside_window(self):
+        burst = TransientErrorBurst(10.0, 20.0, rate=0.5)
+        assert burst.extra_fault_rate(9.9) == 0.0
+        assert burst.extra_fault_rate(10.0) == 0.5
+        assert burst.extra_fault_rate(19.9) == 0.5
+        assert burst.extra_fault_rate(20.0) == 0.0
+
+    def test_throttling_is_a_burst(self):
+        t = Throttling(0.0, 5.0, rate=0.2)
+        assert t.extra_fault_rate(1.0) == 0.2
+
+    def test_brownout_validation_and_factors(self):
+        with pytest.raises(ValueError):
+            LatencyBrownout(0.0, 1.0, rtt_factor=0.5)
+        with pytest.raises(ValueError):
+            LatencyBrownout(0.0, 1.0, bw_factor=0.0)
+        b = LatencyBrownout(0.0, 10.0, rtt_factor=4.0, bw_factor=0.25)
+        assert b.latency_factors(5.0) == (4.0, 0.25)
+        assert b.latency_factors(10.0) == (1.0, 1.0)
+
+    def test_flapping_duty_cycle(self):
+        f = FlappingOutage(100.0, 400.0, period=60.0, downtime=20.0)
+        assert not f.is_out(99.0)  # before the window
+        assert f.is_out(100.0)  # first downtime
+        assert f.is_out(119.9)
+        assert not f.is_out(120.0)  # up for the rest of the cycle
+        assert f.is_out(160.0)  # next cycle's downtime
+        assert not f.is_out(400.0)  # window over
+
+    def test_flapping_next_up(self):
+        f = FlappingOutage(0.0, 600.0, period=60.0, downtime=20.0)
+        assert f.next_up(5.0) == pytest.approx(20.0)
+        assert f.next_up(30.0) == 30.0  # already up
+        assert f.next_up(65.0) == pytest.approx(80.0)
+
+    def test_flapping_validation(self):
+        with pytest.raises(ValueError):
+            FlappingOutage(0.0, 10.0, period=0.0, downtime=1.0)
+        with pytest.raises(ValueError):
+            FlappingOutage(0.0, 10.0, period=10.0, downtime=10.0)
+
+
+class TestFaultProfile:
+    def test_rates_compose_independently(self):
+        profile = FaultProfile(
+            [
+                TransientErrorBurst(0.0, 10.0, rate=0.5),
+                Throttling(0.0, 10.0, rate=0.5),
+            ]
+        )
+        assert profile.extra_fault_rate(5.0) == pytest.approx(0.75)
+        assert profile.extra_fault_rate(15.0) == 0.0
+
+    def test_latency_factors_compound(self):
+        profile = FaultProfile(
+            [
+                LatencyBrownout(0.0, 10.0, rtt_factor=2.0, bw_factor=0.5),
+                LatencyBrownout(0.0, 10.0, rtt_factor=3.0, bw_factor=0.5),
+            ]
+        )
+        assert profile.latency_factors(5.0) == (6.0, 0.25)
+
+    def test_is_out_any_effect(self):
+        profile = FaultProfile(
+            [FlappingOutage(0.0, 100.0, period=50.0, downtime=10.0)]
+        )
+        assert profile.is_out(5.0)
+        assert not profile.is_out(20.0)
+
+    def test_empty_profile_is_falsy(self):
+        assert not FaultProfile()
+        assert FaultProfile([TransientErrorBurst(0.0, 1.0, rate=0.1)])
+
+    def test_corruption_flips_exactly_one_byte(self):
+        profile = FaultProfile(
+            [SilentCorruption(0.0, 10.0, rate=1.0)], seed=3
+        ).bind("p1")
+        data = bytes(range(256))
+        corrupted = profile.maybe_corrupt(data, 5.0)
+        assert corrupted != data
+        assert len(corrupted) == len(data)
+        diffs = [i for i in range(len(data)) if corrupted[i] != data[i]]
+        assert len(diffs) == 1
+
+    def test_corruption_outside_window_is_identity(self):
+        profile = FaultProfile(
+            [SilentCorruption(0.0, 10.0, rate=1.0)], seed=3
+        ).bind("p1")
+        data = b"hello"
+        assert profile.maybe_corrupt(data, 20.0) == data
+
+    def test_corruption_deterministic_per_seed(self):
+        data = bytes(64)
+        outs = []
+        for _ in range(2):
+            profile = FaultProfile(
+                [SilentCorruption(0.0, 10.0, rate=1.0)], seed=9
+            ).bind("p1")
+            outs.append(profile.maybe_corrupt(data, 1.0))
+        assert outs[0] == outs[1]
+
+    def test_bind_gives_independent_streams_per_provider(self):
+        data = bytes(4096)
+        a = FaultProfile([SilentCorruption(0.0, 10.0, rate=1.0)], seed=9).bind("a")
+        b = FaultProfile([SilentCorruption(0.0, 10.0, rate=1.0)], seed=9).bind("b")
+        assert a.maybe_corrupt(data, 1.0) != b.maybe_corrupt(data, 1.0)
+
+
+class TestProviderIntegration:
+    def test_flapping_outage_gates_availability(self):
+        clock = SimClock()
+        provider = _provider(
+            clock,
+            faults=FaultProfile(
+                [FlappingOutage(0.0, 300.0, period=60.0, downtime=20.0)]
+            ),
+        )
+        assert not provider.is_available()
+        clock.advance(25.0)
+        assert provider.is_available()
+
+    def test_burst_layers_onto_base_fault_rate(self):
+        clock = SimClock()
+        provider = _provider(
+            clock,
+            faults=FaultProfile([TransientErrorBurst(0.0, 100.0, rate=0.5)]),
+            fault_rate=0.2,
+        )
+        assert provider._effective_fault_rate(50.0) == pytest.approx(0.6)
+        assert provider._effective_fault_rate(150.0) == pytest.approx(0.2)
+
+    def test_brownout_degrades_effective_latency(self):
+        clock = SimClock()
+        provider = _provider(
+            clock,
+            faults=FaultProfile(
+                [LatencyBrownout(0.0, 100.0, rtt_factor=4.0, bw_factor=0.5)]
+            ),
+        )
+        lat = provider.effective_latency()
+        assert lat.rtt == pytest.approx(provider.latency.rtt * 4.0)
+        assert lat.download_bw == pytest.approx(provider.latency.download_bw * 0.5)
+        clock.advance(200.0)
+        assert provider.effective_latency() is provider.latency
+
+    def test_silent_corruption_garbles_get_not_store(self):
+        clock = SimClock()
+        provider = _provider(
+            clock,
+            faults=FaultProfile([SilentCorruption(0.0, 100.0, rate=1.0)], seed=1),
+        )
+        provider.create("c", exist_ok=True)
+        provider.put("c", "k", b"payload-bytes")
+        got = provider.get("c", "k")
+        assert got != b"payload-bytes"  # returned copy corrupted
+        assert provider.store.get("c", "k").data == b"payload-bytes"  # at rest intact
+
+
+class TestScenario:
+    def test_apply_and_clear(self):
+        clock = SimClock()
+        fleet = make_table2_cloud_of_clouds(clock)
+        storm = make_fault_storm(t0=0.0, duration=600.0, seed=4)
+        storm.apply(fleet)
+        assert fleet["aliyun"].faults is not None  # brownout
+        assert fleet["azure"].faults is not None  # burst + throttle
+        assert not fleet["rackspace"].is_available()  # flapper starts down
+        storm.clear(fleet)
+        assert fleet["aliyun"].faults is None
+        assert fleet["rackspace"].is_available()
+
+    def test_apply_unknown_provider_raises(self):
+        clock = SimClock()
+        fleet = make_table2_cloud_of_clouds(clock)
+        scenario = FaultScenario(
+            "bad", {"nonesuch": FaultProfile([TransientErrorBurst(0.0, 1.0, rate=0.1)])}
+        )
+        with pytest.raises(KeyError):
+            scenario.apply(fleet)
+
+    def test_storm_with_corruption_provider(self):
+        storm = make_fault_storm(corruption_provider="amazon_s3")
+        assert "amazon_s3" in storm.profiles
+        assert storm.profiles["amazon_s3"].corruption_rate(1.0) == pytest.approx(0.2)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cloud.gcsapi import GcsApi
-from repro.cloud.outage import OutageSchedule, OutageWindow
+from repro.cloud.outage import OutageWindow
 
 
 class TestRegistry:

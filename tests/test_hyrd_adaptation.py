@@ -1,11 +1,10 @@
 """Tests for re-evaluation, migration and vendor decommissioning."""
 
-import dataclasses
 
 import pytest
 
 from repro.cloud.latency import LatencyModel
-from repro.core.config import MB, HyRDConfig
+from repro.core.config import MB
 from repro.core.hyrd import HyRDClient
 
 

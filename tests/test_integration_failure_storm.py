@@ -7,7 +7,6 @@ service and converge to a consistent, non-degraded state.
 """
 
 import numpy as np
-import pytest
 
 from repro.cloud.outage import OutageWindow
 from repro.cloud.provider import make_table2_cloud_of_clouds

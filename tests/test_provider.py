@@ -11,7 +11,6 @@ from repro.cloud.provider import (
     SimulatedProvider,
     make_table2_cloud_of_clouds,
 )
-from repro.sim.clock import SimClock
 
 
 @pytest.fixture

@@ -63,7 +63,7 @@ class TestRaid5:
 
     def test_empty_payload(self):
         c = Raid5Code(2)
-        frags = c.encode(b"")
+        c.encode(b"")
         assert c.decode({0: b"", 2: b""}, 0) == b""
         assert c.reconstruct_fragment({0: b"", 1: b""}, 2, 0) == b""
 

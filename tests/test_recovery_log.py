@@ -1,6 +1,8 @@
 """Unit tests for write logs (outage recovery state)."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.core.recovery import LoggedWrite, WriteLog
 
@@ -78,3 +80,75 @@ class TestWriteLog:
         log.log_put("c", "k", bytes(buf), 0.0)
         buf[0] = 0
         assert log.peek()[0].data == b"abc"
+
+
+# (container, key) space small enough that random sequences collide often —
+# collisions are exactly what exercises the last-wins compaction.
+_KEYS = st.tuples(st.sampled_from(["c1", "c2"]), st.sampled_from(["a", "b", "c"]))
+# payload None encodes a remove, bytes a put
+_OPS = st.lists(st.tuples(_KEYS, st.none() | st.binary(max_size=32)), max_size=50)
+
+
+class TestWriteLogReplayProperties:
+    """Replay semantics under arbitrary interleaved put/remove sequences."""
+
+    @staticmethod
+    def _apply(log, ops):
+        for i, ((container, key), payload) in enumerate(ops):
+            if payload is None:
+                log.log_remove(container, key, float(i))
+            else:
+                log.log_put(container, key, payload, float(i))
+
+    @given(ops=_OPS)
+    def test_replay_is_last_write_per_key_in_log_order(self, ops):
+        log = WriteLog()
+        self._apply(log, ops)
+        # last mutation per key, and the position where it happened
+        last: dict[tuple[str, str], tuple[int, bytes | None]] = {}
+        for i, (k, payload) in enumerate(ops):
+            last[k] = (i, payload)
+        entries = log.drain()
+        assert not log  # drain empties the log
+        # exactly one entry per mutated key, carrying its final state
+        assert {(e.container, e.key) for e in entries} == set(last)
+        for e in entries:
+            _, payload = last[(e.container, e.key)]
+            if payload is None:
+                assert e.kind == "remove" and e.data is None
+            else:
+                assert e.kind == "put" and e.data == payload
+        # replay order == order of each key's *latest* mutation
+        positions = [last[(e.container, e.key)][0] for e in entries]
+        assert positions == sorted(positions)
+
+    @given(ops=_OPS)
+    def test_pending_bytes_matches_drained_payload(self, ops):
+        log = WriteLog()
+        self._apply(log, ops)
+        pending = log.pending_bytes()
+        drained = log.drain()
+        assert pending == sum(len(e.data) for e in drained if e.data is not None)
+        assert log.pending_bytes() == 0
+
+    @given(ops=_OPS)
+    def test_replaying_drain_reproduces_final_state(self, ops):
+        """Applying the compacted log to a store yields the same contents as
+        applying the full mutation sequence — the consistency-update
+        correctness argument."""
+        log = WriteLog()
+        full: dict[tuple[str, str], bytes] = {}
+        for i, ((container, key), payload) in enumerate(ops):
+            if payload is None:
+                log.log_remove(container, key, float(i))
+                full.pop((container, key), None)
+            else:
+                log.log_put(container, key, payload, float(i))
+                full[(container, key)] = payload
+        replayed: dict[tuple[str, str], bytes] = {}
+        for e in log.drain():
+            if e.kind == "put":
+                replayed[(e.container, e.key)] = e.data
+            elif e.kind == "remove":
+                replayed.pop((e.container, e.key), None)
+        assert replayed == full

@@ -132,7 +132,7 @@ class TestMetadataWriteThrough:
         single.remove("/docs/a")
         from repro.fs.metadata import decode_group
 
-        blob = store_blob = single.provider("aliyun").store.get(
+        blob = single.provider("aliyun").store.get(
             single.container, "__meta__/docs"
         ).data
         entries = decode_group(blob)

@@ -1,6 +1,5 @@
 """Tests for DepSky-CA (confidentiality + erasure-coded availability)."""
 
-import numpy as np
 import pytest
 
 from repro.cloud.outage import OutageWindow

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.cloud.errors import ProviderUnavailable
 from repro.cloud.outage import OutageWindow
 from repro.schemes import SingleCloudScheme
 from repro.schemes.base import DataUnavailable

@@ -5,7 +5,6 @@ import math
 import pytest
 
 from repro.sim.bandwidth import (
-    TransferResult,
     TransferSpec,
     _waterfill_rates,
     simulate_transfers,
