@@ -112,6 +112,30 @@ def test_fault_storm(benchmark, emit):
     assert runs["storm+hedge"]["mean"] <= 1.1 * storm["mean"]
 
 
+def test_fault_storm_run_report(benchmark, emit):
+    """The observability pipeline on the storm: one traced run, one report.
+
+    Exercises the whole ``repro.obs`` stack end to end — recording tracer,
+    mirrored registry, and the ``repro report`` renderer — and proves the
+    round-trip guarantee on a benchmark-sized run: the JSON-lines trace
+    replays into the byte-identical report.
+    """
+    from repro.obs import RunReport, parse_jsonl, run_fault_storm_report
+
+    def experiment():
+        return run_fault_storm_report(seed=0)
+
+    report, tracer = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rendered = report.render()
+    emit(rendered)
+
+    replayed = RunReport.from_trace(parse_jsonl(tracer.to_jsonl().splitlines()))
+    assert replayed.render() == rendered
+    # The storm engaged the machinery the report exists to show.
+    assert report.registry.counter_value("retries") > 0
+    assert any(r.degraded for r in report.reports)
+
+
 def test_hedged_reads_cut_the_brownout_tail(benchmark, emit):
     """Hedged reads exist for the window between a latency cliff appearing
     and the health EWMA catching up: the first reads into a fresh brownout

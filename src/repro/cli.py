@@ -9,6 +9,8 @@ Examples::
     python -m repro availability
     python -m repro lockin
     python -m repro threshold
+    python -m repro report --trace-out /tmp/storm.jsonl
+    python -m repro report --from-trace /tmp/storm.jsonl
 """
 
 from __future__ import annotations
@@ -228,6 +230,17 @@ def _cmd_availability(args: argparse.Namespace) -> str:
     )
 
 
+def _cmd_report(args: argparse.Namespace) -> str:
+    from repro.obs import RunReport, read_jsonl, run_fault_storm_report
+
+    if args.from_trace:
+        return RunReport.from_trace(read_jsonl(args.from_trace)).render()
+    report, tracer = run_fault_storm_report(seed=args.seed)
+    if args.trace_out:
+        tracer.write_jsonl(args.trace_out)
+    return report.render()
+
+
 def _cmd_lockin(args: argparse.Namespace) -> str:
     from repro.analysis.lockin import switching_cost_report
 
@@ -257,6 +270,7 @@ _COMMANDS = {
     "whatif": _cmd_whatif,
     "availability": _cmd_availability,
     "lockin": _cmd_lockin,
+    "report": _cmd_report,
 }
 
 
@@ -271,6 +285,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--extended",
         action="store_true",
         help="fig6: include the DepSky and NCCloud baselines",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="report: also write the run's JSON-lines trace to PATH",
+    )
+    parser.add_argument(
+        "--from-trace",
+        metavar="PATH",
+        help="report: re-render a previously saved JSON-lines trace "
+        "instead of running the fault storm",
     )
     return parser
 

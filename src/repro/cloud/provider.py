@@ -77,6 +77,27 @@ class SimulatedProvider:
         #: scripted fault profile (bursts, brownouts, flapping, corruption);
         #: layered on top of the outage schedule and the base fault rate
         self.faults = faults.bind(name) if faults is not None else None
+        #: optional :class:`~repro.metrics.registry.MetricsRegistry`; when a
+        #: scheme attaches one (it does at construction), every request is
+        #: counted into ``provider_requests_total{provider,op}``, failures
+        #: into ``provider_errors_total{provider,kind}`` and payload bytes
+        #: into ``provider_bytes_{up,down}_total{provider}``.  Metrics are
+        #: pure bookkeeping: no RNG draws, no clock movement.  A fleet shared
+        #: by several schemes reports into whichever registry attached last.
+        self.metrics = None
+
+    # --------------------------------------------------------------- metrics
+    def _count_request(self, op: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(
+                "provider_requests_total", provider=self.name, op=op
+            ).inc()
+
+    def _count_error(self, kind: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(
+                "provider_errors_total", provider=self.name, kind=kind
+            ).inc()
 
     # ---------------------------------------------------------- availability
     def is_available(self, t: float | None = None) -> bool:
@@ -97,9 +118,11 @@ class SimulatedProvider:
     def _check_available(self) -> None:
         now = self.clock.now
         if not self.is_available(now):
+            self._count_error("unavailable")
             raise ProviderUnavailable(self.name, now)
         rate = self._effective_fault_rate(now)
         if rate > 0.0 and self._fault_rng.random() < rate:
+            self._count_error("transient")
             raise TransientProviderError(self.name, now)
 
     def _sync_storage_meter(self) -> None:
@@ -128,12 +151,14 @@ class SimulatedProvider:
     # ------------------------------------------------- the five paper ops
     def create(self, container: str, *, exist_ok: bool = False) -> None:
         """Create a container (paper op: *Create*)."""
+        self._count_request("create")
         self._check_available()
         self.store.create_container(container, exist_ok=exist_ok)
         self.meter.record_create(self.clock.now)
 
     def list(self, container: str) -> list[str]:
         """List object keys in a container (paper op: *List*)."""
+        self._count_request("list")
         self._check_available()
         keys = self.store.list(container)
         self.meter.record_list(self.clock.now)
@@ -146,23 +171,34 @@ class SimulatedProvider:
         flip bits in the *returned* copy (the stored object is untouched);
         only end-to-end digest verification catches it.
         """
+        self._count_request("get")
         self._check_available()
         obj = self.store.get(container, key)
         self.meter.record_get(obj.size, self.clock.now)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "provider_bytes_down_total", provider=self.name
+            ).inc(obj.size)
         if self.faults is not None:
             return self.faults.maybe_corrupt(obj.data, self.clock.now)
         return obj.data
 
     def put(self, container: str, key: str, data: bytes) -> StoredObject:
         """Write or overwrite an object (paper op: *Put*)."""
+        self._count_request("put")
         self._check_available()
         obj = self.store.put(container, key, data, self.clock.now)
         self.meter.record_put(obj.size, self.clock.now)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "provider_bytes_up_total", provider=self.name
+            ).inc(obj.size)
         self._sync_storage_meter()
         return obj
 
     def remove(self, container: str, key: str) -> None:
         """Delete an object (paper op: *Remove*)."""
+        self._count_request("remove")
         self._check_available()
         self.store.remove(container, key)
         self.meter.record_remove(self.clock.now)
@@ -176,6 +212,7 @@ class SimulatedProvider:
         the object listing's metadata and is metered as a tier-2 transaction
         with no payload.
         """
+        self._count_request("head")
         self._check_available()
         obj = self.store.get(container, key)
         self.meter.record_get(0, self.clock.now)

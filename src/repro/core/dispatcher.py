@@ -50,9 +50,17 @@ class DispatchDecision:
 class RequestDispatcher:
     """Turns (class, size) into concrete placements."""
 
-    def __init__(self, config: HyRDConfig, evaluator: CostPerformanceEvaluator) -> None:
+    def __init__(
+        self,
+        config: HyRDConfig,
+        evaluator: CostPerformanceEvaluator,
+        metrics=None,
+    ) -> None:
         self.config = config
         self.evaluator = evaluator
+        #: optional MetricsRegistry; decisions feed
+        #: ``dispatch_decisions_total{redundancy}``
+        self.metrics = metrics
         self._codec_cache: ErasureCodec | None = None
         self._usable_guard: Callable[[str], bool] | None = None
 
@@ -224,18 +232,26 @@ class RequestDispatcher:
     def decide(self, klass: FileClass) -> DispatchDecision:
         """Placement for one object of the given class."""
         if klass in (FileClass.METADATA, FileClass.SMALL):
-            return DispatchDecision(
+            decision = DispatchDecision(
                 klass=klass,
                 codec=None,
                 providers=tuple(self.replica_targets()),
             )
-        codec = self.erasure_codec()
-        targets = self.erasure_targets()
-        if len(targets) != codec.n:
-            raise RuntimeError(
-                f"erasure targets ({len(targets)}) do not match codec n={codec.n}"
+        else:
+            codec = self.erasure_codec()
+            targets = self.erasure_targets()
+            if len(targets) != codec.n:
+                raise RuntimeError(
+                    f"erasure targets ({len(targets)}) do not match codec n={codec.n}"
+                )
+            decision = DispatchDecision(
+                klass=klass, codec=codec, providers=tuple(targets)
             )
-        return DispatchDecision(klass=klass, codec=codec, providers=tuple(targets))
+        if self.metrics is not None:
+            self.metrics.counter(
+                "dispatch_decisions_total", redundancy=decision.redundancy
+            ).inc()
+        return decision
 
     def should_promote(self, entry: FileEntry) -> bool:
         """Figure 2: hot large files earn a copy on a fast provider."""

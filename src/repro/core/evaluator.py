@@ -63,6 +63,7 @@ class CostPerformanceEvaluator:
         probe_size: int = 256 * 1024,
         probe_repeats: int = 3,
         retry_policy: RetryPolicy | None = None,
+        metrics=None,
     ) -> None:
         if not providers:
             raise ValueError("evaluator needs at least one provider")
@@ -78,6 +79,9 @@ class CostPerformanceEvaluator:
             retry_policy if retry_policy is not None else config.resilience.probe_retry
         )
         self.rng = make_rng(config.seed, "evaluator")
+        #: optional MetricsRegistry; probe rounds feed
+        #: ``evaluator_probes_total`` / ``evaluator_probe_failures_total``
+        self.metrics = metrics
         self.profiles: dict[str, ProviderProfile] = {}
         self._scores: dict[str, float] = {}
         self._excluded: set[str] = set()
@@ -98,6 +102,10 @@ class CostPerformanceEvaluator:
         policy = self.retry_policy
         samples: list[float] = []
         for _ in range(self.probe_repeats):
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "evaluator_probes_total", provider=provider.name
+                ).inc()
             backoff_spent = 0.0
             for attempt in range(policy.max_attempts):
                 try:
@@ -107,16 +115,16 @@ class CostPerformanceEvaluator:
                     break
                 except TransientProviderError:
                     if attempt + 1 >= policy.max_attempts:
-                        return float("inf")
+                        return self._probe_failed(provider.name)
                     wait = policy.backoff(attempt, self.rng)
                     if backoff_spent + wait > policy.deadline:
-                        return float("inf")
+                        return self._probe_failed(provider.name)
                     backoff_spent += wait
                     continue
                 except ProviderUnavailable:
-                    return float("inf")
+                    return self._probe_failed(provider.name)
             else:  # pragma: no cover - loop exits via break or return
-                return float("inf")
+                return self._probe_failed(provider.name)
             lat = provider.effective_latency()
             up = lat.upload_spec(self.probe_size, self.rng)
             down = lat.download_spec(self.probe_size, self.rng)
@@ -131,6 +139,14 @@ class CostPerformanceEvaluator:
         except CloudError:  # pragma: no cover - outage race / transient fault
             pass
         return float(np.mean(samples))
+
+    def _probe_failed(self, name: str) -> float:
+        """Count one abandoned probe round; the provider scores inf."""
+        if self.metrics is not None:
+            self.metrics.counter(
+                "evaluator_probe_failures_total", provider=name
+            ).inc()
+        return float("inf")
 
     def _classify(self, scores: dict[str, float]) -> dict[str, ProviderProfile]:
         """Build profiles from latency scores + published prices."""

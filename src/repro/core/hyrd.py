@@ -46,6 +46,7 @@ class HyRDClient(Scheme):
         clock: SimClock,
         link: ClientLink | None = None,
         config: HyRDConfig | None = None,
+        tracer=None,
     ) -> None:
         self.config = config if config is not None else HyRDConfig()
         super().__init__(
@@ -55,11 +56,16 @@ class HyRDClient(Scheme):
             seed=self.config.seed,
             metadata_cache_capacity=self.config.metadata_cache_capacity,
             resilience=self.config.resilience,
+            tracer=tracer,
         )
         self.monitor = WorkloadMonitor(self.config)
-        self.evaluator = CostPerformanceEvaluator(providers, self.config)
+        self.evaluator = CostPerformanceEvaluator(
+            providers, self.config, metrics=self.registry
+        )
         self.evaluator.evaluate()
-        self.dispatcher = RequestDispatcher(self.config, self.evaluator)
+        self.dispatcher = RequestDispatcher(
+            self.config, self.evaluator, metrics=self.registry
+        )
         # Breaker state feeds placement preference: tripped providers keep
         # their slots but lose priority (hot copies land elsewhere).
         self.dispatcher.set_usable_guard(self._provider_usable)

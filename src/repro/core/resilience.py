@@ -131,6 +131,7 @@ class CircuitBreaker:
         failure_threshold: int = 3,
         reset_timeout: float = 60.0,
         half_open_successes: int = 2,
+        metrics=None,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError(f"failure_threshold must be >= 1, got {failure_threshold}")
@@ -144,6 +145,9 @@ class CircuitBreaker:
         self.failure_threshold = failure_threshold
         self.reset_timeout = reset_timeout
         self.half_open_successes = half_open_successes
+        #: optional MetricsRegistry; transitions feed
+        #: ``breaker_transitions_total{provider,state}`` when attached
+        self.metrics = metrics
         self.state = BreakerState.CLOSED
         self._consecutive_failures = 0
         self._half_open_ok = 0
@@ -156,6 +160,10 @@ class CircuitBreaker:
             return
         self.state = state
         self.transitions.append((now, state))
+        if self.metrics is not None:
+            self.metrics.counter(
+                "breaker_transitions_total", provider=self.name, state=state
+            ).inc()
         if state == BreakerState.OPEN:
             self._opened_at = now
             self._half_open_ok = 0
@@ -222,11 +230,14 @@ class ProviderHealth:
     for the evaluator's health-aware re-ranking.
     """
 
-    def __init__(self, name: str, alpha: float = 0.2) -> None:
+    def __init__(self, name: str, alpha: float = 0.2, metrics=None) -> None:
         if not (0.0 < alpha <= 1.0):
             raise ValueError(f"alpha must be in (0, 1], got {alpha}")
         self.name = name
         self.alpha = alpha
+        #: optional MetricsRegistry; the two EWMAs are published as the
+        #: ``provider_health_error_rate`` / ``provider_health_slowdown`` gauges
+        self.metrics = metrics
         self.error_rate = 0.0
         self.slowdown = 1.0
         self.slowdown_dev = 0.0
@@ -236,6 +247,10 @@ class ProviderHealth:
         """Fold one request attempt (success or failure) into the error EWMA."""
         self.error_rate += self.alpha * ((0.0 if ok else 1.0) - self.error_rate)
         self.samples += 1
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "provider_health_error_rate", provider=self.name
+            ).set(self.error_rate)
 
     def record_latency(self, observed: float, expected: float) -> None:
         """Fold one successful request's observed/expected latency ratio."""
@@ -244,6 +259,10 @@ class ProviderHealth:
         ratio = observed / expected
         self.slowdown += self.alpha * (ratio - self.slowdown)
         self.slowdown_dev += self.alpha * (abs(ratio - self.slowdown) - self.slowdown_dev)
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "provider_health_slowdown", provider=self.name
+            ).set(self.slowdown)
 
     def p95_slowdown(self, k: float = 2.0) -> float:
         """Upper-tail slowdown estimate (>= 1): mean + ``k`` deviations."""
@@ -320,13 +339,14 @@ class ResilienceConfig:
                 f"health_error_weight must be >= 0, got {self.health_error_weight}"
             )
 
-    def make_breaker(self, name: str) -> CircuitBreaker:
+    def make_breaker(self, name: str, metrics=None) -> CircuitBreaker:
         return CircuitBreaker(
             name,
             failure_threshold=self.breaker_failure_threshold,
             reset_timeout=self.breaker_reset_timeout,
             half_open_successes=self.breaker_half_open_successes,
+            metrics=metrics,
         )
 
-    def make_health(self, name: str) -> ProviderHealth:
-        return ProviderHealth(name, alpha=self.health_alpha)
+    def make_health(self, name: str, metrics=None) -> ProviderHealth:
+        return ProviderHealth(name, alpha=self.health_alpha, metrics=metrics)

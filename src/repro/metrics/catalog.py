@@ -1,0 +1,226 @@
+"""The metric catalog: every metric the runtime may emit, in one place.
+
+Each :class:`MetricSpec` names one instrument: its type (counter / gauge /
+histogram), the label keys it carries, its unit, and when it fires.  The
+catalog is load-bearing twice over:
+
+- a strict :class:`~repro.metrics.registry.MetricsRegistry` (the default
+  everywhere in the scheme engine) refuses to instantiate any metric that is
+  not declared here, so the list below is *exhaustive by construction*;
+- the reference table in ``docs/metrics-reference.md`` is generated from
+  this module (:func:`catalog_markdown_table`) and a test diffs the doc
+  against the generator's output, so the documentation cannot silently rot.
+
+To add a metric: declare the spec here, emit it through a registry, then
+regenerate the doc table::
+
+    PYTHONPATH=src python -m repro.metrics.catalog > /tmp/table.md
+    # paste between the BEGIN/END markers in docs/metrics-reference.md
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MetricSpec", "METRIC_CATALOG", "catalog_markdown_table"]
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """Declaration of one metric: name, type, labels, unit, meaning."""
+
+    name: str
+    type: str  # "counter" | "gauge" | "histogram"
+    description: str
+    labels: tuple[str, ...] = field(default=())
+    unit: str = "1"
+
+    def __post_init__(self) -> None:
+        if self.type not in ("counter", "gauge", "histogram"):
+            raise ValueError(f"unknown metric type {self.type!r}")
+        if tuple(sorted(self.labels)) != self.labels:
+            raise ValueError(f"labels for {self.name!r} must be sorted: {self.labels}")
+
+
+_SPECS: tuple[MetricSpec, ...] = (
+    # ---------------------------------------------------- operation metrics
+    MetricSpec(
+        "ops_total",
+        "counter",
+        "Completed scheme operations, split by op kind and whether the "
+        "operation took a degraded (reconstruction / fallback) path.",
+        labels=("degraded", "op"),
+    ),
+    MetricSpec(
+        "op_latency_seconds",
+        "histogram",
+        "End-to-end simulated latency of each completed scheme operation, "
+        "observed once per OpReport as it enters the collector.",
+        labels=("op",),
+        unit="s",
+    ),
+    # --------------------------------------------------- resilience counters
+    MetricSpec(
+        "retries",
+        "counter",
+        "Transient-failure retries burned by the scheme engine (one per "
+        "backoff wait actually taken inside a request's retry chain).",
+    ),
+    MetricSpec(
+        "breaker_open",
+        "counter",
+        "Circuit-breaker transitions into the open state observed by the "
+        "scheme engine during phase execution.",
+    ),
+    MetricSpec(
+        "breaker_half_open",
+        "counter",
+        "Circuit-breaker transitions into the half-open state (cooldown "
+        "expired; a probe phase is admitted).",
+    ),
+    MetricSpec(
+        "breaker_closed",
+        "counter",
+        "Circuit-breaker transitions back to closed (provider confirmed "
+        "healthy by probe successes or a consistency-update replay).",
+    ),
+    MetricSpec(
+        "breaker_fast_fail",
+        "counter",
+        "Requests skipped client-side because the target provider's "
+        "breaker was open (zero wire cost; mutations go to the write log).",
+    ),
+    MetricSpec(
+        "hedged_reads",
+        "counter",
+        "Hedged replicated reads that fired a backup request (primary slow, "
+        "failed, or corrupt past the trigger delay).",
+    ),
+    MetricSpec(
+        "hedge_wins",
+        "counter",
+        "Hedged reads where the backup's response was used (it answered "
+        "first or the primary failed).",
+    ),
+    MetricSpec(
+        "breaker_transitions_total",
+        "counter",
+        "Every circuit-breaker state change, recorded by the breaker itself "
+        "with the provider and the state entered.",
+        labels=("provider", "state"),
+    ),
+    MetricSpec(
+        "provider_health_error_rate",
+        "gauge",
+        "EWMA per-attempt failure rate tracked by ProviderHealth (transient "
+        "failures count even when a later retry succeeds).",
+        labels=("provider",),
+    ),
+    MetricSpec(
+        "provider_health_slowdown",
+        "gauge",
+        "EWMA of observed/expected latency ratio per provider; a brownout "
+        "shows up here as a value well above 1 without a single error.",
+        labels=("provider",),
+        unit="ratio",
+    ),
+    # ------------------------------------------------------ write-log / heal
+    MetricSpec(
+        "write_log_entries_total",
+        "counter",
+        "Mutations logged client-side because the target provider was "
+        "unavailable, breaker-tripped, or out of retries (the fallback that "
+        "feeds the consistency update).",
+        labels=("provider",),
+    ),
+    MetricSpec(
+        "write_log_pending",
+        "gauge",
+        "Write-log entries currently pending replay for the provider "
+        "(last-wins per key; 0 means the provider is fully healed).",
+        labels=("provider",),
+    ),
+    MetricSpec(
+        "heal_replayed_total",
+        "counter",
+        "Write-log entries replayed into the provider by consistency "
+        "updates (the paper's §III-C recovery step).",
+        labels=("provider",),
+    ),
+    # -------------------------------------------------------- provider layer
+    MetricSpec(
+        "provider_requests_total",
+        "counter",
+        "Requests issued to the simulated provider, by the paper's five ops "
+        "plus head; counted at entry, so failed requests are included.",
+        labels=("op", "provider"),
+    ),
+    MetricSpec(
+        "provider_errors_total",
+        "counter",
+        "Provider requests that raised, split into outage rejections "
+        "(kind=unavailable) and transient 500/throttle faults "
+        "(kind=transient).",
+        labels=("kind", "provider"),
+    ),
+    MetricSpec(
+        "provider_bytes_up_total",
+        "counter",
+        "Payload bytes accepted by the provider via Put.",
+        labels=("provider",),
+        unit="B",
+    ),
+    MetricSpec(
+        "provider_bytes_down_total",
+        "counter",
+        "Payload bytes served by the provider via Get.",
+        labels=("provider",),
+        unit="B",
+    ),
+    # -------------------------------------------------------- control plane
+    MetricSpec(
+        "dispatch_decisions_total",
+        "counter",
+        "Placement decisions made by the Request Dispatcher, split by the "
+        "redundancy family chosen (replication vs erasure).",
+        labels=("redundancy",),
+    ),
+    MetricSpec(
+        "evaluator_probes_total",
+        "counter",
+        "Latency probe rounds (create+put+get) issued per provider by the "
+        "Cost & Performance Evaluator.",
+        labels=("provider",),
+    ),
+    MetricSpec(
+        "evaluator_probe_failures_total",
+        "counter",
+        "Probe rounds abandoned because the provider was unavailable or "
+        "exhausted the probe retry policy (the provider scores inf).",
+        labels=("provider",),
+    ),
+)
+
+#: name -> spec for every metric the runtime may emit.
+METRIC_CATALOG: dict[str, MetricSpec] = {s.name: s for s in _SPECS}
+if len(METRIC_CATALOG) != len(_SPECS):  # pragma: no cover - authoring guard
+    raise RuntimeError("duplicate metric names in the catalog")
+
+
+def catalog_markdown_table() -> str:
+    """The reference table embedded in ``docs/metrics-reference.md``."""
+    lines = [
+        "| Name | Type | Labels | Unit | Meaning |",
+        "|---|---|---|---|---|",
+    ]
+    for spec in sorted(_SPECS, key=lambda s: s.name):
+        labels = ", ".join(f"`{label}`" for label in spec.labels) or "—"
+        lines.append(
+            f"| `{spec.name}` | {spec.type} | {labels} | {spec.unit} "
+            f"| {spec.description} |"
+        )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover - doc regeneration helper
+    print(catalog_markdown_table())

@@ -3,13 +3,21 @@
 Every public scheme operation returns an :class:`OpReport`; experiments feed
 reports into a :class:`LatencyCollector` and read back the summary series the
 paper's figures plot (average response time, normal vs degraded split, ...).
+
+Since the observability PR the collector is backed by a typed
+:class:`~repro.metrics.registry.MetricsRegistry`: ``bump``/``counter`` and
+the ``counters`` mapping delegate to registry counters, ``add`` additionally
+feeds the ``ops_total`` counter and the ``op_latency_seconds`` histogram.
+The public query API is unchanged; existing callers keep working verbatim.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
+from typing import Iterable
 
+from repro.metrics.registry import MetricsRegistry
 from repro.metrics.stats import LatencySummary, summarize
 
 __all__ = ["OpReport", "LatencyCollector"]
@@ -39,6 +47,19 @@ class OpReport:
     def __post_init__(self) -> None:
         if self.elapsed < 0:
             raise ValueError(f"elapsed must be >= 0, got {self.elapsed}")
+        for name in ("bytes_up", "bytes_down", "cloud_ops"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"{name} must be >= 0, got {value}")
+
+
+class _CountersView(dict):
+    """Read-compatible snapshot view of the registry's unlabeled counters.
+
+    Kept as a real ``dict`` subclass so legacy callers that printed or
+    compared ``collector.counters`` keep working; mutation should go through
+    :meth:`LatencyCollector.bump`.
+    """
 
 
 @dataclass
@@ -51,23 +72,46 @@ class LatencyCollector:
     (circuit state transitions), ``breaker_fast_fail`` (requests skipped
     client-side because a breaker was open), ``hedged_reads`` (backup
     requests fired) and ``hedge_wins`` (backup answered first).
+
+    Counters live in the attached :class:`MetricsRegistry` (``registry``),
+    which also receives ``ops_total{op,degraded}`` and the
+    ``op_latency_seconds{op}`` histogram for every report added.  A fresh
+    registry is created when none is passed, so ``LatencyCollector()``
+    stays a valid standalone construction.
     """
 
     reports: list[OpReport] = field(default_factory=list)
-    counters: dict[str, int] = field(default_factory=dict)
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    @property
+    def counters(self) -> dict[str, int]:
+        """Unlabeled counter values, as the pre-registry dict looked.
+
+        A snapshot: reflects registry state at access time.  (Labeled
+        metrics — per-provider request/error counters and the like — are
+        queried through :attr:`registry` instead.)
+        """
+        return _CountersView(self.registry.counters())
 
     def add(self, report: OpReport) -> None:
         self.reports.append(report)
+        self.registry.counter(
+            "ops_total", op=report.op, degraded=str(report.degraded).lower()
+        ).inc()
+        self.registry.histogram("op_latency_seconds", op=report.op).observe(
+            report.elapsed
+        )
 
-    def extend(self, reports: list[OpReport]) -> None:
-        self.reports.extend(reports)
+    def extend(self, reports: Iterable[OpReport]) -> None:
+        for report in reports:
+            self.add(report)
 
     def bump(self, counter: str, n: int = 1) -> None:
         """Increment a named resilience counter."""
-        self.counters[counter] = self.counters.get(counter, 0) + n
+        self.registry.counter(counter).inc(n)
 
     def counter(self, name: str) -> int:
-        return self.counters.get(name, 0)
+        return int(self.registry.counter_value(name))
 
     def __len__(self) -> int:
         return len(self.reports)

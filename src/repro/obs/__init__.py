@@ -1,0 +1,37 @@
+"""Observability for the simulated cloud-of-clouds: tracing and run reports.
+
+``repro.obs`` is the *consumer* side of the instrumentation stack:
+
+- :mod:`repro.obs.trace` — span tracer on the sim clock (no-op by default),
+  JSON-lines export, flame summaries;
+- :mod:`repro.obs.report` — per-scheme run reports (latency percentiles by
+  op, degraded split, time breakdown, resilience counters, per-provider
+  timeline), renderable from a live scheme or replayed from a trace file.
+
+The *producer* side — metric instruments and the catalog that documents
+them — lives in :mod:`repro.metrics` so the collector can depend on it
+without an import cycle.  See ``docs/observability.md`` for the prose guide.
+"""
+
+from repro.obs.trace import (
+    NOOP_TRACER,
+    NoopTracer,
+    RecordingTracer,
+    SpanRecord,
+    flame_summary,
+    parse_jsonl,
+    read_jsonl,
+)
+from repro.obs.report import RunReport, run_fault_storm_report
+
+__all__ = [
+    "NOOP_TRACER",
+    "NoopTracer",
+    "RecordingTracer",
+    "SpanRecord",
+    "flame_summary",
+    "parse_jsonl",
+    "read_jsonl",
+    "RunReport",
+    "run_fault_storm_report",
+]

@@ -41,6 +41,8 @@ from repro.erasure.codec import ErasureCodec
 from repro.fs.metadata import MetadataStore, group_key
 from repro.fs.namespace import FileEntry, Namespace, dirname, normalize_path
 from repro.metrics.collector import LatencyCollector, OpReport
+from repro.metrics.registry import MetricsRegistry
+from repro.obs.trace import NOOP_TRACER
 from repro.sim.bandwidth import TransferSpec, simulate_transfers
 from repro.sim.clock import SimClock
 from repro.sim.rng import make_rng
@@ -135,6 +137,7 @@ def _public_op(method):
             return method(self, *args, **kwargs)
         except BaseException:
             self._acc = None
+            self._abort_op_span()
             raise
 
     return wrapper
@@ -181,6 +184,7 @@ class Scheme(ABC):
         seed: int = 0,
         metadata_cache_capacity: int = 256,
         resilience: ResilienceConfig | None = None,
+        tracer=None,
     ) -> None:
         if not providers:
             raise ValueError("a scheme needs at least one provider")
@@ -192,6 +196,17 @@ class Scheme(ABC):
         self.link = link if link is not None else ClientLink()
         self.seed = seed
         self.rng: np.random.Generator = make_rng(seed, "scheme", self.name)
+        #: span tracer (no-op by default — see :mod:`repro.obs.trace`); never
+        #: advances the clock or draws RNG, so attaching one cannot perturb
+        #: a run's simulated timings
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
+        #: typed metric registry shared by the collector, the circuit
+        #: breakers, the health trackers and the providers themselves
+        self.registry = MetricsRegistry(tracer=self.tracer)
+        self.collector = LatencyCollector(registry=self.registry)
+        if self.tracer.enabled:
+            self.tracer.meta(scheme=self.name, seed=seed)
+        self._op_span = None
         if resilience is None:
             resilience = ResilienceConfig()
             if self.transient_retries != 2:
@@ -207,16 +222,21 @@ class Scheme(ABC):
         #: deterministic jitter stream for retry backoff (sim-time waits)
         self._retry_rng: np.random.Generator = make_rng(seed, "retry", self.name)
         self._breakers: dict[str, CircuitBreaker] = (
-            {p.name: resilience.make_breaker(p.name) for p in providers}
+            {
+                p.name: resilience.make_breaker(p.name, metrics=self.registry)
+                for p in providers
+            }
             if resilience.breaker_enabled
             else {}
         )
         self.health: dict[str, ProviderHealth] = {
-            p.name: resilience.make_health(p.name) for p in providers
+            p.name: resilience.make_health(p.name, metrics=self.registry)
+            for p in providers
         }
+        for p in providers:
+            p.metrics = self.registry
         self.namespace = Namespace()
         self.meta = MetadataStore(self.namespace, metadata_cache_capacity)
-        self.collector = LatencyCollector()
         self.container = f"{self.name}-store"
         self._write_logs: dict[str, WriteLog] = {p.name: WriteLog() for p in providers}
         self._acc: _OpAcc | None = None
@@ -241,10 +261,12 @@ class Scheme(ABC):
                     continue
                 except ProviderUnavailable:
                     self._write_logs[p.name].log_create(self.container, self.clock.now)
+                    self._note_write_log(p.name)
                     break
             else:
                 # Exhausted transient retries: same missed-mutation path.
                 self._write_logs[p.name].log_create(self.container, self.clock.now)
+                self._note_write_log(p.name)
 
     @property
     def provider_names(self) -> list[str]:
@@ -360,6 +382,10 @@ class Scheme(ABC):
         bytes_down = 0
         now = self.clock.now
         policy = self.retry_policy
+        # Per-op attempt counts for request spans; only kept while tracing.
+        attempt_counts: dict[int, int] | None = (
+            {} if self.tracer.enabled else None
+        )
 
         # One breaker decision per provider per phase, so a half-open probe
         # admits the provider's whole phase (and its outcome settles the
@@ -419,6 +445,16 @@ class Scheme(ABC):
                     self.collector.bump("retries")
                     if self._acc is not None:
                         self._acc.retries += 1
+                    if attempt_counts is not None:
+                        # The wait sits at the end of this op's serialized
+                        # penalty chain, which starts at the phase start.
+                        self.tracer.add(
+                            "retry.wait",
+                            now + penalty - wait,
+                            now + penalty,
+                            provider=op.provider,
+                            attempt=attempt,
+                        )
                 except ProviderUnavailable as exc:
                     error = exc
                     if health is not None:
@@ -427,6 +463,8 @@ class Scheme(ABC):
                 except CloudError as exc:
                     error = exc
                     break
+            if attempt_counts is not None:
+                attempt_counts[i] = attempt + 1
             if error is not None:
                 if isinstance(error, (ProviderUnavailable, TransientProviderError)):
                     # Mutations the provider missed — outage or exhausted
@@ -486,6 +524,29 @@ class Scheme(ABC):
                 if health is not None:
                     health.record_latency(o.finish, self._expected_latency(o))
 
+        if attempt_counts is not None:
+            # Backfilled per-request child spans: each request's finish is
+            # only known once the whole phase's transfers are simulated.
+            for i, o in enumerate(outcomes):
+                if isinstance(o.error, CircuitOpenError):
+                    self.tracer.add(
+                        "breaker.fast_fail",
+                        now,
+                        now,
+                        provider=o.op.provider,
+                        kind=o.op.kind,
+                    )
+                    continue
+                attrs = {
+                    "provider": o.op.provider,
+                    "kind": o.op.kind,
+                    "ok": o.ok,
+                    "attempts": attempt_counts.get(i, 1),
+                }
+                if o.error is not None:
+                    attrs["error"] = type(o.error).__name__
+                self.tracer.add("request", now, now + o.finish, **attrs)
+
         if advance and elapsed > 0:
             self.clock.advance(elapsed)
 
@@ -536,6 +597,23 @@ class Scheme(ABC):
             self._write_logs[op.provider].log_remove(
                 op.container, op.key, self.clock.now
             )
+        else:
+            return
+        self._note_write_log(op.provider)
+        if self.tracer.enabled:
+            self.tracer.event(
+                "write_log.fallback",
+                provider=op.provider,
+                kind=op.kind,
+                key=op.key,
+            )
+
+    def _note_write_log(self, provider: str) -> None:
+        """Publish one logged mutation and the provider's pending depth."""
+        self.registry.counter("write_log_entries_total", provider=provider).inc()
+        self.registry.gauge("write_log_pending", provider=provider).set(
+            len(self._write_logs[provider])
+        )
 
     # -------------------------------------------------------------- recovery
     def pending_log(self, provider: str) -> WriteLog:
@@ -589,7 +667,17 @@ class Scheme(ABC):
         # a successful replay closes the breaker, a failure re-opens it.
         # Respecting an open breaker here would fast-fail the drained log
         # back into itself without advancing the clock (a livelock).
-        self._run_phase(ops, bypass_breakers=True)
+        with self.tracer.span("heal.replay", provider=name) as sp:
+            phase = self._run_phase(ops, bypass_breakers=True)
+            replayed = sum(
+                1 for o in phase.outcomes if o.ok and o.op.kind != "create"
+            )
+            sp.set(entries=len(entries), replayed=replayed)
+        if replayed:
+            self.registry.counter("heal_replayed_total", provider=name).inc(replayed)
+        # A replay that failed partway re-logs the unreplayed tail, so the
+        # pending gauge reflects whatever is still owed after this pass.
+        self.registry.gauge("write_log_pending", provider=name).set(len(log))
 
     def _heal_before_touching(self, providers: set[str]) -> None:
         """Consistency-update any returned-but-stale provider we are about to use."""
@@ -606,17 +694,32 @@ class Scheme(ABC):
         if self._acc is not None:
             raise RuntimeError("nested scheme operations are not supported")
         self._acc = _OpAcc(t0=self.clock.now)
+        if self.tracer.enabled:
+            # Root span for this operation: opened now so every request /
+            # retry / heal span recorded inside nests under it; named and
+            # closed by _end_op once the op kind is known.
+            self._op_span = self.tracer.span("op")
+            self._op_span.__enter__()
 
     def _mark_degraded(self) -> None:
         if self._acc is not None:
             self._acc.degraded = True
+
+    def _abort_op_span(self) -> None:
+        """Close a dangling root span when a public op raises."""
+        span = self._op_span
+        if span is not None:
+            self._op_span = None
+            span.record.name = "op.error"
+            span.record.set(outcome="error")
+            span.__exit__(None, None, None)
 
     def _end_op(self, op: str, path: str) -> OpReport:
         acc = self._acc
         if acc is None:
             raise RuntimeError("_end_op without _begin_op")
         self._acc = None
-        return OpReport(
+        report = OpReport(
             op=op,
             path=path,
             elapsed=self.clock.now - acc.t0,
@@ -630,6 +733,29 @@ class Scheme(ABC):
             retries=acc.retries,
             hedged=acc.hedged,
         )
+        span = self._op_span
+        if span is not None:
+            self._op_span = None
+            # The root span carries the full OpReport so a JSON-lines trace
+            # is self-contained: RunReport.from_trace rebuilds the report
+            # stream from these attributes alone.
+            span.record.name = f"op.{op}"
+            span.record.set(
+                op=op,
+                path=path,
+                elapsed=report.elapsed,
+                bytes_up=report.bytes_up,
+                bytes_down=report.bytes_down,
+                providers=list(report.providers),
+                degraded=report.degraded,
+                cloud_ops=report.cloud_ops,
+                rtt_wait=report.rtt_wait,
+                transfer_time=report.transfer_time,
+                retries=report.retries,
+                hedged=report.hedged,
+            )
+            span.__exit__(None, None, None)
+        return report
 
     # ----------------------------------------------------- placement helpers
     def _fragment_key(self, path: str, index: int, version: int) -> str:
@@ -772,6 +898,10 @@ class Scheme(ABC):
         self.collector.bump("hedged_reads")
         if self._acc is not None:
             self._acc.hedged = True
+        if self.tracer.enabled:
+            self.tracer.event(
+                "hedge.fired", primary=primary, backup=backup, delay=hedge_delay
+            )
         backup_start = hedge_delay if p_ok else min(hedge_delay, p_phase.elapsed)
         b_phase = self._run_phase(
             [CloudOp(backup, "get", self.container, key)], advance=False
@@ -790,6 +920,8 @@ class Scheme(ABC):
             return p.data, False
         if b_ok:
             self.collector.bump("hedge_wins")
+            if self.tracer.enabled:
+                self.tracer.event("hedge.win", provider=backup)
             if b_finish > 0:
                 self.clock.advance(b_finish)
             # Degraded only when the primary actually failed — a hedge that
@@ -817,7 +949,8 @@ class Scheme(ABC):
                 f"{codec!r} needs {codec.n} providers, got {len(providers)}"
             )
         self._heal_before_touching(set(providers))
-        fragments = codec.encode(data)
+        with self.tracer.span("codec.encode", codec=type(codec).__name__, size=len(data)):
+            fragments = codec.encode(data)
         ops = [
             CloudOp(p, "put", self.container, self._fragment_key(key_base, i, version), fragments[i])
             for i, p in enumerate(providers)
@@ -906,7 +1039,9 @@ class Scheme(ABC):
             raise DataUnavailable(key_base, "lost fragments mid-read")
         if degraded:
             self._mark_degraded()
-        return codec.decode(fragments, size), degraded
+        with self.tracer.span("codec.decode", codec=type(codec).__name__, size=size):
+            data = codec.decode(fragments, size)
+        return data, degraded
 
     def _rmw_striped(
         self,
@@ -962,7 +1097,10 @@ class Scheme(ABC):
         # Phase 2: write the new affected fragments + parities.  Fragment
         # content comes from re-encoding the composed object; unaffected data
         # fragments are bit-identical because size and boundaries are fixed.
-        fragments = codec.encode(new_content)
+        with self.tracer.span(
+            "codec.encode", codec=type(codec).__name__, size=len(new_content)
+        ):
+            fragments = codec.encode(new_content)
         write_ops = [
             CloudOp(
                 providers_by_index[i],

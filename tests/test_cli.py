@@ -10,7 +10,7 @@ class TestParser:
         parser = build_parser()
         for cmd in ("table1", "table2", "fig3", "fig4", "fig5", "fig6",
                     "threshold", "replication", "codec", "degraded",
-                    "whatif", "availability", "lockin"):
+                    "whatif", "availability", "lockin", "report"):
             args = parser.parse_args([cmd])
             assert args.command == cmd
             assert args.seed == 0
@@ -56,3 +56,9 @@ class TestFastCommands:
         out = capsys.readouterr().out
         assert "Vendor lock-in" in out
         assert "hyrd" in out
+
+    def test_report(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "Run report — scheme=hyrd" in out
+        assert "Flame summary" in out

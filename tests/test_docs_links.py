@@ -1,0 +1,50 @@
+"""Intra-repo markdown links must resolve (the checker the docs CI job runs)."""
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "tools"))
+
+from check_markdown_links import _slugify, check_file, check_tree  # noqa: E402
+
+
+def test_repo_markdown_links_resolve():
+    problems = check_tree(ROOT)
+    assert not problems, "broken markdown links:\n" + "\n".join(problems)
+
+
+def test_checker_catches_broken_link(tmp_path):
+    (tmp_path / "a.md").write_text("see [other](missing.md)\n", encoding="utf-8")
+    problems = check_tree(tmp_path)
+    assert len(problems) == 1
+    assert "broken link -> missing.md" in problems[0]
+
+
+def test_checker_accepts_good_links_and_skips_external(tmp_path):
+    (tmp_path / "b.md").write_text("# Target Section\n", encoding="utf-8")
+    (tmp_path / "a.md").write_text(
+        "[ok](b.md) [anchor](b.md#target-section) [ext](https://example.com) "
+        "[self](#somewhere)\n",
+        encoding="utf-8",
+    )
+    assert check_tree(tmp_path) == []
+
+
+def test_checker_catches_missing_anchor(tmp_path):
+    (tmp_path / "b.md").write_text("# Only Heading\n", encoding="utf-8")
+    (tmp_path / "a.md").write_text("[x](b.md#nope)\n", encoding="utf-8")
+    problems = check_file(tmp_path / "a.md", tmp_path)
+    assert problems and "missing anchor" in problems[0]
+
+
+def test_checker_ignores_code_blocks(tmp_path):
+    (tmp_path / "a.md").write_text(
+        "```\n[not a link](nothing.md)\n```\n", encoding="utf-8"
+    )
+    assert check_tree(tmp_path) == []
+
+
+def test_slugify_matches_github_style():
+    assert _slugify("Install & verify") == "install--verify"
+    assert _slugify("The `repro report` CLI") == "the-repro-report-cli"

@@ -28,11 +28,27 @@ class TestSummarize:
         with pytest.raises(ValueError):
             summarize([1.0, -0.5])
 
+    def test_single_sample_is_exact_everywhere(self):
+        s = summarize([0.37])
+        assert s.count == 1
+        assert s.p50 == s.p95 == s.p99 == s.max == 0.37
+        assert s.mean == pytest.approx(0.37)
+
+    def test_all_ties_report_the_tied_value(self):
+        s = summarize([2.0] * 25)
+        assert s.p50 == s.p95 == s.p99 == s.max == 2.0
+        assert s.total == pytest.approx(50.0)
+
 
 class TestOpReport:
     def test_validation(self):
         with pytest.raises(ValueError):
             OpReport(op="get", path="/a", elapsed=-1.0)
+
+    @pytest.mark.parametrize("field", ["bytes_up", "bytes_down", "cloud_ops"])
+    def test_negative_count_fields_rejected(self, field):
+        with pytest.raises(ValueError, match=field):
+            OpReport(op="get", path="/a", elapsed=1.0, **{field: -1})
 
 
 class TestCollector:
@@ -48,6 +64,29 @@ class TestCollector:
         assert len(collector) == 3
         collector.extend([OpReport(op="stat", path="/d", elapsed=0.1)])
         assert len(collector) == 4
+
+    def test_extend_accepts_any_iterable(self, collector):
+        collector.extend(
+            OpReport(op="stat", path=f"/g{i}", elapsed=0.1) for i in range(2)
+        )
+        collector.extend((OpReport(op="stat", path="/t", elapsed=0.1),))
+        assert len(collector) == 6
+
+    def test_counters_reflect_registry(self, collector):
+        collector.bump("retries", 2)
+        collector.bump("hedged_reads")
+        assert collector.counter("retries") == 2
+        assert collector.counters["hedged_reads"] == 1
+        # ops_total feeds automatically from add(); degraded split included.
+        assert collector.registry.counter_value(
+            "ops_total", op="get", degraded="true") == 1
+        assert collector.registry.counter_value(
+            "ops_total", op="get", degraded="false") == 1
+
+    def test_latency_histogram_fed_on_add(self, collector):
+        h = collector.registry.histogram("op_latency_seconds", op="put")
+        assert h.count == 1
+        assert h.summary()["max"] == 2.0
 
     def test_latencies_filters(self, collector):
         assert collector.latencies("get") == [1.0, 3.0]

@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Check intra-repository markdown links — no network, stdlib only.
+
+Scans the repo's markdown files for inline links and images
+(``[text](target)``), skips external targets (``http(s)://``, ``mailto:``)
+and pure in-page anchors (``#fragment``), and verifies every remaining
+target resolves to an existing file or directory relative to the file
+containing the link.  Fragments on local targets are checked against the
+target file's headings (GitHub-style slugs).
+
+Usage::
+
+    python tools/check_markdown_links.py [ROOT]
+
+Exits 0 when every local link resolves, 1 otherwise (one line per broken
+link: ``file:line: broken link -> target``).  Used by the docs CI job and
+``tests/test_docs_links.py``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links/images: [text](target) / ![alt](target).  Reference-style
+# links are rare in this repo and intentionally out of scope.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+#: Directories never scanned (vendored/related material is not ours to fix).
+SKIP_DIRS = {".git", ".venv", "node_modules", "__pycache__", "related"}
+
+
+def _slugify(heading: str) -> str:
+    """GitHub-style anchor slug: lowercase, spaces to dashes, drop punctuation."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip())
+    text = re.sub(r"[^\w\s-]", "", text.lower())
+    # GitHub turns each space into a dash individually, so "a & b" (after
+    # punctuation removal leaves two spaces) slugs to "a--b".
+    return re.sub(r"\s", "-", text)
+
+
+def _headings(path: Path) -> set[str]:
+    slugs: set[str] = set()
+    in_code = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_code = not in_code
+            continue
+        if in_code:
+            continue
+        m = _HEADING_RE.match(line)
+        if m:
+            slugs.add(_slugify(m.group(1)))
+    return slugs
+
+
+def _iter_links(path: Path):
+    in_code = False
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if line.lstrip().startswith("```"):
+            in_code = not in_code
+            continue
+        if in_code:
+            continue
+        for m in _LINK_RE.finditer(line):
+            yield lineno, m.group(1)
+
+
+def check_file(md: Path, root: Path) -> list[str]:
+    """All broken local links in one markdown file, as report lines."""
+    problems: list[str] = []
+    for lineno, target in _iter_links(md):
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        path_part, _, fragment = target.partition("#")
+        resolved = (md.parent / path_part).resolve()
+        try:
+            resolved.relative_to(root.resolve())
+        except ValueError:
+            problems.append(
+                f"{md.relative_to(root)}:{lineno}: link escapes the repo -> {target}"
+            )
+            continue
+        if not resolved.exists():
+            problems.append(
+                f"{md.relative_to(root)}:{lineno}: broken link -> {target}"
+            )
+            continue
+        if fragment and resolved.is_file() and resolved.suffix == ".md":
+            if _slugify(fragment) not in _headings(resolved):
+                problems.append(
+                    f"{md.relative_to(root)}:{lineno}: missing anchor -> {target}"
+                )
+    return problems
+
+
+def check_tree(root: Path) -> list[str]:
+    """Broken-link report lines for every markdown file under ``root``."""
+    problems: list[str] = []
+    for md in sorted(root.rglob("*.md")):
+        if any(part in SKIP_DIRS for part in md.relative_to(root).parts):
+            continue
+        problems.extend(check_file(md, root))
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parent.parent
+    problems = check_tree(root)
+    for line in problems:
+        print(line)
+    if problems:
+        print(f"{len(problems)} broken markdown link(s)", file=sys.stderr)
+        return 1
+    print("all intra-repo markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
