@@ -11,6 +11,8 @@ Examples::
     python -m repro threshold
     python -m repro report --trace-out /tmp/storm.jsonl
     python -m repro report --from-trace /tmp/storm.jsonl
+    python -m repro watch --cadence 30 --ts-out /tmp/storm-ts.jsonl
+    python -m repro watch --from /tmp/storm-ts.jsonl
 """
 
 from __future__ import annotations
@@ -241,6 +243,33 @@ def _cmd_report(args: argparse.Namespace) -> str:
     return report.render()
 
 
+def _cmd_watch(args: argparse.Namespace) -> str:
+    from repro.obs import MetricTimeSeries, SloConfig, SloTracker, TimeSeriesSampler
+    from repro.obs.dashboard import render_dashboard, render_frame
+    from repro.obs.report import run_fault_storm_report
+
+    color = not args.no_color
+    if args.from_ts:
+        ts = MetricTimeSeries.read_jsonl(args.from_ts)
+        return render_dashboard(ts, color=color)
+    # Live mode: the canonical fault storm with an SLO tracker attached and
+    # the sampler repainting the terminal on every snapshot.
+    live = sys.stdout.isatty()
+
+    def repaint(sampler: TimeSeriesSampler) -> None:
+        if live:
+            print(render_frame(sampler, color=color), flush=True)
+
+    slo = SloTracker(SloConfig())
+    sampler = TimeSeriesSampler(
+        cadence=args.cadence, slo=slo, on_sample=repaint
+    )
+    run_fault_storm_report(seed=args.seed, trace=False, slo=slo, sampler=sampler)
+    if args.ts_out:
+        sampler.ts.write_jsonl(args.ts_out)
+    return render_dashboard(sampler.ts, color=color)
+
+
 def _cmd_lockin(args: argparse.Namespace) -> str:
     from repro.analysis.lockin import switching_cost_report
 
@@ -271,6 +300,7 @@ _COMMANDS = {
     "availability": _cmd_availability,
     "lockin": _cmd_lockin,
     "report": _cmd_report,
+    "watch": _cmd_watch,
 }
 
 
@@ -296,6 +326,29 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="report: re-render a previously saved JSON-lines trace "
         "instead of running the fault storm",
+    )
+    parser.add_argument(
+        "--from",
+        dest="from_ts",
+        metavar="PATH",
+        help="watch: render the dashboard from a saved time-series file "
+        "instead of running live",
+    )
+    parser.add_argument(
+        "--ts-out",
+        metavar="PATH",
+        help="watch: export the run's metric time series as JSON-lines",
+    )
+    parser.add_argument(
+        "--cadence",
+        type=float,
+        default=60.0,
+        help="watch: sampling cadence in simulated seconds (default 60)",
+    )
+    parser.add_argument(
+        "--no-color",
+        action="store_true",
+        help="watch: disable ANSI colors in the dashboard",
     )
     return parser
 

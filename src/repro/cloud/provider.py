@@ -106,6 +106,31 @@ class SimulatedProvider:
             return False
         return not (self.faults is not None and self.faults.is_out(t))
 
+    def scheduled_downtime(self, t0: float, t1: float) -> list[tuple[float, float]]:
+        """Ground-truth unavailability intervals in ``[t0, t1)``, merged.
+
+        The union of the outage schedule's windows and every fault-profile
+        effect that takes the provider down (flapping outages).  This is what
+        :meth:`is_available` would report if polled continuously — the SLO
+        tracker ingests it so observed MTBF/MTTR can be checked against the
+        injected schedule exactly.
+        """
+        raw: list[tuple[float, float]] = []
+        for w in self.outages.windows:
+            a, b = max(w.start, t0), min(w.end, t1)
+            if b > a:
+                raw.append((a, b))
+        if self.faults is not None:
+            raw.extend(self.faults.downtime_windows(t0, t1))
+        raw.sort()
+        merged: list[tuple[float, float]] = []
+        for a, b in raw:
+            if merged and a <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], b))
+            else:
+                merged.append((a, b))
+        return merged
+
     def _effective_fault_rate(self, t: float) -> float:
         """Base transient rate layered with any scripted burst/throttle."""
         rate = self.fault_rate

@@ -58,7 +58,7 @@ class HyRDClient(Scheme):
             resilience=self.config.resilience,
             tracer=tracer,
         )
-        self.monitor = WorkloadMonitor(self.config)
+        self.monitor = WorkloadMonitor(self.config, metrics=self.registry)
         self.evaluator = CostPerformanceEvaluator(
             providers, self.config, metrics=self.registry
         )

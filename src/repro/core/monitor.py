@@ -50,11 +50,20 @@ class WorkloadStats:
 
 
 class WorkloadMonitor:
-    """Classifies writes and accumulates workload statistics."""
+    """Classifies writes and accumulates workload statistics.
 
-    def __init__(self, config: HyRDConfig) -> None:
+    With a :class:`~repro.metrics.registry.MetricsRegistry` attached (HyRD
+    passes the scheme registry), every observation is mirrored into the
+    ``workload_writes_total{class}`` / ``workload_bytes_total{class}`` /
+    ``workload_size_bucket_total{bucket}`` counters — which is what lets the
+    time series (and the ``repro watch`` dashboard) show the small/large mix
+    drifting over a trace replay instead of only a final tally.
+    """
+
+    def __init__(self, config: HyRDConfig, metrics=None) -> None:
         self.config = config
         self.stats = WorkloadStats()
+        self.metrics = metrics
 
     def classify(self, size: int) -> FileClass:
         """Small/large decision for a file write of ``size`` bytes."""
@@ -65,9 +74,20 @@ class WorkloadMonitor:
     def observe(self, size: int, klass: FileClass | None = None) -> FileClass:
         """Classify and record one incoming write."""
         klass = klass if klass is not None else self.classify(size)
+        bucket = self._bucket(size)
         self.stats.counts[klass] += 1
         self.stats.bytes_by_class[klass] += size
-        self.stats.histogram[self._bucket(size)] += 1
+        self.stats.histogram[bucket] += 1
+        if self.metrics is not None:
+            self.metrics.counter(
+                "workload_writes_total", **{"class": klass.value}
+            ).inc()
+            self.metrics.counter(
+                "workload_bytes_total", **{"class": klass.value}
+            ).inc(size)
+            self.metrics.counter(
+                "workload_size_bucket_total", bucket=bucket
+            ).inc()
         return klass
 
     def observe_metadata(self, size: int) -> FileClass:

@@ -69,6 +69,13 @@ class FaultEffect:
         """Probability that a Get at ``t`` returns silently corrupted bytes."""
         return 0.0
 
+    def downtime_windows(self, t0: float, t1: float) -> list[tuple[float, float]]:
+        """Half-open ``[start, end)`` intervals in ``[t0, t1)`` where
+        :meth:`is_out` is true — the ground truth the SLO tracker's observed
+        MTBF/MTTR is checked against.  Effects that never take the provider
+        down (the default) contribute nothing."""
+        return []
+
 
 @dataclass(frozen=True)
 class TransientErrorBurst(FaultEffect):
@@ -155,6 +162,24 @@ class FlappingOutage(FaultEffect):
             t += self.downtime - phase
         return t
 
+    def downtime_windows(self, t0: float, t1: float) -> list[tuple[float, float]]:
+        lo, hi = max(t0, self.start), min(t1, self.end)
+        if hi <= lo:
+            return []
+        windows: list[tuple[float, float]] = []
+        # First cycle whose down phase could intersect [lo, hi).
+        k = int((lo - self.start) // self.period)
+        while True:
+            down_start = self.start + k * self.period
+            if down_start >= hi:
+                break
+            down_end = min(down_start + self.downtime, self.end)
+            a, b = max(down_start, lo), min(down_end, hi)
+            if b > a:
+                windows.append((a, b))
+            k += 1
+        return windows
+
 
 @dataclass(frozen=True)
 class SilentCorruption(FaultEffect):
@@ -225,6 +250,20 @@ class FaultProfile:
         for e in self.effects:
             ok *= 1.0 - e.corruption_rate(t)
         return 1.0 - ok
+
+    def downtime_windows(self, t0: float, t1: float) -> list[tuple[float, float]]:
+        """Merged ``[start, end)`` intervals in ``[t0, t1)`` where any effect
+        takes the provider down (union across effects, overlaps coalesced)."""
+        raw = sorted(
+            w for e in self.effects for w in e.downtime_windows(t0, t1)
+        )
+        merged: list[tuple[float, float]] = []
+        for a, b in raw:
+            if merged and a <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], b))
+            else:
+                merged.append((a, b))
+        return merged
 
     def maybe_corrupt(self, data: bytes, t: float) -> bytes:
         """Possibly bit-flip ``data`` for a Get at ``t`` (never in place)."""

@@ -177,6 +177,91 @@ _SPECS: tuple[MetricSpec, ...] = (
         labels=("provider",),
         unit="B",
     ),
+    # ------------------------------------------------------- workload monitor
+    MetricSpec(
+        "workload_writes_total",
+        "counter",
+        "Writes classified by the Workload Monitor, split by the HyRD data "
+        "class the dispatcher will place (metadata / small / large).",
+        labels=("class",),
+    ),
+    MetricSpec(
+        "workload_bytes_total",
+        "counter",
+        "Payload bytes classified by the Workload Monitor, by data class.",
+        labels=("class",),
+        unit="B",
+    ),
+    MetricSpec(
+        "workload_size_bucket_total",
+        "counter",
+        "Write-size histogram kept by the Workload Monitor (coarse buckets "
+        "from <4K to >=16M) — the small/large mix the dashboard charts.",
+        labels=("bucket",),
+    ),
+    # ----------------------------------------------------------- SLO tracker
+    MetricSpec(
+        "slo_read_availability",
+        "gauge",
+        "Sliding-window fraction of user-facing reads (get/stat/listdir) "
+        "that completed without raising.",
+        unit="ratio",
+    ),
+    MetricSpec(
+        "slo_write_availability",
+        "gauge",
+        "Sliding-window fraction of user-facing writes (put/update/remove) "
+        "that completed without raising.",
+        unit="ratio",
+    ),
+    MetricSpec(
+        "slo_degraded_read_fraction",
+        "gauge",
+        "Fraction of windowed successful reads that took a degraded "
+        "(reconstruction / fallback) path.",
+        unit="ratio",
+    ),
+    MetricSpec(
+        "slo_error_budget_burn",
+        "gauge",
+        "Observed unavailability over allowed unavailability for the op "
+        "class's SLO target; 1.0 burns the error budget exactly on schedule.",
+        labels=("op_class",),
+        unit="ratio",
+    ),
+    MetricSpec(
+        "slo_window_ops",
+        "gauge",
+        "User-facing operations currently inside the SLO sliding window, "
+        "per op class — the sample size behind the availability gauges.",
+        labels=("op_class",),
+    ),
+    MetricSpec(
+        "slo_provider_downtime_seconds",
+        "gauge",
+        "Cumulative provider downtime: feed=observed is rebuilt from "
+        "circuit-breaker open/closed edges, feed=scheduled is the injected "
+        "outage/fault ground truth.",
+        labels=("feed", "provider"),
+        unit="s",
+    ),
+    MetricSpec(
+        "slo_provider_mtbf_seconds",
+        "gauge",
+        "Empirical mean time between failures per provider (mean up-gap "
+        "between consecutive downtime intervals), by feed; undefined until "
+        "a second failure is seen.",
+        labels=("feed", "provider"),
+        unit="s",
+    ),
+    MetricSpec(
+        "slo_provider_mttr_seconds",
+        "gauge",
+        "Empirical mean time to repair per provider (mean closed downtime "
+        "interval), by feed.",
+        labels=("feed", "provider"),
+        unit="s",
+    ),
     # -------------------------------------------------------- control plane
     MetricSpec(
         "dispatch_decisions_total",

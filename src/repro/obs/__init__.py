@@ -1,4 +1,4 @@
-"""Observability for the simulated cloud-of-clouds: tracing and run reports.
+"""Observability for the simulated cloud-of-clouds: tracing, reports, SLOs.
 
 ``repro.obs`` is the *consumer* side of the instrumentation stack:
 
@@ -6,11 +6,20 @@
   JSON-lines export, flame summaries;
 - :mod:`repro.obs.report` — per-scheme run reports (latency percentiles by
   op, degraded split, time breakdown, resilience counters, per-provider
-  timeline), renderable from a live scheme or replayed from a trace file.
+  timeline), renderable from a live scheme or replayed from a trace file;
+- :mod:`repro.obs.timeseries` — cadence-driven registry snapshots into a
+  bounded ring buffer, JSON-lines export/import symmetric to the trace
+  format (the live feed behind ``repro watch``);
+- :mod:`repro.obs.slo` — sliding-window SLO tracking: read/write
+  availability, degraded-read fraction, error-budget burn, and per-provider
+  empirical MTBF/MTTR from breaker edges vs the injected ground truth;
+- :mod:`repro.obs.dashboard` — stdlib ANSI terminal dashboard over a live
+  sampler or a saved time-series file.
 
 The *producer* side — metric instruments and the catalog that documents
 them — lives in :mod:`repro.metrics` so the collector can depend on it
-without an import cycle.  See ``docs/observability.md`` for the prose guide.
+without an import cycle.  See ``docs/observability.md`` and ``docs/slo.md``
+for the prose guides.
 """
 
 from repro.obs.trace import (
@@ -23,6 +32,8 @@ from repro.obs.trace import (
     read_jsonl,
 )
 from repro.obs.report import RunReport, run_fault_storm_report
+from repro.obs.slo import IntervalLedger, ProviderSlo, SloConfig, SloTracker
+from repro.obs.timeseries import MetricTimeSeries, TimeSeriesSampler
 
 __all__ = [
     "NOOP_TRACER",
@@ -34,4 +45,10 @@ __all__ = [
     "read_jsonl",
     "RunReport",
     "run_fault_storm_report",
+    "MetricTimeSeries",
+    "TimeSeriesSampler",
+    "SloConfig",
+    "SloTracker",
+    "IntervalLedger",
+    "ProviderSlo",
 ]

@@ -1,0 +1,314 @@
+"""``repro watch`` — an ANSI terminal dashboard over the metric time series.
+
+Pure stdlib rendering: sparklines (block glyphs), SLO gauge bars with the
+target marked, a per-provider health strip, and the workload small/large mix
+— all computed from a :class:`~repro.obs.timeseries.MetricTimeSeries`, which
+means the same dashboard renders from a *live* sampler mid-run or from a
+saved ``.jsonl`` file long after the run ended (``repro watch --from``).
+
+Nothing here touches the simulation: the dashboard is a read-only view over
+snapshots the sampler already took.  Colors are plain ANSI SGR codes, and
+every renderer takes ``color=False`` for pipes and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.timeseries import MetricTimeSeries, split_series_id
+
+__all__ = ["sparkline", "gauge_bar", "render_dashboard", "render_frame"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+_RESET = "\x1b[0m"
+_COLORS = {"green": "\x1b[32m", "yellow": "\x1b[33m", "red": "\x1b[31m",
+           "dim": "\x1b[2m", "bold": "\x1b[1m", "cyan": "\x1b[36m"}
+#: clear screen + home — prepended to live frames so the dashboard redraws
+#: in place instead of scrolling
+CLEAR = "\x1b[2J\x1b[H"
+
+
+def _c(text: str, code: str, color: bool) -> str:
+    if not color:
+        return text
+    return f"{_COLORS[code]}{text}{_RESET}"
+
+
+def sparkline(values: list[float], width: int = 40) -> str:
+    """Render a value series as one line of block glyphs.
+
+    The series is resampled to ``width`` points (last value per cell) and
+    scaled to its own min..max; a flat series renders as a run of the lowest
+    block, an empty one as an empty string.
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    if len(vals) > width:
+        # Last value per cell keeps the right edge equal to the live value.
+        step = len(vals) / width
+        vals = [vals[min(int((i + 1) * step) - 1, len(vals) - 1)] for i in range(width)]
+    lo, hi = min(vals), max(vals)
+    span = hi - lo
+    if span <= 0.0:
+        return _BLOCKS[0] * len(vals)
+    return "".join(
+        _BLOCKS[min(int((v - lo) / span * len(_BLOCKS)), len(_BLOCKS) - 1)]
+        for v in vals
+    )
+
+
+def gauge_bar(value: float, target: float, width: int = 24, color: bool = True) -> str:
+    """A filled bar for an availability-style gauge, with the target marked.
+
+    The bar spans ``[2*target - 1, 1.0]`` (so a 99.9% target puts 99.8% at
+    the left edge — the interesting range, not 0..1 where every value would
+    pin the bar full).  Green at/above target, red below.
+    """
+    lo = max(0.0, 2.0 * target - 1.0)
+    frac = 0.0 if value <= lo else min((value - lo) / (1.0 - lo), 1.0)
+    filled = int(round(frac * width))
+    mark = int(round(min((target - lo) / (1.0 - lo), 1.0) * width))
+    cells = ["█" if i < filled else "░" for i in range(width)]
+    if 0 <= mark < width:
+        cells[mark] = "|"
+    bar = "".join(cells)
+    return _c(bar, "green" if value >= target else "red", color)
+
+
+# ---------------------------------------------------------------- aggregation
+def _series_by_metric(ts: MetricTimeSeries) -> dict[str, list[str]]:
+    """Metric name -> the series ids that carry it."""
+    out: dict[str, list[str]] = {}
+    for sid in ts.series_ids():
+        name, _, _ = split_series_id(sid)
+        out.setdefault(name, []).append(sid)
+    return out
+
+
+def _summed_series(ts: MetricTimeSeries, sids: list[str]) -> list[tuple[float, float]]:
+    """Per-sample sum of several series (e.g. a counter across its labels)."""
+    points: list[tuple[float, float]] = []
+    for t, values in ts.samples:
+        present = [values[s] for s in sids if s in values]
+        if present:
+            points.append((t, float(sum(present))))
+    return points
+
+
+def _deltas(points: list[tuple[float, float]]) -> list[float]:
+    return [max(b - a, 0.0) for (_, a), (_, b) in zip(points, points[1:])]
+
+
+def _label(sid: str, key: str) -> str | None:
+    _, labels, _ = split_series_id(sid)
+    return dict(labels).get(key)
+
+
+def _fmt_avail(v: float | None) -> str:
+    return "  --  " if v is None else f"{v:8.4%}"
+
+
+def _fmt_secs(v: float | None) -> str:
+    if v is None:
+        return "--"
+    if v >= 3600.0:
+        return f"{v / 3600.0:.1f}h"
+    if v >= 60.0:
+        return f"{v / 60.0:.1f}m"
+    return f"{v:.0f}s"
+
+
+# ------------------------------------------------------------------ sections
+def _header_section(ts: MetricTimeSeries, color: bool) -> list[str]:
+    lo, hi = ts.span
+    meta = " ".join(f"{k}={v}" for k, v in sorted(ts.meta.items())) or "(no meta)"
+    title = _c("repro watch", "bold", color)
+    return [
+        f"{title} — {meta}",
+        _c(
+            f"{len(ts)} samples, sim t={lo:.1f}s..{hi:.1f}s, "
+            f"cadence={ts.cadence:g}s",
+            "dim",
+            color,
+        ),
+    ]
+
+
+def _slo_section(ts: MetricTimeSeries, color: bool, width: int) -> list[str]:
+    lines: list[str] = []
+    targets = {"read": 0.999, "write": 0.999}  # display default when unsampled
+    any_row = False
+    for cls, gauge_name in (
+        ("read", "slo_read_availability"),
+        ("write", "slo_write_availability"),
+    ):
+        avail = ts.latest(gauge_name)
+        burn = ts.latest(f"slo_error_budget_burn{{op_class={cls}}}")
+        ops = ts.latest(f"slo_window_ops{{op_class={cls}}}")
+        if avail is None and ops is None:
+            continue
+        any_row = True
+        series = [v for _, v in ts.series(gauge_name)]
+        bar = gauge_bar(avail, targets[cls], color=color) if avail is not None else ""
+        burn_txt = "" if burn is None else f"burn {burn:5.2f}x"
+        if burn is not None and burn > 1.0:
+            burn_txt = _c(burn_txt, "red", color)
+        lines.append(
+            f"  {cls:<5} {_fmt_avail(avail)} {bar} {burn_txt:<14} "
+            f"ops {int(ops or 0):>4}  {sparkline(series, width)}"
+        )
+    frac = ts.latest("slo_degraded_read_fraction")
+    if frac is not None:
+        series = [v for _, v in ts.series("slo_degraded_read_fraction")]
+        tag = f"  degraded reads {frac:7.2%}"
+        if frac > 0.0:
+            tag = _c(tag, "yellow", color)
+        lines.append(f"{tag}  {sparkline(series, width)}")
+    if not lines and not any_row:
+        return []
+    return [_c("SLO (sliding window)", "cyan", color)] + lines
+
+
+def _ops_section(ts: MetricTimeSeries, color: bool, width: int) -> list[str]:
+    by_metric = _series_by_metric(ts)
+    lines: list[str] = []
+    ops_sids = by_metric.get("ops_total", [])
+    if ops_sids:
+        points = _summed_series(ts, ops_sids)
+        rate = _deltas(points)
+        total = int(points[-1][1]) if points else 0
+        lines.append(
+            f"  ops/interval (total {total:>5})  {sparkline(rate, width)}"
+        )
+    for op in ("get", "put"):
+        sid = f"op_latency_seconds{{op={op}}}:p95"
+        series = [v for _, v in ts.series(sid)]
+        latest = ts.latest(sid)
+        if latest is not None:
+            lines.append(
+                f"  {op} p95 latency {latest:8.3f}s      {sparkline(series, width)}"
+            )
+    if not lines:
+        return []
+    return [_c("Operations", "cyan", color)] + lines
+
+
+def _provider_section(ts: MetricTimeSeries, color: bool, width: int) -> list[str]:
+    by_metric = _series_by_metric(ts)
+    providers: set[str] = set()
+    for name in ("provider_health_error_rate", "provider_requests_total"):
+        for sid in by_metric.get(name, []):
+            p = _label(sid, "provider")
+            if p:
+                providers.add(p)
+    if not providers:
+        return []
+    lines = [_c("Providers", "cyan", color)]
+    for p in sorted(providers):
+        err = ts.latest(f"provider_health_error_rate{{provider={p}}}")
+        slow = ts.latest(f"provider_health_slowdown{{provider={p}}}")
+        down_obs = ts.latest(
+            f"slo_provider_downtime_seconds{{feed=observed,provider={p}}}"
+        )
+        down_sched = ts.latest(
+            f"slo_provider_downtime_seconds{{feed=scheduled,provider={p}}}"
+        )
+        mtbf = ts.latest(f"slo_provider_mtbf_seconds{{feed=observed,provider={p}}}")
+        mttr = ts.latest(f"slo_provider_mttr_seconds{{feed=observed,provider={p}}}")
+        err = 0.0 if err is None else err
+        slow = 1.0 if slow is None else slow
+        if err > 0.25 or (down_obs or 0.0) > 0.0 and err > 0.05:
+            dot, code = "●", "red"
+        elif err > 0.02 or slow > 1.5:
+            dot, code = "●", "yellow"
+        else:
+            dot, code = "●", "green"
+        err_series = [
+            v for _, v in ts.series(f"provider_health_error_rate{{provider={p}}}")
+        ]
+        down_txt = f"down {_fmt_secs(down_obs or 0.0):>6}"
+        if down_sched is not None:
+            down_txt += f" (true {_fmt_secs(down_sched)})"
+        lines.append(
+            f"  {_c(dot, code, color)} {p:<10} err {err:6.2%}  slow {slow:5.2f}x  "
+            f"{down_txt:<24} mtbf {_fmt_secs(mtbf):>6} mttr {_fmt_secs(mttr):>6}  "
+            f"{sparkline(err_series, max(width - 24, 8))}"
+        )
+    return lines
+
+
+def _workload_section(ts: MetricTimeSeries, color: bool, width: int) -> list[str]:
+    by_metric = _series_by_metric(ts)
+    sids = by_metric.get("workload_size_bucket_total", [])
+    if not sids:
+        return []
+    latest = {(_label(s, "bucket") or "?"): (ts.latest(s) or 0) for s in sids}
+    total = sum(latest.values())
+    if total <= 0:
+        return []
+    order = ("<4K", "4K-64K", "64K-1M", "1M-16M", ">=16M")
+    lines = [_c("Workload mix (write sizes)", "cyan", color)]
+    for bucket in order:
+        count = latest.get(bucket, 0)
+        if bucket not in latest and count == 0:
+            continue
+        frac = count / total
+        bar = "█" * int(round(frac * 30))
+        lines.append(f"  {bucket:<8} {int(count):>5} {frac:7.2%} {bar}")
+    small = (
+        ts.latest("workload_writes_total{class=small}") or 0
+    )
+    large = (
+        ts.latest("workload_writes_total{class=large}") or 0
+    )
+    if small + large > 0:
+        mix = [
+            s / (s + lg) if (s + lg) else 0.0
+            for (_, s), (_, lg) in zip(
+                ts.series("workload_writes_total{class=small}"),
+                ts.series("workload_writes_total{class=large}"),
+            )
+        ]
+        lines.append(
+            f"  small/(small+large) {small / (small + large):7.2%}  "
+            f"{sparkline(mix, width)}"
+        )
+    return lines
+
+
+# ------------------------------------------------------------------ top level
+def render_dashboard(
+    ts: MetricTimeSeries, width: int = 40, color: bool = True
+) -> str:
+    """The full dashboard for one time series, as a multi-line string.
+
+    Sections with no underlying data are omitted, so the dashboard degrades
+    gracefully on a series sampled without an SLO tracker attached.
+    """
+    if not len(ts):
+        return "repro watch — (no samples yet)"
+    blocks = [_header_section(ts, color)]
+    for section in (
+        _slo_section(ts, color, width),
+        _ops_section(ts, color, width),
+        _provider_section(ts, color, width),
+        _workload_section(ts, color, width),
+    ):
+        if section:
+            blocks.append(section)
+    return "\n\n".join("\n".join(b) for b in blocks)
+
+
+def render_frame(sampler: Any, color: bool = True) -> str:
+    """One live frame: clear-screen prefix + the sampler's current dashboard.
+
+    Suitable as (part of) a :class:`~repro.obs.timeseries.TimeSeriesSampler`
+    ``on_sample`` callback::
+
+        sampler = TimeSeriesSampler(
+            cadence=60.0,
+            on_sample=lambda s: print(render_frame(s), flush=True),
+        )
+    """
+    return CLEAR + render_dashboard(sampler.ts, color=color)

@@ -96,6 +96,12 @@ class RunReport:
                 registry.apply_event(
                     r["kind"], r["name"], dict(r["labels"]), r["value"]
                 )
+            elif t == "span" and r["end"] < r["start"]:
+                raise ValueError(
+                    f"span {r['id']} ({r['name']!r}) ends before it starts: "
+                    f"start={r['start']}, end={r['end']} — clock misuse or a "
+                    "corrupted trace"
+                )
             elif (
                 t == "span"
                 and r["parent"] is None
@@ -289,7 +295,7 @@ class RunReport:
 
 
 def run_fault_storm_report(
-    seed: int = 0, trace: bool = True
+    seed: int = 0, trace: bool = True, slo=None, sampler=None
 ) -> tuple[RunReport, "RecordingTracer | None"]:
     """Run HyRD through the canonical fault storm with tracing on.
 
@@ -298,6 +304,13 @@ def run_fault_storm_report(
     provider, healing between operations.  Returns ``(report, tracer)`` —
     the tracer (or ``None`` when ``trace=False``) holds the JSON-lines
     exportable trace for ``repro report --trace-out``.
+
+    ``slo`` optionally attaches an :class:`~repro.obs.slo.SloTracker` (it is
+    fed the fleet's ground-truth fault schedule and published at end of run);
+    ``sampler`` optionally attaches a
+    :class:`~repro.obs.timeseries.TimeSeriesSampler` polled between ops —
+    the live feed behind ``repro watch``.  Both default to None and, like
+    the tracer, never perturb the simulated timings.
 
     Deterministic: the same seed reproduces the identical report and trace.
     """
@@ -326,6 +339,11 @@ def run_fault_storm_report(
     # providers straight out of placement (see benchmarks/test_fault_storm.py).
     scheme = HyrdScheme(list(fleet.values()), clock, config=config, tracer=tracer)
     make_fault_storm(t0=15.0, duration=36000.0, seed=seed).apply(fleet)
+    if slo is not None:
+        scheme.attach_slo(slo)
+    if sampler is not None:
+        sampler.slo = slo if sampler.slo is None else sampler.slo
+        sampler.bind(scheme.registry, clock, meta={"scheme": scheme.name, "seed": seed})
     # Same workload as the benchmark: long enough to span the flapping
     # provider's downtime *and* its return, so the trace shows the breaker
     # trip, fast-fail and recover.
@@ -337,5 +355,10 @@ def run_fault_storm_report(
         ),
         make_rng(seed, "fault-storm"),
     )
-    TraceReplayer(seed=seed).run(scheme, ops, heal_between=True)
+    TraceReplayer(seed=seed).run(scheme, ops, heal_between=True, sampler=sampler)
+    if slo is not None:
+        slo.ingest_ground_truth(fleet.values(), 0.0, clock.now)
+        slo.publish(clock.now)
+    if sampler is not None:
+        sampler.finish()
     return RunReport.from_scheme(scheme), tracer

@@ -316,6 +316,13 @@ def flame_summary(records: Iterable[dict[str, Any]], max_depth: int = 4) -> str:
     ``records`` may be live (``tracer.records``) or parsed from JSON-lines.
     """
     spans = list(_iter_span_records(records))
+    for r in spans:
+        if r["end"] < r["start"]:
+            raise ValueError(
+                f"span {r['id']} ({r['name']!r}) ends before it starts: "
+                f"start={r['start']}, end={r['end']} — clock misuse or a "
+                "corrupted trace"
+            )
     by_id = {r["id"]: r for r in spans}
 
     def path_of(r: dict[str, Any]) -> tuple[str, ...]:

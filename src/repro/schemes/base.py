@@ -138,6 +138,10 @@ def _public_op(method):
         except BaseException:
             self._acc = None
             self._abort_op_span()
+            if self.slo is not None:
+                self.slo.record_failure(
+                    method.__name__.lstrip("_"), self.clock.now
+                )
             raise
 
     return wrapper
@@ -241,6 +245,8 @@ class Scheme(ABC):
         self._write_logs: dict[str, WriteLog] = {p.name: WriteLog() for p in providers}
         self._acc: _OpAcc | None = None
         self._meta_sizes: dict[str, int] = {}
+        #: optional :class:`repro.obs.slo.SloTracker` — see :meth:`attach_slo`
+        self.slo = None
         self._init_containers()
 
     # ------------------------------------------------------------- lifecycle
@@ -267,6 +273,20 @@ class Scheme(ABC):
                 # Exhausted transient retries: same missed-mutation path.
                 self._write_logs[p.name].log_create(self.container, self.clock.now)
                 self._note_write_log(p.name)
+
+    def attach_slo(self, slo) -> None:
+        """Hook an :class:`~repro.obs.slo.SloTracker` into this scheme.
+
+        Binds the tracker to the scheme's registry and clock, and hangs it on
+        every circuit breaker so open/closed transitions become observed
+        downtime edges.  Like the tracer, the tracker is pure bookkeeping:
+        no clock movement, no RNG draws — attaching it cannot change a run's
+        simulated timings.
+        """
+        self.slo = slo
+        slo.bind(self.registry, self.clock)
+        for breaker in self._breakers.values():
+            breaker.listener = slo.on_breaker_transition
 
     @property
     def provider_names(self) -> list[str]:
@@ -755,6 +775,8 @@ class Scheme(ABC):
                 hedged=report.hedged,
             )
             span.__exit__(None, None, None)
+        if self.slo is not None:
+            self.slo.record_op(report, self.clock.now)
         return report
 
     # ----------------------------------------------------- placement helpers

@@ -61,18 +61,26 @@ class TraceReplayer:
         scheme: Scheme,
         ops: list[TraceOp],
         heal_between: bool = False,
+        sampler=None,
     ) -> LatencyCollector:
         """Replay ``ops`` on ``scheme``; returns a collector of its reports.
 
         ``heal_between`` triggers the consistency update before each op when
         a logged provider has returned (models the background healer running
         continuously instead of at explicit points).
+
+        ``sampler`` is an optional bound
+        :class:`~repro.obs.timeseries.TimeSeriesSampler`; it is polled
+        between operations (a pure registry read — it cannot change
+        timings).
         """
         collector = LatencyCollector()
         versions: dict[str, int] = {}
         for op in ops:
             if heal_between:
                 collector.extend(scheme.heal_returned())
+            if sampler is not None:
+                sampler.poll()
             if op.kind == "put":
                 version = versions.get(op.path, 0) + 1
                 versions[op.path] = version
@@ -109,4 +117,6 @@ class TraceReplayer:
             elif op.kind == "list":
                 _names, report = scheme.listdir(op.path)
                 collector.add(report)
+        if sampler is not None:
+            sampler.poll()
         return collector

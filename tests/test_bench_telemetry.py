@@ -1,0 +1,133 @@
+"""The BENCH_*.json telemetry pipeline: schema, comparison, baseline honesty.
+
+``tools/`` is not a package, so the module is loaded straight from its file.
+"""
+
+import copy
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "bench_telemetry", ROOT / "tools" / "bench_telemetry.py"
+)
+bench = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    path = bench.find_baseline()
+    assert path is not None, "no committed BENCH_*.json baseline at repo root"
+    return path, json.loads(path.read_text(encoding="utf-8"))
+
+
+class TestBaselineFile:
+    def test_committed_baseline_passes_schema_check(self, baseline):
+        path, payload = baseline
+        assert bench.schema_check(payload, path) == []
+
+    def test_baseline_covers_all_three_schemes(self, baseline):
+        _, payload = baseline
+        clean = payload["deterministic"]["latency"]["clean"]
+        assert sorted(clean) == ["duracloud", "hyrd", "racs"]
+
+    def test_schema_check_flags_damage(self, baseline):
+        path, payload = baseline
+        broken = copy.deepcopy(payload)
+        broken["schema"] = "repro-bench-telemetry/999"
+        assert any("schema" in e for e in bench.schema_check(broken, path))
+        broken = copy.deepcopy(payload)
+        del broken["deterministic"]["latency"]
+        assert bench.schema_check(broken, path) != []
+
+
+class TestNumericLeaves:
+    def test_flattens_nested_paths(self):
+        leaves = dict(
+            bench.numeric_leaves({"a": {"b": 1.5, "c": {"d": 2}}, "e": 3})
+        )
+        assert leaves == {"a.b": 1.5, "a.c.d": 2, "e": 3}
+
+    def test_skips_non_numbers_and_bools(self):
+        leaves = bench.numeric_leaves({"s": "x", "flag": True, "n": 4})
+        assert leaves == [("n", 4)]
+
+
+def _compare_payload(p95):
+    return {
+        "deterministic": {
+            "latency": {"clean": {"hyrd": {"ops": {"get": {"p95": p95}}}}}
+        }
+    }
+
+
+class TestCompare:
+    BASE = _compare_payload(0.100)
+
+    def fresh(self, p95):
+        return _compare_payload(p95)
+
+    def test_identical_is_clean(self):
+        assert bench.compare(self.BASE, self.fresh(0.100), 0.10) == []
+
+    def test_within_tolerance_is_clean(self):
+        assert bench.compare(self.BASE, self.fresh(0.109), 0.10) == []
+
+    def test_drift_beyond_tolerance_flagged(self):
+        lines = bench.compare(self.BASE, self.fresh(0.120), 0.10)
+        assert len(lines) == 1
+        assert "DRIFT" in lines[0]
+
+    def test_missing_and_new_leaves_flagged(self):
+        gone = bench.compare(self.BASE, {"deterministic": {}}, 0.10)
+        assert any("GONE" in line for line in gone)
+        extra = copy.deepcopy(self.BASE)
+        ops = extra["deterministic"]["latency"]["clean"]["hyrd"]["ops"]
+        ops["get"]["p50"] = 0.05
+        new = bench.compare(self.BASE, extra, 0.10)
+        assert any("NEW" in line for line in new)
+
+    def test_informational_section_never_gated(self):
+        base = {"informational": {"codec_throughput": {"rs_k2_m2": {"encode_mb_s": 100.0}}}}
+        fresh = {"informational": {"codec_throughput": {"rs_k2_m2": {"encode_mb_s": 10.0}}}}
+        assert bench.compare(base, fresh, 0.10) == []
+
+    def test_near_zero_baseline_guarded(self):
+        base = {"deterministic": {"x": 0.0}}
+        fresh = {"deterministic": {"x": 1e-12}}
+        assert bench.compare(base, fresh, 0.10) == []
+
+
+class TestReproducibility:
+    def test_fresh_build_matches_committed_baseline(self, baseline):
+        """The committed BENCH file must be regenerable from the current code
+        at its own seed — this is the same gate CI's --check applies."""
+        _, payload = baseline
+        fresh = bench.build_payload(seed=payload["seed"], date=payload["date"])
+        assert bench.compare(payload, fresh, bench.DEFAULT_TOLERANCE) == []
+
+    def test_deterministic_sections_are_bit_identical(self, baseline):
+        _, payload = baseline
+        fresh = bench.build_payload(seed=payload["seed"], date=payload["date"])
+        assert fresh["deterministic"] == payload["deterministic"]
+
+
+class TestCliModes:
+    def test_check_mode_passes_against_committed_baseline(self, capsys):
+        assert bench.main(["--check"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_schema_check_mode(self, capsys):
+        assert bench.main(["--schema-check"]) == 0
+
+    def test_out_writes_schema_valid_payload(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_2000-01-01.json"
+        assert bench.main(["--out", str(out), "--seed", "0"]) == 0
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert bench.schema_check(payload, out) == []
+        assert payload["seed"] == 0

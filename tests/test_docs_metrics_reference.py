@@ -43,17 +43,29 @@ def test_every_catalog_name_documented_once():
 @pytest.fixture(scope="module")
 def emitted_names():
     """Metric names from runs that exercise every subsystem: the traced
-    fault-storm run behind ``repro report``, plus a fresh-brownout read
-    burst with hedging on (the storm's seed happens not to hedge)."""
+    fault-storm run behind ``repro report`` (with the SLO tracker and the
+    time-series sampler attached, so the ``slo_*`` gauges fire), plus a
+    fresh-brownout read burst with hedging on (the storm's seed happens not
+    to hedge)."""
     from repro.cloud.provider import make_table2_cloud_of_clouds
     from repro.core.config import HyRDConfig
     from repro.core.resilience import ResilienceConfig
     from repro.faults import FaultProfile, LatencyBrownout
-    from repro.obs import run_fault_storm_report
+    from repro.obs import SloTracker, TimeSeriesSampler, run_fault_storm_report
     from repro.schemes import HyrdScheme
     from repro.sim.clock import SimClock
 
-    report, _ = run_fault_storm_report(seed=0)
+    slo = SloTracker()
+    sampler = TimeSeriesSampler(cadence=30.0, slo=slo)
+    report, _ = run_fault_storm_report(seed=0, slo=slo, sampler=sampler)
+    # MTBF needs a second failure; the storm run is too short to see the
+    # flapper go down twice, so script two more observed intervals and
+    # publish once more — same code path a longer run would take.
+    ledger = slo.provider("rackspace").observed
+    t = 1e6
+    ledger.mark_down(t), ledger.mark_up(t + 40.0)
+    ledger.mark_down(t + 120.0), ledger.mark_up(t + 160.0)
+    slo.publish(t + 200.0)
     names = set(report.registry.emitted_names())
 
     clock = SimClock()

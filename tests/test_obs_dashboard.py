@@ -1,0 +1,156 @@
+"""Dashboard rendering: sparklines, gauges, saved-file parity, CLI wiring."""
+
+import pytest
+
+from repro.metrics.registry import MetricsRegistry
+from repro.obs.dashboard import (
+    CLEAR,
+    gauge_bar,
+    render_dashboard,
+    render_frame,
+    sparkline,
+)
+from repro.obs.timeseries import MetricTimeSeries, TimeSeriesSampler
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_flat_series_is_lowest_block(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+    def test_monotone_ramp_uses_full_range(self):
+        line = sparkline([0.0, 1.0, 2.0, 3.0])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+        assert len(line) == 4
+
+    def test_resamples_to_width(self):
+        line = sparkline(list(range(100)), width=10)
+        assert len(line) == 10
+        assert line[-1] == "█"  # right edge keeps the live value
+
+    def test_short_series_not_padded(self):
+        assert len(sparkline([1.0, 2.0], width=40)) == 2
+
+
+class TestGaugeBar:
+    def test_above_target_is_green_full(self):
+        bar = gauge_bar(1.0, 0.999, width=10, color=True)
+        assert bar.startswith("\x1b[32m")
+        assert "█" in bar
+
+    def test_below_target_is_red(self):
+        bar = gauge_bar(0.9985, 0.999, width=10, color=True)
+        assert bar.startswith("\x1b[31m")
+
+    def test_no_color_has_no_escapes(self):
+        bar = gauge_bar(0.5, 0.999, width=10, color=False)
+        assert "\x1b" not in bar
+        assert len(bar) == 10
+
+    def test_target_is_marked(self):
+        assert "|" in gauge_bar(0.999, 0.999, width=24, color=False)
+
+    def test_far_below_range_is_empty_bar(self):
+        bar = gauge_bar(0.0, 0.999, width=10, color=False)
+        assert "█" not in bar
+
+
+def storm_series():
+    """One sampled storm run with SLO attached, cached per module."""
+    from repro.obs import SloTracker, run_fault_storm_report
+
+    slo = SloTracker()
+    sampler = TimeSeriesSampler(cadence=30.0, slo=slo)
+    run_fault_storm_report(seed=0, trace=False, slo=slo, sampler=sampler)
+    return sampler.ts
+
+
+@pytest.fixture(scope="module")
+def storm_ts():
+    return storm_series()
+
+
+class TestRenderDashboard:
+    def test_empty_series(self):
+        assert "no samples" in render_dashboard(MetricTimeSeries())
+
+    def test_storm_dashboard_has_all_sections(self, storm_ts):
+        text = render_dashboard(storm_ts, color=False)
+        assert "repro watch" in text
+        assert "SLO (sliding window)" in text
+        assert "Operations" in text
+        assert "Providers" in text
+        assert "rackspace" in text
+        assert "(true " in text  # scheduled ground truth next to observed
+
+    def test_no_color_output_is_escape_free(self, storm_ts):
+        assert "\x1b" not in render_dashboard(storm_ts, color=False)
+
+    def test_sections_degrade_without_slo(self):
+        # A bare registry sampled without an SLO tracker: no SLO/provider
+        # sections, but the header still renders.
+        ts = MetricTimeSeries()
+        reg = MetricsRegistry()
+        reg.counter("retries").inc()
+        ts.snapshot(reg, 1.0)
+        text = render_dashboard(ts, color=False)
+        assert "repro watch" in text
+        assert "SLO" not in text
+        assert "Providers" not in text
+
+    def test_saved_file_renders_identically_to_live(self, storm_ts, tmp_path):
+        """ISSUE acceptance: `repro watch --from` must reproduce the live
+        dashboard from a saved file alone."""
+        path = tmp_path / "storm-ts.jsonl"
+        storm_ts.write_jsonl(path)
+        loaded = MetricTimeSeries.read_jsonl(path)
+        assert render_dashboard(loaded, color=False) == render_dashboard(
+            storm_ts, color=False
+        )
+
+    def test_render_frame_prepends_clear(self, storm_ts):
+        sampler = TimeSeriesSampler()
+        sampler.ts = storm_ts
+        frame = render_frame(sampler, color=False)
+        assert frame.startswith(CLEAR)
+        assert frame == CLEAR + render_dashboard(storm_ts, color=False)
+
+
+class TestWatchCli:
+    def test_watch_from_file(self, storm_ts, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "storm-ts.jsonl"
+        storm_ts.write_jsonl(path)
+        assert main(["watch", "--from", str(path), "--no-color"]) == 0
+        out = capsys.readouterr().out
+        assert "repro watch" in out
+        assert "SLO (sliding window)" in out
+        assert render_dashboard(storm_ts, color=False) in out
+
+    def test_watch_live_exports_time_series(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "live-ts.jsonl"
+        assert (
+            main(
+                [
+                    "watch",
+                    "--cadence",
+                    "30",
+                    "--ts-out",
+                    str(path),
+                    "--no-color",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "repro watch" in out
+        ts = MetricTimeSeries.read_jsonl(path)
+        assert len(ts) > 0
+        # the exported file round-trips into the very dashboard just printed
+        assert render_dashboard(ts, color=False) in out

@@ -1,0 +1,276 @@
+"""Metric time series: snapshots, ring bounds, cadence, JSONL round trip."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.registry import MetricsRegistry
+from repro.obs.timeseries import (
+    HISTOGRAM_FIELDS,
+    MetricTimeSeries,
+    TimeSeriesSampler,
+    series_id,
+    split_series_id,
+)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+
+def make_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("ops_total", op="get", degraded="false").inc(3)
+    reg.gauge("provider_health_slowdown", provider="azure").set(1.25)
+    reg.histogram("op_latency_seconds", op="get").observe(0.1)
+    reg.histogram("op_latency_seconds", op="get").observe(0.4)
+    return reg
+
+
+class TestSeriesIds:
+    def test_round_trip_plain(self):
+        assert split_series_id("retries") == ("retries", (), None)
+
+    def test_round_trip_labels_and_field(self):
+        sid = series_id("op_latency_seconds", (("op", "get"),), "p95")
+        assert sid == "op_latency_seconds{op=get}:p95"
+        assert split_series_id(sid) == (
+            "op_latency_seconds",
+            (("op", "get"),),
+            "p95",
+        )
+
+    def test_field_without_labels(self):
+        assert split_series_id("x:count") == ("x", (), "count")
+
+
+class TestMetricTimeSeries:
+    def test_snapshot_captures_all_instrument_kinds(self):
+        ts = MetricTimeSeries(cadence=10.0)
+        ts.snapshot(make_registry(), 5.0)
+        values = ts.samples[0][1]
+        assert values["ops_total{degraded=false,op=get}"] == 3
+        assert values["provider_health_slowdown{provider=azure}"] == 1.25
+        for f in HISTOGRAM_FIELDS:
+            assert f"op_latency_seconds{{op=get}}:{f}" in values
+        assert values["op_latency_seconds{op=get}:count"] == 2
+
+    def test_capacity_is_a_ring(self):
+        ts = MetricTimeSeries(cadence=1.0, capacity=3)
+        reg = MetricsRegistry()
+        for t in range(5):
+            ts.snapshot(reg, float(t))
+        assert len(ts) == 3
+        assert ts.span == (2.0, 4.0)
+
+    def test_time_must_not_regress(self):
+        ts = MetricTimeSeries()
+        reg = MetricsRegistry()
+        ts.snapshot(reg, 10.0)
+        with pytest.raises(ValueError, match="precedes"):
+            ts.snapshot(reg, 9.0)
+
+    def test_series_latest_and_deltas(self):
+        ts = MetricTimeSeries()
+        reg = MetricsRegistry()
+        counter = reg.counter("retries")
+        for t in (1.0, 2.0, 3.0):
+            counter.inc(2)
+            ts.snapshot(reg, t)
+        assert ts.series("retries") == [(1.0, 2), (2.0, 4), (3.0, 6)]
+        assert ts.latest("retries") == 6
+        assert ts.latest("absent", default=-1) == -1
+        assert ts.deltas("retries") == [(2.0, 2), (3.0, 2)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MetricTimeSeries(cadence=0.0)
+        with pytest.raises(ValueError):
+            MetricTimeSeries(capacity=0)
+
+
+class TestJsonlRoundTrip:
+    def test_export_import_export_byte_identical(self):
+        ts = MetricTimeSeries(cadence=30.0, meta={"scheme": "hyrd", "seed": 0})
+        reg = make_registry()
+        ts.snapshot(reg, 12.5)
+        reg.counter("ops_total", op="get", degraded="false").inc()
+        ts.snapshot(reg, 42.5)
+        text = ts.to_jsonl()
+        again = MetricTimeSeries.parse_jsonl(text.splitlines())
+        assert again.to_jsonl() == text
+        assert again.meta == ts.meta
+        assert list(again.samples) == list(ts.samples)
+
+    def test_file_round_trip(self, tmp_path):
+        ts = MetricTimeSeries(cadence=5.0)
+        ts.snapshot(make_registry(), 1.0)
+        path = tmp_path / "ts.jsonl"
+        ts.write_jsonl(path)
+        assert MetricTimeSeries.read_jsonl(path).to_jsonl() == ts.to_jsonl()
+
+    def test_missing_meta_rejected(self):
+        with pytest.raises(ValueError, match="no ts.meta"):
+            MetricTimeSeries.parse_jsonl(
+                ['{"t":"ts.sample","time":1.0,"values":{}}']
+            )
+
+    def test_duplicate_meta_rejected(self):
+        line = json.dumps(
+            {"t": "ts.meta", "cadence": 1.0, "capacity": 4, "attrs": {}}
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            MetricTimeSeries.parse_jsonl([line, line])
+
+    def test_out_of_order_stream_rejected(self):
+        lines = [
+            json.dumps({"t": "ts.meta", "cadence": 1.0, "capacity": 4, "attrs": {}}),
+            json.dumps({"t": "ts.sample", "time": 5.0, "values": {}}),
+            json.dumps({"t": "ts.sample", "time": 4.0, "values": {}}),
+        ]
+        with pytest.raises(ValueError, match="out of order"):
+            MetricTimeSeries.parse_jsonl(lines)
+
+
+# JSON-safe scalar values a registry snapshot can contain: counter ints and
+# gauge/histogram floats (finite; NaN/inf are not JSON and never emitted).
+_values = st.one_of(
+    st.integers(min_value=0, max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+)
+_names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll",), whitelist_characters="_"),
+    min_size=1,
+    max_size=12,
+)
+
+
+@st.composite
+def _time_series(draw):
+    ts = MetricTimeSeries(
+        cadence=draw(st.floats(min_value=0.1, max_value=1e6, allow_nan=False)),
+        capacity=draw(st.integers(min_value=1, max_value=64)),
+        meta={"seed": draw(st.integers(min_value=0, max_value=1000))},
+    )
+    ids = draw(st.lists(_names, min_size=1, max_size=6, unique=True))
+    times = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+                min_size=0,
+                max_size=10,
+            )
+        )
+    )
+    for t in times:
+        values = {
+            sid: draw(_values) for sid in ids if draw(st.booleans())
+        }
+        ts.samples.append((t, values))
+    return ts
+
+
+@given(_time_series())
+@settings(max_examples=60, deadline=None)
+def test_jsonl_round_trip_property(ts):
+    """export -> import -> export is byte-identical for any sampled series."""
+    text = ts.to_jsonl()
+    assert MetricTimeSeries.parse_jsonl(text.splitlines()).to_jsonl() == text
+
+
+class TestSampler:
+    def test_unbound_poll_is_noop(self):
+        sampler = TimeSeriesSampler(cadence=10.0)
+        assert sampler.poll() is False
+        assert not sampler.bound
+
+    def test_samples_on_cadence_grid(self):
+        clock = FakeClock()
+        reg = MetricsRegistry()
+        sampler = TimeSeriesSampler(cadence=10.0)
+        sampler.bind(reg, clock, meta={"scheme": "t"})
+        clock.now = 5.0
+        assert sampler.poll() is False  # not due yet
+        clock.now = 10.0
+        assert sampler.poll() is True
+        assert sampler.poll() is False  # once per due instant
+        clock.now = 19.9
+        assert sampler.poll() is False
+        clock.now = 20.0
+        assert sampler.poll() is True
+        assert [t for t, _ in sampler.ts.samples] == [10.0, 20.0]
+
+    def test_long_jump_yields_one_sample_and_realigns(self):
+        clock = FakeClock()
+        sampler = TimeSeriesSampler(cadence=10.0)
+        sampler.bind(MetricsRegistry(), clock)
+        clock.now = 57.0  # jumped over 5 due instants
+        assert sampler.poll() is True  # exactly one sample, stamped at 57
+        assert [t for t, _ in sampler.ts.samples] == [57.0]
+        clock.now = 59.0
+        assert sampler.poll() is False  # next due is 60, not a backfill
+        clock.now = 60.0
+        assert sampler.poll() is True
+
+    def test_on_sample_callback_fires(self):
+        clock = FakeClock()
+        seen = []
+        sampler = TimeSeriesSampler(cadence=1.0, on_sample=seen.append)
+        sampler.bind(MetricsRegistry(), clock)
+        clock.now = 1.0
+        sampler.poll()
+        assert seen == [sampler]
+
+    def test_finish_takes_final_off_grid_snapshot(self):
+        clock = FakeClock()
+        sampler = TimeSeriesSampler(cadence=10.0)
+        sampler.bind(MetricsRegistry(), clock)
+        clock.now = 10.0
+        sampler.poll()
+        clock.now = 13.7
+        sampler.finish()
+        assert [t for t, _ in sampler.ts.samples] == [10.0, 13.7]
+        sampler.finish()  # idempotent at the same instant
+        assert len(sampler.ts) == 2
+
+    def test_double_bind_rejected(self):
+        sampler = TimeSeriesSampler()
+        sampler.bind(MetricsRegistry(), FakeClock())
+        with pytest.raises(RuntimeError, match="already bound"):
+            sampler.bind(MetricsRegistry(), FakeClock())
+
+    def test_slo_published_before_snapshot(self):
+        class FakeSlo:
+            def __init__(self):
+                self.published = []
+
+            def publish(self, now):
+                self.published.append(now)
+
+        clock = FakeClock()
+        slo = FakeSlo()
+        sampler = TimeSeriesSampler(cadence=10.0, slo=slo)
+        sampler.bind(MetricsRegistry(), clock)
+        clock.now = 10.0
+        sampler.poll()
+        assert slo.published == [10.0]
+
+
+class TestZeroCost:
+    def test_no_sampler_run_is_byte_identical(self):
+        """The acceptance bar: a run without a sampler/SLO renders the exact
+        same report as one with them attached — sampling is observation, not
+        participation."""
+        from repro.obs import SloTracker, run_fault_storm_report
+
+        plain, _ = run_fault_storm_report(seed=1, trace=False)
+        slo = SloTracker()
+        sampler = TimeSeriesSampler(cadence=30.0, slo=slo)
+        watched, _ = run_fault_storm_report(
+            seed=1, trace=False, slo=slo, sampler=sampler
+        )
+        assert len(sampler.ts) > 0
+        assert watched.render() == plain.render()

@@ -1,0 +1,390 @@
+#!/usr/bin/env python
+"""Benchmark telemetry: generate and regression-check ``BENCH_<date>.json``.
+
+Runs a curated benchmark subset and emits one schema-versioned JSON file at
+the repo root — the measured baseline ROADMAP's "fast as the hardware
+allows" north star is pushed against:
+
+- **latency** — per-op latency summaries (count/mean/p50/p95/p99/max, from
+  the schemes' own ``op_latency_seconds`` histograms) and the degraded-op
+  fraction, for HyRD / DuraCloud / RACS on a clean fleet plus HyRD under the
+  canonical fault storm;
+- **availability** — the analytic k-of-n model's availability and nines per
+  standard placement;
+- **codec throughput** (informational only) — wall-clock encode/decode MB/s
+  for the RAID5 and RS codecs.  Wall-clock numbers vary with the host, so
+  they are recorded but *never* gated.
+
+Everything under ``deterministic`` is simulated-time arithmetic from seeded
+runs: regenerating with the same seed on the same code reproduces it bit for
+bit, so any drift is a real behaviour change.  ``--check`` regenerates the
+deterministic section and fails (exit 1) when any value moved by more than
+``--tolerance`` (default 10%) against the committed baseline.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_telemetry.py                # write BENCH_<today>.json
+    PYTHONPATH=src python tools/bench_telemetry.py --check        # CI regression gate
+    PYTHONPATH=src python tools/bench_telemetry.py --schema-check # validate committed file only
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as _dt
+import json
+import math
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+if str(ROOT / "src") not in sys.path:  # allow running without PYTHONPATH=src
+    sys.path.insert(0, str(ROOT / "src"))
+
+SCHEMA = "repro-bench-telemetry/1"
+DEFAULT_TOLERANCE = 0.10
+#: absolute slack under which relative drift is ignored (guards ~0 baselines)
+ABS_EPSILON = 1e-9
+
+KB, MB = 1024, 1024 * 1024
+
+
+# ----------------------------------------------------------------- collection
+def _scheme_metrics(scheme) -> dict:
+    """Latency summaries by op + degraded fraction from a finished scheme."""
+    from repro.metrics.registry import Histogram
+
+    ops: dict[str, dict] = {}
+    for m in scheme.registry.all_metrics():
+        if isinstance(m, Histogram) and m.name == "op_latency_seconds":
+            op = dict(m.labels).get("op", "?")
+            s = m.summary()
+            ops[op] = {
+                "count": int(s["count"]),
+                "mean": s["mean"],
+                "p50": s["p50"],
+                "p95": s["p95"],
+                "p99": s["p99"],
+                "max": s["max"],
+            }
+    split = scheme.registry.breakdown("ops_total", "op", "degraded")
+    degraded = sum(v for (_, flag), v in split.items() if flag == "true")
+    total = sum(split.values())
+    return {
+        "ops": dict(sorted(ops.items())),
+        "degraded_fraction": degraded / total if total else 0.0,
+    }
+
+
+def _clean_workload(seed: int):
+    from repro.sim.rng import make_rng
+    from repro.workloads.filesizes import LogUniformFileSizes
+    from repro.workloads.postmark import PostMarkConfig, generate_postmark
+
+    return generate_postmark(
+        PostMarkConfig(
+            file_pool=12,
+            transactions=80,
+            sizes=LogUniformFileSizes(lo=64 * KB, hi=4 * MB),
+        ),
+        make_rng(seed, "bench-telemetry"),
+    )
+
+
+def run_clean_scenario(seed: int) -> dict:
+    """HyRD and the two headline baselines on a healthy Table II fleet."""
+    from repro.cloud.provider import make_table2_cloud_of_clouds
+    from repro.core.config import HyRDConfig
+    from repro.schemes import DuraCloudScheme, HyrdScheme, RacsScheme
+    from repro.sim.clock import SimClock
+    from repro.workloads.trace import TraceReplayer
+
+    out: dict[str, dict] = {}
+    builders = {
+        "hyrd": lambda fleet, clock: HyrdScheme(
+            list(fleet.values()), clock, config=HyRDConfig(size_threshold=256 * KB)
+        ),
+        "duracloud": lambda fleet, clock: DuraCloudScheme(
+            list(fleet.values()), clock, seed=seed
+        ),
+        "racs": lambda fleet, clock: RacsScheme(
+            list(fleet.values()), clock, seed=seed
+        ),
+    }
+    for name, build in builders.items():
+        clock = SimClock()
+        fleet = make_table2_cloud_of_clouds(clock)
+        scheme = build(fleet, clock)
+        TraceReplayer(seed=seed).run(scheme, _clean_workload(seed))
+        out[name] = _scheme_metrics(scheme)
+    return out
+
+
+def run_storm_scenario(seed: int) -> dict:
+    """HyRD through the canonical fault storm (same run as ``repro report``)."""
+    from repro.obs.report import run_fault_storm_report
+
+    report, _ = run_fault_storm_report(seed=seed, trace=False)
+    from repro.metrics.registry import Histogram
+
+    ops: dict[str, dict] = {}
+    for m in report.registry.all_metrics():
+        if isinstance(m, Histogram) and m.name == "op_latency_seconds":
+            op = dict(m.labels).get("op", "?")
+            s = m.summary()
+            ops[op] = {
+                "count": int(s["count"]),
+                "mean": s["mean"],
+                "p50": s["p50"],
+                "p95": s["p95"],
+                "p99": s["p99"],
+                "max": s["max"],
+            }
+    split = report.registry.breakdown("ops_total", "op", "degraded")
+    degraded = sum(v for (_, flag), v in split.items() if flag == "true")
+    total = sum(split.values())
+    return {
+        "hyrd": {
+            "ops": dict(sorted(ops.items())),
+            "degraded_fraction": degraded / total if total else 0.0,
+        }
+    }
+
+
+def run_availability() -> dict:
+    """Analytic availability + nines for every standard placement."""
+    from repro.analysis.availability import analytic_report, nines
+
+    report = analytic_report()
+    return {
+        name: {"availability": avail, "nines": nines(avail)}
+        for name, avail in sorted(report.items())
+    }
+
+
+def run_codec_throughput(seed: int) -> dict:
+    """Wall-clock encode/decode MB/s — informational, host-dependent."""
+    from repro.erasure.codec import get_codec
+    from repro.sim.rng import make_rng
+
+    payload = make_rng(seed, "bench-codec").integers(
+        0, 256, size=4 * MB, dtype="uint8"
+    ).tobytes()
+    out: dict[str, dict] = {}
+    for label, codec in (
+        ("raid5_k3", get_codec("raid5", k=3)),
+        ("rs_k2_m2", get_codec("rs", k=2, m=2)),
+    ):
+        t0 = time.perf_counter()
+        fragments = codec.encode(payload)
+        t1 = time.perf_counter()
+        subset = {i: fragments[i] for i in range(codec.k)}
+        codec.decode(subset, len(payload))
+        t2 = time.perf_counter()
+        size_mb = len(payload) / MB
+        out[label] = {
+            "encode_mb_s": round(size_mb / max(t1 - t0, 1e-9), 2),
+            "decode_mb_s": round(size_mb / max(t2 - t1, 1e-9), 2),
+        }
+    return out
+
+
+def build_payload(seed: int, date: str) -> dict:
+    return {
+        "schema": SCHEMA,
+        "date": date,
+        "seed": seed,
+        "deterministic": {
+            "latency": {
+                "clean": run_clean_scenario(seed),
+                "fault_storm": run_storm_scenario(seed),
+            },
+            "availability": run_availability(),
+        },
+        "informational": {
+            "codec_throughput": run_codec_throughput(seed),
+        },
+    }
+
+
+# ------------------------------------------------------------------- checking
+def find_baseline(root: Path = ROOT) -> Path | None:
+    """The committed baseline: the lexically newest ``BENCH_*.json``."""
+    candidates = sorted(root.glob("BENCH_*.json"))
+    return candidates[-1] if candidates else None
+
+
+def numeric_leaves(obj, prefix: str = "") -> list[tuple[str, float]]:
+    """Flatten nested dicts to ``(dotted.path, value)`` for every number."""
+    out: list[tuple[str, float]] = []
+    if isinstance(obj, bool):
+        return out
+    if isinstance(obj, (int, float)):
+        return [(prefix, float(obj))]
+    if isinstance(obj, dict):
+        for k in sorted(obj):
+            sub_prefix = f"{prefix}.{k}" if prefix else str(k)
+            out.extend(numeric_leaves(obj[k], sub_prefix))
+    return out
+
+
+def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
+    """Regression report: one line per deterministic value that drifted.
+
+    Values missing on either side are violations too — a vanished op or
+    placement is a behaviour change, not a pass.
+    """
+    old = dict(numeric_leaves(baseline.get("deterministic", {})))
+    new = dict(numeric_leaves(fresh.get("deterministic", {})))
+    problems: list[str] = []
+    for path in sorted(set(old) | set(new)):
+        if path not in old:
+            problems.append(f"NEW    {path} = {new[path]:.6g} (not in baseline)")
+            continue
+        if path not in new:
+            problems.append(f"GONE   {path} (baseline {old[path]:.6g})")
+            continue
+        a, b = old[path], new[path]
+        if math.isclose(a, b, rel_tol=tolerance, abs_tol=ABS_EPSILON):
+            continue
+        rel = abs(b - a) / max(abs(a), ABS_EPSILON)
+        problems.append(
+            f"DRIFT  {path}: baseline {a:.6g} -> fresh {b:.6g} "
+            f"({rel:+.1%} vs {tolerance:.0%} tolerance)"
+        )
+    return problems
+
+
+def schema_check(payload: dict, path: Path) -> list[str]:
+    """Structural validation of one BENCH file (no benchmarks run)."""
+    errors: list[str] = []
+
+    def need(cond: bool, msg: str) -> None:
+        if not cond:
+            errors.append(f"{path.name}: {msg}")
+
+    need(payload.get("schema") == SCHEMA, f"schema must be {SCHEMA!r}")
+    need(isinstance(payload.get("date"), str), "date must be a string")
+    need(isinstance(payload.get("seed"), int), "seed must be an integer")
+    det = payload.get("deterministic")
+    need(isinstance(det, dict), "deterministic section missing")
+    if isinstance(det, dict):
+        latency = det.get("latency")
+        need(isinstance(latency, dict) and latency, "latency section missing")
+        for scenario, schemes in (latency or {}).items():
+            need(isinstance(schemes, dict) and schemes,
+                 f"latency.{scenario} must be a non-empty object")
+            for scheme, metrics in (schemes or {}).items():
+                ops = metrics.get("ops") if isinstance(metrics, dict) else None
+                need(isinstance(ops, dict) and ops,
+                     f"latency.{scenario}.{scheme}.ops missing")
+                for op, summary in (ops or {}).items():
+                    for field in ("count", "mean", "p50", "p95", "p99", "max"):
+                        need(
+                            isinstance(summary, dict)
+                            and isinstance(summary.get(field), (int, float)),
+                            f"latency.{scenario}.{scheme}.ops.{op}.{field} missing",
+                        )
+                need(
+                    isinstance(metrics, dict)
+                    and isinstance(metrics.get("degraded_fraction"), (int, float)),
+                    f"latency.{scenario}.{scheme}.degraded_fraction missing",
+                )
+        avail = det.get("availability")
+        need(isinstance(avail, dict) and avail, "availability section missing")
+        for name, entry in (avail or {}).items():
+            need(
+                isinstance(entry, dict)
+                and isinstance(entry.get("availability"), (int, float))
+                and isinstance(entry.get("nines"), (int, float)),
+                f"availability.{name} must carry availability and nines",
+            )
+    need(isinstance(payload.get("informational"), dict),
+         "informational section missing")
+    return errors
+
+
+# ----------------------------------------------------------------------- main
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=0, help="run seed")
+    parser.add_argument(
+        "--date",
+        default=None,
+        help="date stamp for the output filename (default: today, ISO)",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", default=None, help="explicit output path"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="regenerate and diff against the committed BENCH_*.json baseline",
+    )
+    parser.add_argument(
+        "--schema-check",
+        action="store_true",
+        help="validate the committed baseline's structure without running",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed relative drift for --check (default 0.10)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.schema_check:
+        baseline_path = find_baseline()
+        if baseline_path is None:
+            print("bench-telemetry: no BENCH_*.json baseline found", file=sys.stderr)
+            return 1
+        payload = json.loads(baseline_path.read_text(encoding="utf-8"))
+        errors = schema_check(payload, baseline_path)
+        for e in errors:
+            print(f"bench-telemetry: {e}", file=sys.stderr)
+        if not errors:
+            print(f"bench-telemetry: {baseline_path.name} schema OK")
+        return 1 if errors else 0
+
+    if args.check:
+        baseline_path = find_baseline()
+        if baseline_path is None:
+            print("bench-telemetry: no BENCH_*.json baseline found", file=sys.stderr)
+            return 1
+        baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+        errors = schema_check(baseline, baseline_path)
+        if errors:
+            for e in errors:
+                print(f"bench-telemetry: {e}", file=sys.stderr)
+            return 1
+        seed = int(baseline.get("seed", args.seed))
+        fresh = build_payload(seed, baseline.get("date", "check"))
+        problems = compare(baseline, fresh, args.tolerance)
+        if problems:
+            print(
+                f"bench-telemetry: {len(problems)} regression(s) vs "
+                f"{baseline_path.name}:",
+                file=sys.stderr,
+            )
+            for p in problems:
+                print(f"  {p}", file=sys.stderr)
+            return 1
+        print(
+            f"bench-telemetry: OK — deterministic section matches "
+            f"{baseline_path.name} within {args.tolerance:.0%}"
+        )
+        return 0
+
+    date = args.date or _dt.date.today().isoformat()
+    payload = build_payload(args.seed, date)
+    out = Path(args.out) if args.out else ROOT / f"BENCH_{date}.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                   encoding="utf-8")
+    print(f"bench-telemetry: wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
