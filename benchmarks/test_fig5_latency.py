@@ -18,7 +18,7 @@ def _label(size: int) -> str:
 
 def test_fig5_latency_vs_request_size(benchmark, emit):
     res = benchmark.pedantic(
-        lambda: run_fig5(seed=0, repeats=9), rounds=1, iterations=1
+        lambda: run_fig5(seed=0, repeats=9, parallel=True), rounds=1, iterations=1
     )
 
     read_rows = [

@@ -20,7 +20,9 @@ COC = ["duracloud", "racs", "hyrd"]
 
 
 def test_fig6_scheme_latency_normal_and_outage(benchmark, emit):
-    fig6 = benchmark.pedantic(lambda: run_fig6(seed=0), rounds=1, iterations=1)
+    fig6 = benchmark.pedantic(
+        lambda: run_fig6(seed=0, parallel=True), rounds=1, iterations=1
+    )
 
     norm_n = fig6.normalized("normal")
     norm_o = fig6.normalized("outage")
@@ -87,7 +89,7 @@ def test_fig6_extended_with_depsky_and_nccloud(benchmark, emit):
 
     config = PostMarkConfig(file_pool=25, transactions=100)
     fig6 = benchmark.pedantic(
-        lambda: run_fig6(seed=0, config=config, extended=True),
+        lambda: run_fig6(seed=0, config=config, extended=True, parallel=True),
         rounds=1,
         iterations=1,
     )

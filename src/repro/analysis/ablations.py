@@ -65,33 +65,41 @@ def _run_hyrd(config: HyRDConfig, seed: int, pm: PostMarkConfig) -> HyrdScheme:
     return scheme
 
 
+def _threshold_cell(task: tuple) -> ThresholdPoint:
+    """One threshold-sweep point (independent cell, picklable)."""
+    threshold, seed, pm = task
+    scheme = _run_hyrd(HyRDConfig(size_threshold=threshold), seed, pm)
+    stats = scheme.monitor.stats
+    return ThresholdPoint(
+        threshold=threshold,
+        mean_latency=scheme.collector.summary().mean,
+        space_overhead=scheme.space_overhead(),
+        small_fraction_bytes=stats.fraction_small_bytes(),
+    )
+
+
 def run_threshold_sweep(
     thresholds: list[int] | None = None,
     seed: int = 0,
     pm: PostMarkConfig | None = None,
+    parallel: bool = False,
+    max_workers: int | None = None,
 ) -> list[ThresholdPoint]:
     """Sweep the small/large threshold; the paper lands on 1 MB.
 
     Small thresholds push everything into the erasure stripe (RACS-like
     latency for small files); huge thresholds replicate multi-megabyte files
     (DuraCloud-like write cost and 2x space).  The knee sits near the point
-    where transfer time overtakes RTT — Figure 5's 1 MB.
+    where transfer time overtakes RTT — Figure 5's 1 MB.  Each threshold is
+    an independent seeded run, so ``parallel=True`` fans the points out over
+    worker processes (ordered merge, identical results).
     """
+    from repro.analysis.experiments import map_cells
+
     thresholds = thresholds or [64 * KB, 256 * KB, 1 * MB, 4 * MB, 16 * MB]
     pm = pm or _postmark_for_ablation()
-    points = []
-    for threshold in thresholds:
-        scheme = _run_hyrd(HyRDConfig(size_threshold=threshold), seed, pm)
-        stats = scheme.monitor.stats
-        points.append(
-            ThresholdPoint(
-                threshold=threshold,
-                mean_latency=scheme.collector.summary().mean,
-                space_overhead=scheme.space_overhead(),
-                small_fraction_bytes=stats.fraction_small_bytes(),
-            )
-        )
-    return points
+    tasks = [(threshold, seed, pm) for threshold in thresholds]
+    return map_cells(_threshold_cell, tasks, parallel, max_workers)
 
 
 def run_replication_sweep(

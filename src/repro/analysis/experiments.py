@@ -8,7 +8,8 @@ same rows/series the paper reports and asserts the expected *shape*
 
 from __future__ import annotations
 
-from collections.abc import Callable
+import os
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -16,7 +17,11 @@ import numpy as np
 from repro.cloud.latency import ClientLink
 from repro.cloud.outage import OutageWindow
 from repro.cloud.pricing import CATEGORIES, PRICE_PLANS, ProviderCategory
-from repro.cloud.provider import SimulatedProvider, make_table2_cloud_of_clouds
+from repro.cloud.provider import (
+    TABLE2_LATENCY,
+    SimulatedProvider,
+    make_table2_cloud_of_clouds,
+)
 from repro.core.config import HyRDConfig
 from repro.cost.simulator import CostRunResult, CostSimulator
 from repro.metrics.collector import LatencyCollector
@@ -46,6 +51,7 @@ __all__ = [
     "coc_factories",
     "default_ia_config",
     "default_postmark_config",
+    "map_cells",
     "run_fig3",
     "run_fig4",
     "run_fig5",
@@ -117,6 +123,44 @@ def single_factory(name: str) -> SchemeFactory:
     return lambda providers, clock: SingleCloudScheme(providers[name], clock)
 
 
+def _factory_by_name(name: str, extended: bool = False) -> SchemeFactory:
+    """Rebuild a scheme factory from its sweep name.
+
+    Factories are closures and do not pickle, so parallel workers receive
+    the *name* of the cell's scheme and resolve it locally.
+    """
+    if name in SINGLE_PROVIDERS:
+        return single_factory(name)
+    return coc_factories(extended=extended)[name]
+
+
+# ------------------------------------------------------- parallel sweep cells
+def map_cells(
+    fn: Callable,
+    tasks: Iterable,
+    parallel: bool = False,
+    max_workers: int | None = None,
+) -> list:
+    """Run independent sweep cells serially or across worker processes.
+
+    Every cell builds its own clock, fleet, and RNG streams from its task
+    tuple, so cells share no state and their results do not depend on
+    execution order.  ``ProcessPoolExecutor.map`` preserves input order,
+    which makes the parallel merge *byte-identical* to the serial loop —
+    enforced by ``tests/test_analysis_parallel.py``.  ``fn`` must be a
+    module-level function and every task picklable.
+    """
+    tasks = list(tasks)
+    if not parallel or len(tasks) <= 1:
+        return [fn(t) for t in tasks]
+    from concurrent.futures import ProcessPoolExecutor
+
+    workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+    workers = max(1, min(workers, len(tasks)))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, tasks))
+
+
 # --------------------------------------------------------------------- Fig 3
 def run_fig3(seed: int = 0, config: IATraceConfig | None = None) -> IATrace:
     """Synthesize the IA trace and return it with its monthly statistics."""
@@ -173,39 +217,50 @@ class Fig5Results:
         return r[self.sizes.index(hi)] / r[self.sizes.index(lo)]
 
 
+def _fig5_cell(task: tuple) -> tuple[list[float], list[float]]:
+    """One provider's latency-vs-size sweep (independent cell, picklable)."""
+    name, seed, sizes, repeats, link = task
+    latency = TABLE2_LATENCY[name]
+    rng = make_rng(seed, "fig5", name)
+    read: list[float] = []
+    write: list[float] = []
+    for size in sizes:
+        r_samples = [
+            link.elapsed(downloads=[latency.download_spec(size, rng)])
+            for _ in range(repeats)
+        ]
+        w_samples = [
+            link.elapsed(uploads=[latency.upload_spec(size, rng)])
+            for _ in range(repeats)
+        ]
+        read.append(float(np.mean(r_samples)))
+        write.append(float(np.mean(w_samples)))
+    return read, write
+
+
 def run_fig5(
     seed: int = 0,
     sizes: list[int] | None = None,
     repeats: int = 3,
     link: ClientLink | None = None,
+    parallel: bool = False,
+    max_workers: int | None = None,
 ) -> Fig5Results:
     """Raw request latency per provider as a function of request size.
 
     Measures what the paper measures: a single Get/Put of each size against
     each provider (mean of ``repeats`` runs with jitter), no metadata
-    machinery in the way.
+    machinery in the way.  Each provider draws jitter from its own RNG
+    stream (``make_rng(seed, "fig5", name)``), so the per-provider cells are
+    order-independent and ``parallel=True`` farms them out to worker
+    processes with results identical to the serial loop.
     """
     sizes = sizes or [4 * KB, 16 * KB, 64 * KB, 256 * KB, 1 * MB, 4 * MB]
     link = link or ClientLink()
-    clock = SimClock()
-    providers = make_table2_cloud_of_clouds(clock)
-    rng = make_rng(seed, "fig5")
-    read: dict[str, list[float]] = {}
-    write: dict[str, list[float]] = {}
-    for name, provider in providers.items():
-        read[name] = []
-        write[name] = []
-        for size in sizes:
-            r_samples = [
-                link.elapsed(downloads=[provider.latency.download_spec(size, rng)])
-                for _ in range(repeats)
-            ]
-            w_samples = [
-                link.elapsed(uploads=[provider.latency.upload_spec(size, rng)])
-                for _ in range(repeats)
-            ]
-            read[name].append(float(np.mean(r_samples)))
-            write[name].append(float(np.mean(w_samples)))
+    tasks = [(name, seed, tuple(sizes), repeats, link) for name in SINGLE_PROVIDERS]
+    cells = map_cells(_fig5_cell, tasks, parallel, max_workers)
+    read = {name: cell[0] for name, cell in zip(SINGLE_PROVIDERS, cells)}
+    write = {name: cell[1] for name, cell in zip(SINGLE_PROVIDERS, cells)}
     return Fig5Results(sizes=list(sizes), read=read, write=write)
 
 
@@ -252,47 +307,64 @@ def _run_postmark_once(
     return collector, scheme
 
 
+def _fig6_cell(task: tuple) -> tuple[float, float]:
+    """One (scheme, state, rep) PostMark run (independent cell, picklable).
+
+    Returns ``(mean access latency, degraded fraction)``.
+    """
+    name, extended, cell_seed, setup_ops, txn_ops, outage_provider = task
+    factory = _factory_by_name(name, extended=extended)
+    collector, _ = _run_postmark_once(
+        factory, setup_ops, txn_ops, cell_seed, outage_provider
+    )
+    return _mean_access_latency(collector), collector.degraded_fraction()
+
+
 def run_fig6(
     seed: int = 0,
     config: PostMarkConfig | None = None,
     outage_provider: str = "azure",
     extended: bool = False,
     repeats: int = 1,
+    parallel: bool = False,
+    max_workers: int | None = None,
 ) -> Fig6Results:
-    """Access latency of every scheme, normal and single-outage states."""
+    """Access latency of every scheme, normal and single-outage states.
+
+    Every (scheme, state, repetition) cell builds its own fleet and clock
+    from the cell seed, so the sweep is embarrassingly parallel:
+    ``parallel=True`` runs the cells in worker processes and the ordered
+    merge reproduces the serial output exactly.
+    """
     config = config or default_postmark_config()
     ops = generate_postmark(config, make_rng(seed, "postmark"))
     setup_ops, txn_ops = ops[: config.file_pool], ops[config.file_pool :]
 
     results = Fig6Results(baseline="amazon_s3")
-    factories: dict[str, SchemeFactory] = {
-        name: single_factory(name) for name in SINGLE_PROVIDERS
-    }
-    coc = coc_factories(extended=extended)
-    factories.update(coc)
+    coc_names = list(coc_factories(extended=extended))
+    all_names = list(SINGLE_PROVIDERS) + coc_names
 
-    for name, factory in factories.items():
-        normal_means = []
-        for rep in range(repeats):
-            collector, _ = _run_postmark_once(
-                factory, setup_ops, txn_ops, seed + rep, None
-            )
-            normal_means.append(_mean_access_latency(collector))
-        results.normal[name] = float(np.mean(normal_means))
-
+    tasks = [
+        (name, extended, seed + rep, setup_ops, txn_ops, None)
+        for name in all_names
+        for rep in range(repeats)
+    ]
     # Outage state: only the Cloud-of-Clouds schemes survive a provider loss
     # (that is the point of the paper); singles are omitted like in Fig. 6.
-    for name, factory in coc.items():
-        outage_means = []
-        frac = 0.0
-        for rep in range(repeats):
-            collector, _ = _run_postmark_once(
-                factory, setup_ops, txn_ops, seed + rep, outage_provider
-            )
-            outage_means.append(_mean_access_latency(collector))
-            frac = max(frac, collector.degraded_fraction())
-        results.outage[name] = float(np.mean(outage_means))
-        results.degraded_fraction[name] = frac
+    tasks += [
+        (name, extended, seed + rep, setup_ops, txn_ops, outage_provider)
+        for name in coc_names
+        for rep in range(repeats)
+    ]
+    cells = iter(map_cells(_fig6_cell, tasks, parallel, max_workers))
+
+    for name in all_names:
+        normal_means = [next(cells)[0] for _ in range(repeats)]
+        results.normal[name] = float(np.mean(normal_means))
+    for name in coc_names:
+        reps = [next(cells) for _ in range(repeats)]
+        results.outage[name] = float(np.mean([mean for mean, _ in reps]))
+        results.degraded_fraction[name] = max(frac for _, frac in reps)
     return results
 
 

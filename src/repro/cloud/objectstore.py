@@ -10,6 +10,15 @@ paper's passive five-function model (and S3-like stores generally):
 - ``list`` returns keys in lexicographic order;
 - every object carries created/modified timestamps and a version counter,
   which the recovery consistency-update uses to detect stale state.
+
+Data plane conventions (see ``docs/performance.md``): ``put`` accepts any
+bytes-like object.  ``bytes`` and ``memoryview`` payloads are stored without
+a defensive copy — callers handing over a ``memoryview`` promise not to
+mutate the underlying buffer afterwards (codec fragments are write-once).
+Mutable ``bytearray`` input is still copied.  Byte totals are maintained
+incrementally so :meth:`total_bytes` is O(1) regardless of object count,
+and :meth:`list` caches its sorted key view per container, invalidated only
+when the key set changes.
 """
 
 from __future__ import annotations
@@ -23,9 +32,14 @@ __all__ = ["StoredObject", "ObjectStore"]
 
 @dataclass(frozen=True)
 class StoredObject:
-    """One immutable object version."""
+    """One immutable object version.
 
-    data: bytes
+    ``data`` may be ``bytes`` or a read-only view into a codec buffer; both
+    support ``len``/hashing/slicing, and the simulator treats stored buffers
+    as frozen.
+    """
+
+    data: bytes | memoryview
     created: float
     modified: float
     version: int
@@ -40,6 +54,10 @@ class ObjectStore:
 
     def __init__(self) -> None:
         self._containers: dict[str, dict[str, StoredObject]] = {}
+        #: cached ``sorted(keys)`` per container; None means "rebuild on next
+        #: list()".  Only key-set changes invalidate it — overwrites don't.
+        self._sorted_keys: dict[str, list[str] | None] = {}
+        self._total_bytes = 0
 
     # ------------------------------------------------------------ containers
     def create_container(self, container: str, *, exist_ok: bool = False) -> None:
@@ -48,6 +66,7 @@ class ObjectStore:
                 return
             raise ContainerExists(container)
         self._containers[container] = {}
+        self._sorted_keys[container] = []
 
     def has_container(self, container: str) -> bool:
         return container in self._containers
@@ -62,17 +81,26 @@ class ObjectStore:
             raise NoSuchContainer(container) from None
 
     # --------------------------------------------------------------- objects
-    def put(self, container: str, key: str, data: bytes, now: float) -> StoredObject:
+    def put(
+        self, container: str, key: str, data: bytes | bytearray | memoryview, now: float
+    ) -> StoredObject:
         """Upsert ``key``; returns the stored version."""
         objects = self._objects(container)
         prev = objects.get(key)
+        if isinstance(data, bytearray):
+            data = bytes(data)  # mutable owner: defensive copy
         obj = StoredObject(
-            data=bytes(data),
+            data=data,
             created=prev.created if prev else now,
             modified=now,
             version=prev.version + 1 if prev else 1,
         )
         objects[key] = obj
+        if prev is None:
+            self._sorted_keys[container] = None
+            self._total_bytes += obj.size
+        else:
+            self._total_bytes += obj.size - prev.size
         return obj
 
     def get(self, container: str, key: str) -> StoredObject:
@@ -89,19 +117,28 @@ class ObjectStore:
         """Delete ``key``; returns the removed version (for byte accounting)."""
         objects = self._objects(container)
         try:
-            return objects.pop(key)
+            obj = objects.pop(key)
         except KeyError:
             raise NoSuchObject(container, key) from None
+        self._sorted_keys[container] = None
+        self._total_bytes -= obj.size
+        return obj
 
     def list(self, container: str) -> list[str]:
-        return sorted(self._objects(container))
+        cached = self._sorted_keys.get(container)
+        if cached is None:
+            cached = sorted(self._objects(container))
+            self._sorted_keys[container] = cached
+        return list(cached)
 
     # ------------------------------------------------------------- inventory
     def total_bytes(self) -> int:
-        """Bytes currently stored across all containers (billing basis)."""
-        return sum(
-            obj.size for objs in self._containers.values() for obj in objs.values()
-        )
+        """Bytes currently stored across all containers (billing basis).
+
+        Maintained incrementally by put/remove deltas — O(1), not a walk of
+        every stored object.
+        """
+        return self._total_bytes
 
     def object_count(self) -> int:
         return sum(len(objs) for objs in self._containers.values())

@@ -85,19 +85,31 @@ class SimulatedProvider:
         #: pure bookkeeping: no RNG draws, no clock movement.  A fleet shared
         #: by several schemes reports into whichever registry attached last.
         self.metrics = None
+        # Memoized counter instruments, valid only for the registry they were
+        # resolved from; dropped wholesale whenever ``metrics`` is swapped.
+        self._counter_cache: tuple[object, dict[tuple[str, str], object]] = (None, {})
 
     # --------------------------------------------------------------- metrics
+    def _counter(self, name: str, **labels: str):
+        m = self.metrics
+        owner, cache = self._counter_cache
+        if owner is not m:
+            cache = {}
+            self._counter_cache = (m, cache)
+        key = (name, tuple(labels.values()))
+        c = cache.get(key)
+        if c is None:
+            c = m.counter(name, provider=self.name, **labels)
+            cache[key] = c
+        return c
+
     def _count_request(self, op: str) -> None:
         if self.metrics is not None:
-            self.metrics.counter(
-                "provider_requests_total", provider=self.name, op=op
-            ).inc()
+            self._counter("provider_requests_total", op=op).inc()
 
     def _count_error(self, kind: str) -> None:
         if self.metrics is not None:
-            self.metrics.counter(
-                "provider_errors_total", provider=self.name, kind=kind
-            ).inc()
+            self._counter("provider_errors_total", kind=kind).inc()
 
     # ---------------------------------------------------------- availability
     def is_available(self, t: float | None = None) -> bool:
@@ -151,6 +163,8 @@ class SimulatedProvider:
             raise TransientProviderError(self.name, now)
 
     def _sync_storage_meter(self) -> None:
+        # ObjectStore maintains its byte total incrementally, so this is O(1)
+        # per mutation rather than a walk of every stored object.
         self.meter.set_stored_bytes(self.store.total_bytes(), self.clock.now)
 
     # ------------------------------------------------------ degraded latency
@@ -189,8 +203,10 @@ class SimulatedProvider:
         self.meter.record_list(self.clock.now)
         return keys
 
-    def get(self, container: str, key: str) -> bytes:
+    def get(self, container: str, key: str) -> bytes | memoryview:
         """Read an object (paper op: *Get*).
+
+        Returns the stored buffer as-is (zero-copy); treat it as read-only.
 
         A scripted :class:`~repro.faults.profile.SilentCorruption` window can
         flip bits in the *returned* copy (the stored object is untouched);
@@ -201,23 +217,23 @@ class SimulatedProvider:
         obj = self.store.get(container, key)
         self.meter.record_get(obj.size, self.clock.now)
         if self.metrics is not None:
-            self.metrics.counter(
-                "provider_bytes_down_total", provider=self.name
-            ).inc(obj.size)
+            self._counter("provider_bytes_down_total").inc(obj.size)
         if self.faults is not None:
             return self.faults.maybe_corrupt(obj.data, self.clock.now)
         return obj.data
 
-    def put(self, container: str, key: str, data: bytes) -> StoredObject:
-        """Write or overwrite an object (paper op: *Put*)."""
+    def put(self, container: str, key: str, data: bytes | memoryview) -> StoredObject:
+        """Write or overwrite an object (paper op: *Put*).
+
+        ``data`` may be any bytes-like object; immutable buffers are stored
+        without a copy (see :mod:`repro.cloud.objectstore`).
+        """
         self._count_request("put")
         self._check_available()
         obj = self.store.put(container, key, data, self.clock.now)
         self.meter.record_put(obj.size, self.clock.now)
         if self.metrics is not None:
-            self.metrics.counter(
-                "provider_bytes_up_total", provider=self.name
-            ).inc(obj.size)
+            self._counter("provider_bytes_up_total").inc(obj.size)
         self._sync_storage_meter()
         return obj
 

@@ -194,7 +194,11 @@ class HyRDClient(Scheme):
                     outcome = phase.outcomes[0]
                     if outcome.ok and outcome.data is not None:
                         expected = self._hot_digests.get(entry.path)
-                        if expected is None or self._digest(outcome.data) == expected:
+                        if expected is None or self._verify_digest(
+                            self._hot_key(entry.path, entry.version),
+                            outcome.data,
+                            expected,
+                        ):
                             return outcome.data, False
                     # Hot copy raced an outage or was corrupted: fall
                     # through to the verified stripe.
@@ -285,7 +289,9 @@ class HyRDClient(Scheme):
         report = self._end_op("promote", path)
         self.collector.add(report)
         self._hot[path] = (target, entry.version)
-        self._hot_digests[path] = self._digest(data)
+        self._hot_digests[path] = self._record_digest(
+            self._hot_key(path, entry.version), data
+        )
         return report
 
     # --------------------------------------------------------------- intro

@@ -41,12 +41,25 @@ class ErasureCodec(ABC):
     def encode(self, data: bytes) -> list[bytes]:
         """Encode ``data`` into exactly ``n`` fragments (index = position)."""
 
+    def encode_views(self, data: bytes) -> list[bytes | memoryview]:
+        """Encode ``data`` into ``n`` fragments, allowing zero-copy views.
+
+        Same fragment *contents* as :meth:`encode`, but a codec may return
+        ``memoryview`` slices into an internal encode buffer instead of
+        materialising each fragment as ``bytes``.  Callers must treat the
+        returned buffers as frozen (the simulated stores keep them as-is;
+        see ``docs/performance.md``).  The default just delegates to
+        :meth:`encode`.
+        """
+        return list(self.encode(data))
+
     @abstractmethod
     def decode(self, fragments: Mapping[int, bytes], size: int) -> bytes:
         """Reconstruct the original ``size``-byte payload.
 
-        ``fragments`` maps fragment index -> fragment bytes and must contain
-        at least ``k`` entries; raises ``ValueError`` otherwise.
+        ``fragments`` maps fragment index -> fragment bytes (any bytes-like
+        buffer is accepted) and must contain at least ``k`` entries; raises
+        ``ValueError`` otherwise.
         """
 
     def reconstruct_fragment(self, fragments: Mapping[int, bytes], index: int, size: int) -> bytes:

@@ -15,7 +15,7 @@ from collections.abc import Mapping
 import numpy as np
 
 from repro.erasure.codec import ErasureCodec
-from repro.erasure.striping import join_shards, split_shards
+from repro.erasure.striping import join_fragments, split_shards, split_views
 
 __all__ = ["Raid5Code"]
 
@@ -46,6 +46,17 @@ class Raid5Code(ErasureCodec):
         parity = np.bitwise_xor.reduce(shards, axis=0)
         return [shards[i].tobytes() for i in range(self._k)] + [parity.tobytes()]
 
+    def encode_views(self, data: bytes) -> list[bytes | memoryview]:
+        """Zero-copy encode: unpadded data fragments are views into ``data``
+        itself (only the padded tail shard and the parity are fresh buffers)."""
+        rows = split_views(data, self._k)
+        parity = rows[0] ^ rows[1] if self._k > 1 else rows[0].copy()
+        for row in rows[2:]:
+            np.bitwise_xor(parity, row, out=parity)
+        views: list[bytes | memoryview] = [memoryview(r) for r in rows]
+        views.append(memoryview(parity))
+        return views
+
     def decode(self, fragments: Mapping[int, bytes], size: int) -> bytes:
         self._check_enough(fragments)
         frag_len = self.fragment_size(size)
@@ -61,22 +72,23 @@ class Raid5Code(ErasureCodec):
             raise ValueError(
                 f"RAID5 tolerates one erasure; data fragments {missing_data} missing"
             )
-        shards = np.zeros((self._k, frag_len), dtype=np.uint8)
+        if not missing_data:
+            # Systematic fast path: all data fragments survive, the payload
+            # is their concatenation — no XOR, no intermediate shard matrix.
+            return join_fragments(
+                (fragments[i] for i in range(self._k)), frag_len, size
+            )
+        lost = missing_data[0]
+        if self.parity_index not in fragments:
+            raise ValueError(
+                f"cannot rebuild data fragment {lost}: parity missing too"
+            )
+        acc = np.frombuffer(fragments[self.parity_index], dtype=np.uint8).copy()
         for i in range(self._k):
-            if i in fragments:
-                shards[i] = np.frombuffer(fragments[i], dtype=np.uint8)
-        if missing_data:
-            lost = missing_data[0]
-            if self.parity_index not in fragments:
-                raise ValueError(
-                    f"cannot rebuild data fragment {lost}: parity missing too"
-                )
-            acc = np.frombuffer(fragments[self.parity_index], dtype=np.uint8).copy()
-            for i in range(self._k):
-                if i != lost:
-                    acc ^= shards[i]
-            shards[lost] = acc
-        return join_shards(shards, size)
+            if i != lost:
+                acc ^= np.frombuffer(fragments[i], dtype=np.uint8)
+        rows = [acc if i == lost else fragments[i] for i in range(self._k)]
+        return join_fragments(rows, frag_len, size)
 
     def reconstruct_fragment(
         self, fragments: Mapping[int, bytes], index: int, size: int

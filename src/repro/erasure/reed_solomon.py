@@ -8,19 +8,24 @@ reconstruct the payload by inverting the corresponding kxk sub-matrix.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from collections.abc import Mapping
 
 import numpy as np
 
 from repro.erasure.codec import ErasureCodec
 from repro.erasure.galois import gf_inverse_matrix, gf_matmul, systematic_vandermonde
-from repro.erasure.striping import join_shards, split_shards
+from repro.erasure.striping import join_fragments, join_shards, split_shards
 
 __all__ = ["ReedSolomonCode"]
 
 
 class ReedSolomonCode(ErasureCodec):
     """RS(k, m): k data fragments + m parity fragments, MDS."""
+
+    #: max cached decode matrices; degraded-read sweeps touch arbitrary index
+    #: subsets, so the cache is LRU-bounded instead of growing without limit
+    _DECODE_CACHE_MAX = 64
 
     def __init__(self, k: int, m: int) -> None:
         if k <= 0 or m < 0:
@@ -30,7 +35,10 @@ class ReedSolomonCode(ErasureCodec):
         self._k = k
         self._n = k + m
         self._gen = systematic_vandermonde(self._n, self._k)
-        self._decode_cache: dict[tuple[int, ...], np.ndarray] = {}
+        #: parity rows of the generator, pre-bound so the hot encode path
+        #: multiplies only the m non-identity rows (the top k are systematic)
+        self._parity_rows = self._gen[self._k :]
+        self._decode_cache: OrderedDict[tuple[int, ...], np.ndarray] = OrderedDict()
 
     @property
     def n(self) -> int:
@@ -47,33 +55,58 @@ class ReedSolomonCode(ErasureCodec):
         g.flags.writeable = False
         return g
 
-    def encode(self, data: bytes) -> list[bytes]:
+    def _encode_shards(self, data: bytes) -> tuple[np.ndarray, np.ndarray]:
+        """(data shards, parity shards) — parity-only matmul, systematic top."""
         shards = split_shards(data, self._k)  # (k, L)
-        fragments = gf_matmul(self._gen, shards)  # (n, L)
-        return [fragments[i].tobytes() for i in range(self._n)]
+        if self._n > self._k:
+            parity = gf_matmul(self._parity_rows, shards)  # (m, L)
+        else:
+            parity = np.empty((0, shards.shape[1]), dtype=np.uint8)
+        return shards, parity
+
+    def encode(self, data: bytes) -> list[bytes]:
+        shards, parity = self._encode_shards(data)
+        return [shards[i].tobytes() for i in range(self._k)] + [
+            parity[j].tobytes() for j in range(self._n - self._k)
+        ]
+
+    def encode_views(self, data: bytes) -> list[bytes | memoryview]:
+        """Zero-copy encode: fragments are views into the encode buffers."""
+        shards, parity = self._encode_shards(data)
+        views: list[bytes | memoryview] = [memoryview(shards[i]) for i in range(self._k)]
+        views.extend(memoryview(parity[j]) for j in range(self._n - self._k))
+        return views
 
     def _decode_matrix(self, indices: tuple[int, ...]) -> np.ndarray:
-        """Inverse of the generator rows for ``indices`` (cached per subset)."""
+        """Inverse of the generator rows for ``indices`` (LRU-cached per subset)."""
         cached = self._decode_cache.get(indices)
         if cached is None:
             sub = self._gen[list(indices), :]
             cached = gf_inverse_matrix(sub)
             self._decode_cache[indices] = cached
+            if len(self._decode_cache) > self._DECODE_CACHE_MAX:
+                self._decode_cache.popitem(last=False)
+        else:
+            self._decode_cache.move_to_end(indices)
         return cached
 
     def decode(self, fragments: Mapping[int, bytes], size: int) -> bytes:
         self._check_enough(fragments)
         indices = tuple(sorted(fragments))[: self._k]
         frag_len = self.fragment_size(size)
-        rows = []
         for i in indices:
-            frag = fragments[i]
-            if len(frag) != frag_len:
+            if len(fragments[i]) != frag_len:
                 raise ValueError(
-                    f"fragment {i} has length {len(frag)}, expected {frag_len}"
+                    f"fragment {i} has length {len(fragments[i])}, expected {frag_len}"
                 )
-            rows.append(np.frombuffer(frag, dtype=np.uint8))
-        stacked = np.vstack(rows) if frag_len else np.zeros((self._k, 0), np.uint8)
+        if frag_len == 0:
+            return b""
+        if indices == tuple(range(self._k)):
+            # Systematic fast path: the first k fragments are the data shards.
+            return join_fragments((fragments[i] for i in indices), frag_len, size)
+        stacked = np.vstack(
+            [np.frombuffer(fragments[i], dtype=np.uint8) for i in indices]
+        )
         inv = self._decode_matrix(indices)
         shards = gf_matmul(inv, stacked)
         return join_shards(shards, size)

@@ -193,6 +193,11 @@ class Histogram:
 
 
 def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
+    if not labels:
+        return ()
+    if len(labels) == 1:
+        k, v = next(iter(labels.items()))
+        return ((str(k), str(v)),)
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 

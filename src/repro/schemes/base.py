@@ -21,7 +21,9 @@ from __future__ import annotations
 
 import functools
 import hashlib
+import os
 from abc import ABC, abstractmethod
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -55,6 +57,42 @@ __all__ = [
     "Scheme",
 ]
 
+#: below this combined size, dispatching fragment hashing to threads costs
+#: more than it saves; hash inline instead
+_PARALLEL_DIGEST_MIN_BYTES = 256 << 10
+
+#: hashlib releases the GIL for big buffers, so sibling fragments can hash on
+#: real cores — but on a single-core box the pool is pure overhead, so it is
+#: disabled there
+_DIGEST_WORKERS = min(4, os.cpu_count() or 1)
+
+_DIGEST_POOL = None
+
+
+def _reset_digest_pool() -> None:
+    # Pool threads do not survive fork; a child that inherited a live pool
+    # would deadlock on its first digest, so drop the reference and let the
+    # child lazily build its own (the parallel experiment runner forks
+    # workers mid-session).
+    global _DIGEST_POOL
+    _DIGEST_POOL = None
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX only
+    os.register_at_fork(after_in_child=_reset_digest_pool)
+
+
+def _digest_pool():
+    """Shared lazy thread pool for fragment hashing (GIL-releasing work)."""
+    global _DIGEST_POOL
+    if _DIGEST_POOL is None:
+        from concurrent.futures import ThreadPoolExecutor
+
+        _DIGEST_POOL = ThreadPoolExecutor(
+            max_workers=_DIGEST_WORKERS, thread_name_prefix="fragment-digest"
+        )
+    return _DIGEST_POOL
+
 
 class DataUnavailable(CloudError):
     """Too many providers are down to serve the object at all.
@@ -69,6 +107,93 @@ class DataUnavailable(CloudError):
         self.path = path
 
 
+class _DigestCache:
+    """LRU of ``storage key -> (buffer id, sha256 hex)`` for verified reads.
+
+    The simulated stores keep the exact buffer object a write handed them
+    (zero-copy puts), so a read that returns the *same object* the scheme
+    digested at write time is known-intact without re-hashing.  Identity is
+    sound here: the recorded object stays alive inside a provider store (or a
+    write log) for as long as its key maps to it, so its ``id`` cannot be
+    recycled while the entry is current; every path that rebinds a key to a
+    new buffer (put, read-modify-write) re-records the digest, and a
+    fault-injected corrupt copy is always a fresh object, which misses the
+    cache and falls back to a full hash.
+    """
+
+    __slots__ = ("_entries", "_capacity")
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self._entries: OrderedDict[str, tuple[int, str]] = OrderedDict()
+        self._capacity = capacity
+
+    def record(self, key: str, data, digest: str) -> None:
+        entries = self._entries
+        entries[key] = (id(data), digest)
+        entries.move_to_end(key)
+        if len(entries) > self._capacity:
+            entries.popitem(last=False)
+
+    def matches(self, key: str, data, digest: str) -> bool:
+        """True when ``data`` is the very buffer recorded for ``key``."""
+        entry = self._entries.get(key)
+        if entry is None or entry != (id(data), digest):
+            return False
+        self._entries.move_to_end(key)
+        return True
+
+
+class _PayloadCache:
+    """Byte-bounded LRU of ``versioned key -> (fragment ids, payload)``.
+
+    A striped read that fetches the *exact fragment objects* recorded at
+    write time (identity check, same soundness argument as
+    :class:`_DigestCache`: the stores pin those objects alive while the
+    versioned keys exist) provably decodes to the payload that was encoded —
+    so the decode + join can be skipped and the original payload returned.
+    Any substituted fragment (corruption, reconstruction, a re-put) is a
+    fresh object, misses by id, and falls through to a real decode.
+    """
+
+    __slots__ = ("_entries", "_budget", "_bytes")
+
+    def __init__(self, budget: int = 256 << 20) -> None:
+        self._entries: OrderedDict[str, tuple[tuple[int, ...], bytes]] = OrderedDict()
+        self._budget = budget
+        self._bytes = 0
+
+    def record(self, key: str, fragments, payload) -> None:
+        if len(payload) > self._budget:
+            return
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._bytes -= len(old[1])
+        self._entries[key] = (tuple(id(f) for f in fragments), payload)
+        self._bytes += len(payload)
+        while self._bytes > self._budget:
+            _, (_ids, evicted) = self._entries.popitem(last=False)
+            self._bytes -= len(evicted)
+
+    def lookup(self, key: str, collected) -> bytes | None:
+        """The cached payload iff every collected fragment matches by id."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        ids, payload = entry
+        for idx, frag in collected.items():
+            if idx >= len(ids) or id(frag) != ids[idx]:
+                return None
+        self._entries.move_to_end(key)
+        return payload
+
+    def discard(self, key: str) -> None:
+        """Drop ``key``'s entry — required whenever its stored fragments are
+        deleted or rebound, so recycled buffer ids can never false-match."""
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._bytes -= len(old[1])
+
+
 @dataclass(frozen=True)
 class CloudOp:
     """One provider request inside a phase."""
@@ -77,7 +202,9 @@ class CloudOp:
     kind: str  # "put" | "get" | "remove" | "list" | "create" | "head"
     container: str
     key: str = ""
-    data: bytes | None = None
+    #: payload for puts; any immutable bytes-like buffer (zero-copy views
+    #: from the codecs flow through untouched — see docs/performance.md)
+    data: bytes | memoryview | None = None
 
     _KINDS = frozenset({"put", "get", "remove", "list", "create", "head"})
 
@@ -243,6 +370,10 @@ class Scheme(ABC):
         self.meta = MetadataStore(self.namespace, metadata_cache_capacity)
         self.container = f"{self.name}-store"
         self._write_logs: dict[str, WriteLog] = {p.name: WriteLog() for p in providers}
+        #: write-time fragment digests, reused to skip re-hashing on verified
+        #: reads that return the identical stored buffer
+        self._digest_cache = _DigestCache()
+        self._payload_cache = _PayloadCache()
         self._acc: _OpAcc | None = None
         self._meta_sizes: dict[str, int] = {}
         #: optional :class:`repro.obs.slo.SloTracker` — see :meth:`attach_slo`
@@ -788,6 +919,41 @@ class Scheme(ABC):
         """Fragment integrity digest (HAIL-style verification, cited [8])."""
         return hashlib.sha256(data).hexdigest()
 
+    def _record_digest(self, key: str, data) -> str:
+        """Digest ``data`` once at write time and remember it for ``key``."""
+        digest = self._digest(data)
+        self._digest_cache.record(key, data, digest)
+        return digest
+
+    def _digest_fragments(self, keys: list[str], fragments) -> tuple[str, ...]:
+        """Digest a fragment batch, hashing concurrently when it is large.
+
+        ``hashlib`` releases the GIL for sizeable buffers, so sibling
+        fragments of one striped write hash in parallel on real cores.  The
+        result is order-preserving and value-identical to hashing serially;
+        only wall-clock changes, never simulated time or digest content.
+        """
+        if (
+            _DIGEST_WORKERS > 1
+            and sum(len(f) for f in fragments) >= _PARALLEL_DIGEST_MIN_BYTES
+        ):
+            digests = list(_digest_pool().map(self._digest, fragments))
+        else:
+            digests = [self._digest(f) for f in fragments]
+        for key, frag, digest in zip(keys, fragments, digests):
+            self._digest_cache.record(key, frag, digest)
+        return tuple(digests)
+
+    def _verify_digest(self, key: str, data, expected: str) -> bool:
+        """Check ``data`` against ``expected``, skipping the hash when the
+        returned buffer is the exact object digested at write time."""
+        if self._digest_cache.matches(key, data, expected):
+            return True
+        if self._digest(data) != expected:
+            return False
+        self._digest_cache.record(key, data, expected)
+        return True
+
     def _write_replicated(
         self, key_base: str, data: bytes, providers: list[str], version: int
     ) -> tuple[list[tuple[str, int]], tuple[str, ...]]:
@@ -807,7 +973,7 @@ class Scheme(ABC):
                 self._run_phase([op])
         else:
             self._run_phase(ops)
-        digest = self._digest(data)
+        digest = self._record_digest(key, data)
         return [(p, i) for i, p in enumerate(providers)], (digest,) * len(providers)
 
     def _read_replicated(
@@ -864,7 +1030,9 @@ class Scheme(ABC):
             phase = self._run_phase([CloudOp(name, "get", self.container, key)])
             outcome = phase.outcomes[0]
             if outcome.ok and outcome.data is not None:
-                if digest is not None and self._digest(outcome.data) != digest:
+                if digest is not None and not self._verify_digest(
+                    key, outcome.data, digest
+                ):
                     degraded = True  # corrupt copy: fall through to the next
                     continue
                 if degraded:
@@ -907,7 +1075,7 @@ class Scheme(ABC):
         p_ok = (
             p.ok
             and p.data is not None
-            and (digest is None or self._digest(p.data) == digest)
+            and (digest is None or self._verify_digest(key, p.data, digest))
         )
         if p_ok and p_phase.elapsed <= hedge_delay:
             if p_phase.elapsed > 0:
@@ -932,7 +1100,7 @@ class Scheme(ABC):
         b_ok = (
             b.ok
             and b.data is not None
-            and (digest is None or self._digest(b.data) == digest)
+            and (digest is None or self._verify_digest(key, b.data, digest))
         )
         b_finish = backup_start + b_phase.elapsed
 
@@ -972,13 +1140,18 @@ class Scheme(ABC):
             )
         self._heal_before_touching(set(providers))
         with self.tracer.span("codec.encode", codec=type(codec).__name__, size=len(data)):
-            fragments = codec.encode(data)
+            fragments = codec.encode_views(data)
         ops = [
             CloudOp(p, "put", self.container, self._fragment_key(key_base, i, version), fragments[i])
             for i, p in enumerate(providers)
         ]
         self._run_phase(ops)
-        digests = tuple(self._digest(f) for f in fragments)
+        digests = self._digest_fragments(
+            [self._fragment_key(key_base, i, version) for i in range(len(fragments))],
+            fragments,
+        )
+        if isinstance(data, bytes):
+            self._payload_cache.record(f"{key_base}#v{version}", fragments, data)
         return [(p, i) for i, p in enumerate(providers)], digests
 
     def _read_striped(
@@ -1011,7 +1184,8 @@ class Scheme(ABC):
         def verified(idx: int, data: bytes) -> bool:
             if digests is None or idx >= len(digests):
                 return True
-            return self._digest(data) == digests[idx]
+            key = self._fragment_key(key_base, idx, version)
+            return self._verify_digest(key, data, digests[idx])
 
         order = sorted(by_index)  # systematic data fragments first
         if not prefer_systematic:
@@ -1061,6 +1235,11 @@ class Scheme(ABC):
             raise DataUnavailable(key_base, "lost fragments mid-read")
         if degraded:
             self._mark_degraded()
+        cached = self._payload_cache.lookup(f"{key_base}#v{version}", fragments)
+        if cached is not None:
+            # Every fetched fragment is the exact object encoded at write
+            # time, so the decode result is provably the cached payload.
+            return cached, degraded
         with self.tracer.span("codec.decode", codec=type(codec).__name__, size=size):
             data = codec.decode(fragments, size)
         return data, degraded
@@ -1122,7 +1301,7 @@ class Scheme(ABC):
         with self.tracer.span(
             "codec.encode", codec=type(codec).__name__, size=len(new_content)
         ):
-            fragments = codec.encode(new_content)
+            fragments = codec.encode_views(new_content)
         write_ops = [
             CloudOp(
                 providers_by_index[i],
@@ -1134,8 +1313,30 @@ class Scheme(ABC):
             for i in touched
         ]
         self._run_phase(write_ops)
-        new_digests = tuple(self._digest(f) for f in fragments)
-        return replace(entry, modified=self.clock.now, digests=new_digests)
+        # Re-record digests for the rewritten keys only: their stores now hold
+        # the fresh buffers.  Untouched data fragments keep their old stored
+        # object — and their old digest, since size and boundaries are fixed.
+        # (Recording a never-stored buffer would let its id be recycled while
+        # the cache entry lives, breaking the identity-skip soundness.)
+        touched_set = set(touched)
+        new_digests = []
+        for i, f in enumerate(fragments):
+            if i in touched_set:
+                key = self._fragment_key(entry.path, i, entry.version)
+                new_digests.append(self._record_digest(key, f))
+            elif entry.digests is not None and i < len(entry.digests):
+                new_digests.append(entry.digests[i])
+            else:
+                new_digests.append(self._digest(f))
+        # The rewritten keys freed their old stored objects, so the stale
+        # payload entry must go; re-record only when every fragment was
+        # rewritten (otherwise some recorded ids would be dangling views).
+        self._payload_cache.discard(f"{entry.path}#v{entry.version}")
+        if isinstance(new_content, bytes) and len(touched_set) == codec.n:
+            self._payload_cache.record(
+                f"{entry.path}#v{entry.version}", fragments, new_content
+            )
+        return replace(entry, modified=self.clock.now, digests=tuple(new_digests))
 
     def _rank_providers_by_index(
         self, by_index: dict[int, str], size: int, codec: ErasureCodec
@@ -1182,7 +1383,7 @@ class Scheme(ABC):
             ops = [CloudOp(p, "put", self.container, key_base, blob) for p in targets]
         else:
             self._heal_before_touching(set(targets))
-            fragments = codec.encode(blob)
+            fragments = codec.encode_views(blob)
             ops = [
                 CloudOp(p, "put", self.container, f"{key_base}.{i}", fragments[i])
                 for i, p in enumerate(targets)
@@ -1378,6 +1579,8 @@ class Scheme(ABC):
         self._fetch_metadata(dirname(path))
         entry = self.namespace.get(path)
         data, _degraded = self._read_file(entry)
+        if not isinstance(data, bytes):
+            data = bytes(data)  # materialize zero-copy buffers at the API edge
         self.namespace.upsert(entry.touched())
         report = self._end_op("get", path)
         self.collector.add(report)
@@ -1416,6 +1619,7 @@ class Scheme(ABC):
         path = normalize_path(path)
         self._begin_op()
         entry = self.namespace.remove(path)
+        self._payload_cache.discard(f"{entry.path}#v{entry.version}")
         self._remove_file(entry)
         self._persist_metadata(dirname(path))
         report = self._end_op("remove", path)
@@ -1493,6 +1697,7 @@ class Scheme(ABC):
 
     def _remove_stale_fragments(self, old: FileEntry) -> None:
         """Garbage-collect the previous version's objects."""
+        self._payload_cache.discard(f"{old.path}#v{old.version}")
         codec = self._codec_for(old)
         self._remove_placements(
             old.path, list(old.placements), old.version, replicated=codec is None

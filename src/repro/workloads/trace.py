@@ -4,6 +4,23 @@ A trace is a list of :class:`TraceOp`; the :class:`TraceReplayer` executes it
 against any :class:`~repro.schemes.base.Scheme`, synthesising payload bytes
 deterministically (content identity is still verified end-to-end: reads check
 the exact bytes written earlier for that path/version).
+
+Payload synthesis is the replay data plane's hot path, so it is built for
+throughput (see ``docs/performance.md``): each path gets one cached
+pseudo-random block (one ``make_rng`` derivation per path instead of one per
+op), and a payload is that block tiled to size at memcpy speed with a
+16-byte header stamping the stream kind (put vs update patch), the
+version/sequence number and the size — which keeps every (path, version)
+payload distinct without per-op RNG work.
+
+Reads are verified against *recipes* — ``(version, size, applied patches)``
+per path — with three tiers, cheapest first: recently written payloads are
+retained in a byte-bounded LRU, and a zero-copy read that hands back the
+very object the replayer wrote is equal *by identity*; unpatched payloads
+otherwise get a streaming tiled comparison that never materialises the
+expected bytes; only patched files (rare in every workload here) regenerate
+the full expected content.  All three are exact-equality checks — strictly
+stronger than a digest comparison.
 """
 
 from __future__ import annotations
@@ -19,6 +36,24 @@ from repro.sim.rng import make_rng
 __all__ = ["TraceOp", "TraceReplayer"]
 
 _KINDS = frozenset({"put", "get", "update", "remove", "stat", "list"})
+
+#: tile size for synthesized payloads; one block is drawn per path and cached
+_PAYLOAD_BLOCK = 1 << 16
+
+#: max cached per-path payload blocks (LRU); bounds replay RSS at ~32 MB of
+#: block cache even for traces touching many thousands of paths
+_MAX_CACHED_BLOCKS = 512
+
+#: header markers namespacing the two payload streams — puts and update
+#: patches draw from disjoint content spaces whatever their counters are
+_PUT_MARKER = 0x00
+_PATCH_MARKER = 0x01
+
+#: byte budget for recently written payloads retained for identity-verified
+#: reads; evicted paths fall back to the streaming tiled comparison.  With
+#: zero-copy striping the simulated stores pin these same buffers anyway, so
+#: retention mostly costs dict entries, not duplicate payload memory.
+_RETAIN_BUDGET = 256 << 20
 
 
 @dataclass(frozen=True)
@@ -39,6 +74,16 @@ class TraceOp:
 
 
 @dataclass
+class _FileRecipe:
+    """How to regenerate a path's expected content without retaining it."""
+
+    version: int  # put version the base payload was drawn with
+    base_size: int  # size of that base payload
+    size: int  # current logical size after updates
+    patches: list[tuple[int, int, int]] = field(default_factory=list)  # (seq, off, len)
+
+
+@dataclass
 class TraceReplayer:
     """Drives a scheme with a trace, verifying data integrity as it goes.
 
@@ -49,12 +94,152 @@ class TraceReplayer:
 
     seed: int = 0
     verify: bool = True
-    _contents: dict[str, bytes] = field(default_factory=dict, repr=False)
+    _recipes: dict[str, _FileRecipe] = field(default_factory=dict, repr=False)
+    _update_seqs: dict[str, int] = field(default_factory=dict, repr=False)
+    _blocks: dict[str, bytes] = field(default_factory=dict, repr=False)
+    _retained: dict[str, tuple[int, bytes]] = field(default_factory=dict, repr=False)
+    _retained_bytes: int = field(default=0, repr=False)
+
+    # ---------------------------------------------------- payload synthesis
+    def _path_block(self, path: str) -> bytes:
+        """The path's cached pseudo-random tile (one RNG derivation, LRU)."""
+        blk = self._blocks.pop(path, None)
+        if blk is None:
+            rng = make_rng(self.seed, "payload-block", path)
+            blk = rng.integers(0, 256, size=_PAYLOAD_BLOCK, dtype=np.uint8).tobytes()
+            if len(self._blocks) >= _MAX_CACHED_BLOCKS:
+                self._blocks.pop(next(iter(self._blocks)))
+        self._blocks[path] = blk  # re-insert = move to MRU position
+        return blk
+
+    def _fill(self, path: str, marker: int, counter: int, size: int) -> bytes:
+        """Tile the path block to ``size`` and stamp a distinctness header.
+
+        Built as one ``b"".join`` over (stamped head, block tail, repeated
+        cached block, remainder slice) — a single allocation-and-copy pass
+        whose sources stay cache-hot, instead of a fill-then-``tobytes``
+        double pass over the payload."""
+        if size == 0:
+            return b""
+        block = self._path_block(path)
+        stamp = (
+            bytes([marker])
+            + counter.to_bytes(7, "little")
+            + size.to_bytes(8, "little")
+        )
+        n = min(size, len(stamp))
+        # XOR the stamp into the block head so it stays path-distinct too.
+        head = bytes(a ^ b for a, b in zip(stamp[:n], block[:n]))
+        if size <= _PAYLOAD_BLOCK:
+            return b"".join((head, block[n:size]))
+        full = size // _PAYLOAD_BLOCK
+        rem = size - full * _PAYLOAD_BLOCK
+        parts = [head, block[n:]]
+        parts.extend([block] * (full - 1))
+        if rem:
+            parts.append(block[:rem])
+        return b"".join(parts)
 
     def payload(self, path: str, version: int, size: int) -> bytes:
         """Deterministic pseudo-random payload for (path, version)."""
-        rng = make_rng(self.seed, "payload", path, version)
-        return rng.integers(0, 256, size=size, dtype=np.uint8).tobytes()
+        return self._fill(path, _PUT_MARKER, version, size)
+
+    def patch_payload(self, path: str, seq: int, size: int) -> bytes:
+        """Deterministic patch bytes for the path's ``seq``-th update.
+
+        Updates draw from their own marker-namespaced stream, so a patch can
+        never collide with any put payload no matter how many versions a
+        path accumulates (the old scheme derived patches from
+        ``put_version + 1000``, which collided after 999 puts).
+        """
+        return self._fill(path, _PATCH_MARKER, seq, size)
+
+    # ------------------------------------------------- expected content
+    def expected_size(self, path: str) -> int | None:
+        """Logical size the replayer believes ``path`` has (None if untracked)."""
+        rec = self._recipes.get(path)
+        return None if rec is None else rec.size
+
+    def expected_content(self, path: str) -> bytes | None:
+        """Regenerate the bytes the replayer expects ``path`` to contain."""
+        rec = self._recipes.get(path)
+        if rec is None:
+            return None
+        if not rec.patches:
+            return self.payload(path, rec.version, rec.base_size)
+        buf = bytearray(rec.size)  # growth gap between base and patch is zeros
+        buf[: rec.base_size] = self.payload(path, rec.version, rec.base_size)
+        for seq, offset, length in rec.patches:
+            buf[offset : offset + length] = self.patch_payload(path, seq, length)
+        return bytes(buf)
+
+    def _matches_tiled(self, path: str, marker: int, counter: int, data) -> bool:
+        """Compare ``data`` against the tiled synthesis without materializing
+        the expectation — streams block-sized equality checks instead."""
+        size = len(data)
+        if size == 0:
+            return True
+        arr = np.frombuffer(data, dtype=np.uint8)
+        block = np.frombuffer(self._path_block(path), dtype=np.uint8)
+        stamp = (
+            bytes([marker])
+            + counter.to_bytes(7, "little")
+            + size.to_bytes(8, "little")
+        )
+        n = min(size, len(stamp))
+        if not np.array_equal(
+            arr[:n] ^ block[:n], np.frombuffer(stamp[:n], dtype=np.uint8)
+        ):
+            return False
+        if size <= _PAYLOAD_BLOCK:
+            return np.array_equal(arr[n:], block[n:size])
+        if not np.array_equal(arr[n:_PAYLOAD_BLOCK], block[n:]):
+            return False
+        full = size // _PAYLOAD_BLOCK
+        if full > 1 and not np.array_equal(
+            arr[_PAYLOAD_BLOCK : full * _PAYLOAD_BLOCK].reshape(full - 1, _PAYLOAD_BLOCK),
+            np.broadcast_to(block, (full - 1, _PAYLOAD_BLOCK)),
+        ):
+            return False
+        rem = size - full * _PAYLOAD_BLOCK
+        if rem and not np.array_equal(arr[full * _PAYLOAD_BLOCK :], block[:rem]):
+            return False
+        return True
+
+    def _retain(self, path: str, version: int, payload: bytes) -> None:
+        """Keep the written payload for identity-verified reads (bounded LRU)."""
+        old = self._retained.pop(path, None)
+        if old is not None:
+            self._retained_bytes -= len(old[1])
+        if len(payload) > _RETAIN_BUDGET:
+            return
+        self._retained[path] = (version, payload)
+        self._retained_bytes += len(payload)
+        while self._retained_bytes > _RETAIN_BUDGET:
+            _, evicted = self._retained.pop(next(iter(self._retained)))
+            self._retained_bytes -= len(evicted)
+
+    def _drop_retained(self, path: str) -> None:
+        old = self._retained.pop(path, None)
+        if old is not None:
+            self._retained_bytes -= len(old[1])
+
+    def _matches_expected(self, path: str, data) -> bool:
+        """True when ``data`` equals the recipe's regenerated content."""
+        rec = self._recipes.get(path)
+        if rec is None:
+            return True  # untracked path: nothing to hold it against
+        if len(data) != rec.size:
+            return False
+        if rec.patches:
+            # Patched files are rare in every workload here; materialize.
+            return bytes(data) == self.expected_content(path)
+        kept = self._retained.get(path)
+        if kept is not None and kept[0] == rec.version and data is kept[1]:
+            # The scheme handed back the very object this replayer wrote
+            # (zero-copy read path end to end) — equal by identity.
+            return True
+        return self._matches_tiled(path, _PUT_MARKER, rec.version, data)
 
     def run(
         self,
@@ -85,31 +270,35 @@ class TraceReplayer:
                 version = versions.get(op.path, 0) + 1
                 versions[op.path] = version
                 data = self.payload(op.path, version, op.size)
-                self._contents[op.path] = data
+                self._recipes[op.path] = _FileRecipe(
+                    version=version, base_size=op.size, size=op.size
+                )
                 collector.add(scheme.put(op.path, data))
+                self._retain(op.path, version, data)
             elif op.kind == "get":
                 data, report = scheme.get(op.path)
                 collector.add(report)
-                if self.verify:
-                    expected = self._contents.get(op.path)
-                    if expected is not None and data != expected:
-                        raise AssertionError(
-                            f"content mismatch on {op.path} "
-                            f"(got {len(data)} bytes, expected {len(expected)})"
-                        )
+                if self.verify and not self._matches_expected(op.path, data):
+                    raise AssertionError(
+                        f"content mismatch on {op.path} "
+                        f"(got {len(data)} bytes, "
+                        f"expected {self.expected_size(op.path)})"
+                    )
             elif op.kind == "update":
-                patch = self.payload(op.path, versions.get(op.path, 1) + 1000, op.size)
+                seq = self._update_seqs.get(op.path, 0) + 1
+                self._update_seqs[op.path] = seq
+                patch = self.patch_payload(op.path, seq, op.size)
                 collector.add(scheme.update(op.path, op.offset, patch))
-                if op.path in self._contents:
-                    old = self._contents[op.path]
-                    new_size = max(len(old), op.offset + len(patch))
-                    buf = bytearray(new_size)
-                    buf[: len(old)] = old
-                    buf[op.offset : op.offset + len(patch)] = patch
-                    self._contents[op.path] = bytes(buf)
+                self._drop_retained(op.path)
+                rec = self._recipes.get(op.path)
+                if rec is not None:
+                    rec.patches.append((seq, op.offset, op.size))
+                    rec.size = max(rec.size, op.offset + op.size)
             elif op.kind == "remove":
                 collector.add(scheme.remove(op.path))
-                self._contents.pop(op.path, None)
+                self._recipes.pop(op.path, None)
+                self._update_seqs.pop(op.path, None)
+                self._drop_retained(op.path)
                 versions.pop(op.path, None)
             elif op.kind == "stat":
                 _entry, report = scheme.stat(op.path)

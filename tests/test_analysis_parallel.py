@@ -1,0 +1,73 @@
+"""The parallel experiment runner must reproduce the serial runner exactly.
+
+Sweep cells (one scheme/state/rep for Fig. 6, one provider for Fig. 5, one
+threshold for the ablation) are independent seeded runs, so fanning them out
+to worker processes and merging in input order has to be *byte-identical* to
+the serial loop — these tests enforce that invariant with float equality,
+not approx.
+"""
+
+from repro.analysis.ablations import run_threshold_sweep
+from repro.analysis.experiments import map_cells, run_fig5, run_fig6
+from repro.workloads.postmark import PostMarkConfig
+
+KB, MB = 1024, 1024 * 1024
+
+SMALL_PM = PostMarkConfig(file_pool=6, transactions=20, size_lo=1 * KB, size_hi=2 * MB)
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestMapCells:
+    def test_serial_and_parallel_preserve_order(self):
+        tasks = list(range(8))
+        assert map_cells(_square, tasks) == [x * x for x in tasks]
+        assert map_cells(_square, tasks, parallel=True, max_workers=3) == [
+            x * x for x in tasks
+        ]
+
+    def test_single_task_short_circuits(self):
+        assert map_cells(_square, [5], parallel=True) == [25]
+
+    def test_empty_tasks(self):
+        assert map_cells(_square, [], parallel=True) == []
+
+
+class TestFig5Parallel:
+    def test_identical_to_serial(self):
+        serial = run_fig5(seed=3, repeats=2)
+        par = run_fig5(seed=3, repeats=2, parallel=True, max_workers=2)
+        assert par.sizes == serial.sizes
+        assert par.read == serial.read
+        assert par.write == serial.write
+
+
+class TestFig6Parallel:
+    def test_identical_to_serial(self):
+        serial = run_fig6(seed=2, config=SMALL_PM)
+        par = run_fig6(seed=2, config=SMALL_PM, parallel=True, max_workers=2)
+        assert par.normal == serial.normal
+        assert par.outage == serial.outage
+        assert par.degraded_fraction == serial.degraded_fraction
+
+    def test_identical_with_repeats(self):
+        serial = run_fig6(seed=5, config=SMALL_PM, repeats=2)
+        par = run_fig6(seed=5, config=SMALL_PM, repeats=2, parallel=True)
+        assert par.normal == serial.normal
+        assert par.outage == serial.outage
+        assert par.degraded_fraction == serial.degraded_fraction
+
+
+class TestThresholdSweepParallel:
+    def test_identical_to_serial(self):
+        pm = PostMarkConfig(
+            file_pool=8, transactions=24, size_lo=1 * KB, size_hi=4 * MB
+        )
+        thresholds = [256 * KB, 1 * MB]
+        serial = run_threshold_sweep(thresholds, seed=1, pm=pm)
+        par = run_threshold_sweep(
+            thresholds, seed=1, pm=pm, parallel=True, max_workers=2
+        )
+        assert par == serial

@@ -103,3 +103,33 @@ class TestReconstruction:
         assert rs.decode(subset, 100) == data
         assert rs.decode(subset, 100) == data  # second call hits the cache
         assert len(rs._decode_cache) == 1
+
+
+class TestDecodeCacheBound:
+    def test_degraded_sweep_does_not_grow_cache_past_cap(self, payload):
+        """Arbitrary index subsets must not grow the decode cache unboundedly."""
+        rs = ReedSolomonCode(k=4, m=4)
+        data = payload(257)
+        frags = rs.encode(data)
+        subsets = list(combinations(range(rs.n), rs.k))
+        assert len(subsets) > rs._DECODE_CACHE_MAX
+        for subset in subsets:
+            assert rs.decode({i: frags[i] for i in subset}, len(data)) == data
+        assert len(rs._decode_cache) <= rs._DECODE_CACHE_MAX
+
+    def test_eviction_is_lru(self, payload):
+        rs = ReedSolomonCode(k=4, m=4)
+        data = payload(64)
+        frags = rs.encode(data)
+        subsets = [
+            s
+            for s in combinations(range(rs.n), rs.k)
+            if s != tuple(range(rs.k))  # systematic path never touches the cache
+        ]
+        first = subsets[0]
+        for subset in subsets:
+            rs.decode({i: frags[i] for i in subset}, len(data))
+            # Keep the first subset hot so eviction drops others, not it.
+            rs.decode({i: frags[i] for i in first}, len(data))
+        assert first in rs._decode_cache
+        assert len(rs._decode_cache) <= rs._DECODE_CACHE_MAX

@@ -123,3 +123,74 @@ class TestTotalElapsed:
     def test_is_max_finish(self):
         specs = [TransferSpec(0.0, 10.0), TransferSpec(2.0, 0.0)]
         assert total_elapsed(specs, 10.0) == pytest.approx(2.0)
+
+
+class TestEdgeCases:
+    """Timings locked before the data-plane optimisation work (exact values)."""
+
+    def test_simultaneous_nonzero_start_delays(self):
+        # Both activate together at t=0.3 and split the link evenly.
+        results = simulate_transfers(
+            [TransferSpec(0.3, 50.0, math.inf), TransferSpec(0.3, 50.0, math.inf)],
+            10.0,
+        )
+        for r in results:
+            assert r.start_time == 0.3
+            assert r.finish_time == pytest.approx(10.3)  # 50 B at 5 B/s
+
+    def test_near_simultaneous_starts_within_tick(self):
+        # Starts inside the same 1e-12 activation tolerance join one batch.
+        results = simulate_transfers(
+            [TransferSpec(0.1, 10.0, math.inf), TransferSpec(0.1 + 1e-13, 10.0, math.inf)],
+            10.0,
+        )
+        assert results[0].finish_time == pytest.approx(results[1].finish_time)
+        assert results[0].finish_time == pytest.approx(2.1)
+
+    def test_remote_cap_above_link_capacity(self):
+        # The remote could serve 1000 B/s but the access link is 10 B/s:
+        # the link is the binding constraint, exactly.
+        (res,) = simulate_transfers([TransferSpec(0.0, 100.0, 1000.0)], 10.0)
+        assert res.finish_time == pytest.approx(10.0)
+
+    def test_remote_cap_above_link_shares_like_uncapped(self):
+        # Caps above the fair share are inert: same timing as math.inf caps.
+        capped = simulate_transfers(
+            [TransferSpec(0.0, 60.0, 99.0), TransferSpec(0.0, 60.0, 250.0)], 12.0
+        )
+        uncapped = simulate_transfers(
+            [TransferSpec(0.0, 60.0), TransferSpec(0.0, 60.0)], 12.0
+        )
+        for a, b in zip(capped, uncapped):
+            assert a.finish_time == pytest.approx(b.finish_time)
+            assert a.finish_time == pytest.approx(10.0)  # 60 B at 6 B/s
+
+    def test_many_tiny_transfers_waterfill_fairness(self):
+        # 40 identical 1-byte transfers: each gets link/40, all drain together.
+        n, link = 40, 10.0
+        results = simulate_transfers([TransferSpec(0.0, 1.0) for _ in range(n)], link)
+        expected = n * 1.0 / link  # total bytes / link capacity
+        for r in results:
+            assert r.finish_time == pytest.approx(expected)
+
+    def test_many_tiny_transfers_with_one_elephant(self):
+        # Tiny flows finish first at the fair share; the elephant then takes
+        # the whole link.  Exact piecewise arithmetic locked in.
+        tiny = [TransferSpec(0.0, 1.0) for _ in range(9)]
+        elephant = TransferSpec(0.0, 91.0)
+        results = simulate_transfers(tiny + [elephant], 10.0)
+        # Phase 1: 10 flows at 1 B/s each; tinies drain at t=1 (9 bytes moved,
+        # elephant has 90 left).  Phase 2: elephant alone at 10 B/s -> t=10.
+        for r in results[:-1]:
+            assert r.finish_time == pytest.approx(1.0)
+        assert results[-1].finish_time == pytest.approx(10.0)
+
+    def test_tiny_transfers_capped_below_fair_share(self):
+        # Capped tinies leave surplus that uncapped peers absorb.
+        specs = [
+            TransferSpec(0.0, 2.0, 1.0),   # capped at 1 B/s -> drains at t=2
+            TransferSpec(0.0, 18.0, math.inf),  # gets 9 B/s while tiny active
+        ]
+        capped, big = simulate_transfers(specs, 10.0)
+        assert capped.finish_time == pytest.approx(2.0)
+        assert big.finish_time == pytest.approx(2.0)  # 18 B at 9 B/s

@@ -48,6 +48,28 @@ class TestReplayer:
         assert r1.payload("/a", 1, 64) != r1.payload("/a", 2, 64)
         assert r1.payload("/a", 1, 64) != r1.payload("/b", 1, 64)
 
+    def test_payloads_stable_across_block_cache_eviction(self):
+        from repro.workloads import trace as trace_mod
+
+        r = TraceReplayer(seed=9)
+        before = r.payload("/a", 1, 64)
+        for i in range(trace_mod._MAX_CACHED_BLOCKS + 8):
+            r.payload(f"/filler/{i}", 1, 8)
+        assert len(r._blocks) <= trace_mod._MAX_CACHED_BLOCKS
+        assert r.payload("/a", 1, 64) == before
+
+    def test_patch_stream_is_namespaced_from_put_stream(self):
+        """Patch payloads can never collide with put payloads, no matter how
+        many versions a path accumulates (the old derivation used
+        ``put_version + 1000``, which collided once a path saw >999 puts)."""
+        r = TraceReplayer(seed=9)
+        patches = {r.patch_payload("/a", seq, 64) for seq in range(1, 8)}
+        puts = {r.payload("/a", version, 64) for version in range(1, 2048)}
+        assert not patches & puts
+        # ...and the patch stream itself is deterministic and per-seq distinct.
+        assert r.patch_payload("/a", 1, 64) == TraceReplayer(seed=9).patch_payload("/a", 1, 64)
+        assert r.patch_payload("/a", 1, 64) != r.patch_payload("/a", 2, 64)
+
     def test_scheme_integrity_layer_catches_corruption(self, scheme, providers):
         """Provider-side corruption trips the scheme's digest verification
         (the HAIL-style layer) before the replayer even sees the data."""
@@ -95,7 +117,10 @@ class TestReplayer:
             ],
         )
         assert len(collector) == 3
-        assert len(replayer._contents["/d/a"]) == 110
+        assert replayer.expected_size("/d/a") == 110
+        # The regenerated expectation matches what the scheme actually serves.
+        data, _report = scheme.get("/d/a")
+        assert data == replayer.expected_content("/d/a")
 
     def test_versions_reset_after_remove(self, scheme):
         replayer = TraceReplayer(seed=1)
@@ -108,7 +133,8 @@ class TestReplayer:
                 TraceOp("get", "/d/a"),
             ],
         )
-        assert len(replayer._contents["/d/a"]) == 70
+        assert replayer.expected_size("/d/a") == 70
+        assert replayer.expected_size("/gone") is None
 
     def test_heal_between(self, scheme, providers, clock):
         from repro.cloud.outage import OutageWindow

@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Profile the trace-replay hot path with cProfile.
+
+Replays a scripted IA-style trace through a scheme on the Table II fleet
+under cProfile and prints the top-N functions by cumulative time — the
+first stop when replay throughput regresses (see ``docs/performance.md``
+for the workflow and the current hot-path inventory).
+
+Usage::
+
+    PYTHONPATH=src python tools/profile_replay.py                  # fig3-scale HyRD replay
+    PYTHONPATH=src python tools/profile_replay.py --months 3 --top 40
+    PYTHONPATH=src python tools/profile_replay.py --scheme racs --sort tottime
+    PYTHONPATH=src python tools/profile_replay.py --out replay.pstats  # for snakeviz etc.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+if str(ROOT / "src") not in sys.path:  # allow running without PYTHONPATH=src
+    sys.path.insert(0, str(ROOT / "src"))
+
+
+def build_replay(scheme_name: str, months: int, writes_per_month: int, seed: int):
+    """Construct (scheme, ops, replayer) for one scripted replay."""
+    from repro.analysis.experiments import run_fig3
+    from repro.cloud.provider import make_table2_cloud_of_clouds
+    from repro.schemes import DuraCloudScheme, HyrdScheme, RacsScheme
+    from repro.sim.clock import SimClock
+    from repro.workloads.filesizes import MediaLibraryFileSizes
+    from repro.workloads.ia_trace import IATraceConfig
+    from repro.workloads.trace import TraceReplayer
+
+    config = IATraceConfig(
+        months=months,
+        writes_per_month=writes_per_month,
+        sizes=MediaLibraryFileSizes(scale=0.125),
+    )
+    ops = run_fig3(seed=seed, config=config).ops
+    clock = SimClock()
+    providers = make_table2_cloud_of_clouds(clock)
+    builders = {
+        "hyrd": HyrdScheme,
+        "racs": RacsScheme,
+        "duracloud": DuraCloudScheme,
+    }
+    scheme = builders[scheme_name](list(providers.values()), clock)
+    return scheme, ops, TraceReplayer(seed=seed)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scheme",
+        choices=("hyrd", "racs", "duracloud"),
+        default="hyrd",
+        help="scheme to replay through (default hyrd)",
+    )
+    parser.add_argument(
+        "--months", type=int, default=12, help="IA trace months (default 12)"
+    )
+    parser.add_argument(
+        "--writes-per-month",
+        type=int,
+        default=12,
+        help="writes per month (default 12, the fig3 scale)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="run seed")
+    parser.add_argument(
+        "--top", type=int, default=25, help="rows of the profile table (default 25)"
+    )
+    parser.add_argument(
+        "--sort",
+        choices=("cumulative", "tottime", "ncalls"),
+        default="cumulative",
+        help="pstats sort key (default cumulative)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="also dump raw pstats data to PATH",
+    )
+    args = parser.parse_args(argv)
+
+    scheme, ops, replayer = build_replay(
+        args.scheme, args.months, args.writes_per_month, args.seed
+    )
+    print(
+        f"profile-replay: {len(ops)} ops through {args.scheme} "
+        f"(months={args.months}, writes/month={args.writes_per_month}, "
+        f"seed={args.seed})"
+    )
+
+    profiler = cProfile.Profile()
+    t0 = time.perf_counter()
+    profiler.enable()
+    replayer.run(scheme, ops)
+    profiler.disable()
+    wall = time.perf_counter() - t0
+    print(f"profile-replay: {wall:.3f}s wall ({len(ops) / wall:.1f} ops/s under profiler)")
+    print()
+
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    if args.out:
+        stats.dump_stats(args.out)
+        print(f"profile-replay: raw stats written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
