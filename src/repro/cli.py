@@ -9,6 +9,7 @@ Examples::
     python -m repro availability
     python -m repro lockin
     python -m repro threshold
+    python -m repro maintain --repair-rate 2
     python -m repro report --trace-out /tmp/storm.jsonl
     python -m repro report --from-trace /tmp/storm.jsonl
     python -m repro watch --cadence 30 --ts-out /tmp/storm-ts.jsonl
@@ -270,6 +271,44 @@ def _cmd_watch(args: argparse.Namespace) -> str:
     return render_dashboard(sampler.ts, color=color)
 
 
+def _cmd_maintain(args: argparse.Namespace) -> str:
+    from repro.maintenance.drill import run_maintenance_drill
+
+    out = run_maintenance_drill(
+        seed=args.seed,
+        repair_rate_bytes_per_s=(
+            args.repair_rate * MB if args.repair_rate > 0 else None
+        ),
+    )
+    s = out["summary"]
+    rows = [
+        ["Damage injected (sites)", s["injected"]],
+        ["Damage detected by scrub", s["detected"]],
+        ["Detection rate", f"{s['detection_rate']:.0%}"],
+        ["Scrub cycles", s["scrub_cycles"]],
+        ["Bytes digest-verified", f"{s['scrub_bytes_verified'] / MB:.1f} MB"],
+        ["Repairs completed", s["repairs_completed"]],
+        ["Repair traffic", f"{s['repair_bytes'] / MB:.1f} MB"],
+        ["Budget throttle events", s["repair_throttled"]],
+        ["Mean time to full redundancy", f"{s['mttr_mean_s']:.1f} s"],
+        ["Live migrations (decommission)", s["migrations_completed"]],
+        ["Migration traffic", f"{s['migration_bytes'] / MB:.1f} MB"],
+        ["Residual findings after repair", s["residual_findings"]],
+        ["Provider fully evacuated", "yes" if s["decommission_evacuated"] else "NO"],
+        ["All bytes read back intact", "yes" if s["read_back_ok"] else "NO"],
+        ["Foreground p95 latency", f"{s['foreground_p95_s']:.3f} s"],
+        ["Simulated time", f"{s['sim_time_s']:.0f} s"],
+    ]
+    return render_table(
+        ["Maintenance drill", "Value"],
+        rows,
+        title=(
+            "Maintenance plane — scrub / budgeted repair / live migration "
+            f"(seed {args.seed})"
+        ),
+    )
+
+
 def _cmd_lockin(args: argparse.Namespace) -> str:
     from repro.analysis.lockin import switching_cost_report
 
@@ -299,6 +338,7 @@ _COMMANDS = {
     "whatif": _cmd_whatif,
     "availability": _cmd_availability,
     "lockin": _cmd_lockin,
+    "maintain": _cmd_maintain,
     "report": _cmd_report,
     "watch": _cmd_watch,
 }
@@ -344,6 +384,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=60.0,
         help="watch: sampling cadence in simulated seconds (default 60)",
+    )
+    parser.add_argument(
+        "--repair-rate",
+        type=float,
+        default=4.0,
+        help="maintain: repair/migration budget in MB per simulated second "
+        "(0 = unthrottled, default 4)",
     )
     parser.add_argument(
         "--no-color",

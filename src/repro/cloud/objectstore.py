@@ -131,6 +131,39 @@ class ObjectStore:
             self._sorted_keys[container] = cached
         return list(cached)
 
+    # ------------------------------------------------------- fault injection
+    def tamper(self, container: str, key: str, data: bytes | memoryview) -> StoredObject:
+        """Silently replace ``key``'s bytes in place (bit-rot injection).
+
+        Unlike :meth:`put`, the version and timestamps are *not* bumped —
+        the provider has no idea the object changed, which is exactly what
+        makes the damage silent and detectable only by end-to-end digest
+        verification (the anti-entropy scrubber's job).  The size may shrink
+        (truncation is a tamper too); byte totals stay consistent.
+        """
+        objects = self._objects(container)
+        try:
+            prev = objects[key]
+        except KeyError:
+            raise NoSuchObject(container, key) from None
+        obj = StoredObject(
+            data=bytes(data),
+            created=prev.created,
+            modified=prev.modified,
+            version=prev.version,
+        )
+        objects[key] = obj
+        self._total_bytes += obj.size - prev.size
+        return obj
+
+    def vanish(self, container: str, key: str) -> StoredObject:
+        """Silently delete ``key`` (lost-object injection).
+
+        Same effect as :meth:`remove` but named for intent: nothing in the
+        provider's billing or metering trail records the disappearance.
+        """
+        return self.remove(container, key)
+
     # ------------------------------------------------------------- inventory
     def total_bytes(self) -> int:
         """Bytes currently stored across all containers (billing basis).

@@ -219,7 +219,9 @@ class SimulatedProvider:
         if self.metrics is not None:
             self._counter("provider_bytes_down_total").inc(obj.size)
         if self.faults is not None:
-            return self.faults.maybe_corrupt(obj.data, self.clock.now)
+            return self.faults.maybe_corrupt(
+                obj.data, self.clock.now, where=(container, key)
+            )
         return obj.data
 
     def put(self, container: str, key: str, data: bytes | memoryview) -> StoredObject:

@@ -310,6 +310,7 @@ class HyRDClient(Scheme):
         """
         profiles = self.evaluator.evaluate()
         self.dispatcher.refresh()
+        self._notify_policy_change()
         return profiles
 
     def refresh_health_ranking(self) -> dict[str, "object"]:
@@ -323,7 +324,18 @@ class HyRDClient(Scheme):
         """
         profiles = self.evaluator.rerank(self.health)
         self.dispatcher.refresh()
+        self._notify_policy_change()
         return profiles
+
+    def _notify_policy_change(self) -> None:
+        """Hand newly misplaced objects to the live migration engine.
+
+        Only when a maintenance plane is attached: detached, policy changes
+        keep their pre-maintenance behaviour (placements realign lazily via
+        explicit :meth:`migrate` calls).
+        """
+        if self.maintenance is not None:
+            self.maintenance.migration.sync_policy()
 
     def is_misplaced(self, path: str) -> bool:
         """Would the dispatcher place this file differently today?"""
@@ -348,19 +360,9 @@ class HyRDClient(Scheme):
         Reads the content through the normal (possibly degraded) path and
         re-puts it; the old version's objects are garbage-collected.  Cost
         is real: the reads and writes are charged like any other operation.
+        (Alias for the scheme-generic :meth:`~repro.schemes.base.Scheme.migrate_object`.)
         """
-        path = self.namespace.get(path).path  # normalises + existence check
-        self._begin_op()
-        entry = self.namespace.get(path)
-        data, _ = self._read_file(entry)
-        new_entry = self._put_file(path, data, entry)
-        self.namespace.upsert(new_entry)
-        if self._placement_changed(entry, new_entry):
-            self._remove_stale_fragments(entry)
-        self._persist_metadata(self.meta.dir_of(path))
-        report = self._end_op("migrate", path)
-        self.collector.add(report)
-        return report
+        return self.migrate_object(path)
 
     def decommission(self, provider: str) -> list[OpReport]:
         """Leave a vendor: exclude it from placement and evacuate its data.
@@ -370,9 +372,19 @@ class HyRDClient(Scheme):
         it.  The provider stays registered throughout, so its fragments can
         serve as migration *sources*; afterwards nothing references it and
         the account can be closed.  Returns the per-file migration reports.
+
+        With a maintenance plane attached the evacuation goes *live*
+        instead: affected paths are queued on the plane's migration engine,
+        which drains them incrementally under the maintenance bandwidth
+        budget (returns ``[]``; progress is visible in ``migration_*``
+        metrics and :meth:`MaintenancePlane.run_idle
+        <repro.maintenance.MaintenancePlane.run_idle>` drives it forward).
         """
         self.evaluator.exclude(provider)
         self.dispatcher.refresh()
+        if self.maintenance is not None:
+            self.maintenance.migration.plan_decommission(provider)
+            return []
         reports = []
         for path in self.namespace.paths():
             entry = self.namespace.get(path)

@@ -85,6 +85,17 @@ class WriteLog:
         """Drop a pending entry (e.g. the object was re-placed elsewhere)."""
         self._entries.pop((container, key), None)
 
+    def has_pending(self, container: str, key: str) -> bool:
+        """True when a logged mutation for (container, key) awaits replay.
+
+        Scrub-driven repair consults this before rewriting a key: replay
+        draining and a concurrent repair of the same key would otherwise race
+        to double-write (the repair could resurrect a state the log is about
+        to overwrite, or vice versa).  Keys with pending logged writes belong
+        to the consistency update, not to the repair queue.
+        """
+        return (container, key) in self._entries
+
     def drain(self) -> list[LoggedWrite]:
         """Remove and return all pending writes in log order."""
         entries = list(self._entries.values())

@@ -9,9 +9,17 @@ from repro.faults.profile import (
     Throttling,
     TransientErrorBurst,
 )
+from repro.faults.ledger import (
+    CorruptionLedger,
+    DamageEvent,
+    inject_bit_rot,
+    inject_loss,
+)
 from repro.faults.scenario import FaultScenario, make_fault_storm
 
 __all__ = [
+    "CorruptionLedger",
+    "DamageEvent",
     "FaultEffect",
     "FaultProfile",
     "FaultScenario",
@@ -20,5 +28,7 @@ __all__ = [
     "SilentCorruption",
     "Throttling",
     "TransientErrorBurst",
+    "inject_bit_rot",
+    "inject_loss",
     "make_fault_storm",
 ]

@@ -212,10 +212,20 @@ class FaultProfile:
         self.effects: list[FaultEffect] = list(effects or [])
         self.seed = seed
         self._rng: np.random.Generator = make_rng(seed, "fault-profile", "unbound")
+        self.provider_name = "unbound"
+        #: optional ground-truth sink (:class:`repro.faults.ledger.CorruptionLedger`);
+        #: when set, every corrupted Get is recorded as a ``served-corrupt`` event.
+        self.ledger = None
 
     def bind(self, provider_name: str) -> "FaultProfile":
         """Attach the profile to a provider (re-keys the RNG stream)."""
         self._rng = make_rng(self.seed, "fault-profile", provider_name)
+        self.provider_name = provider_name
+        return self
+
+    def attach_ledger(self, ledger) -> "FaultProfile":
+        """Record every corruption this profile inflicts into ``ledger``."""
+        self.ledger = ledger
         return self
 
     def add(self, effect: FaultEffect) -> "FaultProfile":
@@ -265,8 +275,15 @@ class FaultProfile:
                 merged.append((a, b))
         return merged
 
-    def maybe_corrupt(self, data: bytes, t: float) -> bytes:
-        """Possibly bit-flip ``data`` for a Get at ``t`` (never in place)."""
+    def maybe_corrupt(
+        self, data: bytes, t: float, where: tuple[str, str] | None = None
+    ) -> bytes:
+        """Possibly bit-flip ``data`` for a Get at ``t`` (never in place).
+
+        ``where`` is the (container, key) being served; when a ledger is
+        attached (:meth:`attach_ledger`) and the draw corrupts, the event is
+        recorded so detection can be scored against ground truth.
+        """
         rate = self.corruption_rate(t)
         if rate <= 0.0 or not data:
             return data
@@ -275,6 +292,12 @@ class FaultProfile:
         corrupted = bytearray(data)
         pos = int(self._rng.integers(0, len(corrupted)))
         corrupted[pos] ^= 1 + int(self._rng.integers(0, 255))
+        if self.ledger is not None and where is not None:
+            from repro.faults.ledger import DamageEvent
+
+            self.ledger.record(
+                DamageEvent(self.provider_name, where[0], where[1], "served-corrupt", t)
+            )
         return bytes(corrupted)
 
     def __bool__(self) -> bool:

@@ -1,0 +1,28 @@
+"""Maintenance plane: anti-entropy scrubbing, budgeted repair, live migration.
+
+The paper's availability machinery is *reactive*: degraded reads during an
+outage, a consistency update after it.  This package adds the proactive
+counterpart every production cloud-of-clouds deployment runs — a background
+control plane that finds silent damage before a client read does, restores
+full redundancy under a bandwidth budget, and re-stripes data when the
+cost/performance evaluator changes its mind about a provider.
+
+Entry point: :meth:`Scheme.attach_maintenance
+<repro.schemes.base.Scheme.attach_maintenance>`; see ``docs/maintenance.md``.
+"""
+
+from repro.maintenance.budget import TokenBucket
+from repro.maintenance.migration import LiveMigrationEngine
+from repro.maintenance.plane import MaintenanceConfig, MaintenancePlane
+from repro.maintenance.repair import ProactiveRepairScheduler, RepairTicket
+from repro.maintenance.scrubber import AntiEntropyScrubber
+
+__all__ = [
+    "AntiEntropyScrubber",
+    "LiveMigrationEngine",
+    "MaintenanceConfig",
+    "MaintenancePlane",
+    "ProactiveRepairScheduler",
+    "RepairTicket",
+    "TokenBucket",
+]

@@ -1,0 +1,83 @@
+"""Token-bucket bandwidth budget for background maintenance traffic.
+
+Repair and migration rewrites are real uploads competing with foreground
+writes for the client uplink; the repair-bandwidth trade-off literature
+(Prakash et al.) treats scheduled repair traffic as a first-class workload
+precisely because an unthrottled repair storm is its own availability
+incident.  The bucket refills at ``rate`` bytes per *simulated* second up to
+``capacity``; a maintenance cycle reserves an object's estimated traffic
+before touching it and settles the difference afterwards, so background
+bytes can never exceed the budget line for long — at most one object's
+estimation error, carried as debt against future refill.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TokenBucket"]
+
+
+class TokenBucket:
+    """Byte budget refilling on the sim clock; ``rate=None`` is unlimited."""
+
+    def __init__(self, rate: float | None, capacity: float, clock) -> None:
+        if rate is not None and rate <= 0:
+            raise ValueError(f"rate must be > 0 or None, got {rate}")
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        self.rate = rate
+        self.capacity = float(capacity)
+        self._clock = clock
+        #: may go negative: an under-estimated reservation is settled as debt
+        #: that future refill pays down before new work is admitted
+        self._level = float(capacity)
+        self._last_refill = clock.now
+
+    @property
+    def unlimited(self) -> bool:
+        return self.rate is None
+
+    def _refill(self) -> None:
+        if self.rate is None:
+            return
+        now = self._clock.now
+        if now > self._last_refill:
+            self._level = min(
+                self.capacity, self._level + (now - self._last_refill) * self.rate
+            )
+        self._last_refill = now
+
+    def available(self) -> float:
+        """Bytes currently spendable (refilled to the present instant)."""
+        if self.rate is None:
+            return float("inf")
+        self._refill()
+        return self._level
+
+    def try_take(self, n: float) -> bool:
+        """Reserve ``n`` bytes if the bucket covers them; False otherwise.
+
+        Oversized single objects (``n > capacity``) are admitted when the
+        bucket is full — otherwise they could never be repaired at all — and
+        leave the bucket in debt, which throttles everything after them.
+        """
+        if self.rate is None:
+            return True
+        self._refill()
+        if self._level >= n or (n > self.capacity and self._level >= self.capacity):
+            self._level -= n
+            return True
+        return False
+
+    def settle(self, reserved: float, actual: float) -> None:
+        """Replace a reservation with the traffic actually moved."""
+        if self.rate is None:
+            return
+        self._level = min(self.capacity, self._level + (reserved - actual))
+
+    def time_until(self, n: float) -> float:
+        """Sim seconds until ``n`` bytes are spendable (0 when they are)."""
+        if self.rate is None:
+            return 0.0
+        self._refill()
+        need = min(n, self.capacity) - self._level
+        return max(0.0, need / self.rate)

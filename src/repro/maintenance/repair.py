@@ -1,0 +1,184 @@
+"""Budgeted proactive repair: most-at-risk stripes first.
+
+Scrub findings (and post-outage suspicions from breaker edges) become
+tickets in a priority queue ordered by *remaining fault margin* — intact
+placements beyond the reconstruction minimum, so an erasure stripe one
+fragment from unreadable drains before a replica set that still has a spare
+copy.  Execution is metered by the maintenance
+:class:`~repro.maintenance.budget.TokenBucket`: each object's estimated
+rewrite traffic is reserved up front and settled against the bytes actually
+moved, so repair never starves foreground ops of uplink time.
+
+Repairs that cannot finish (provider still down, key owned by a pending
+write-log entry) are re-queued rather than dropped; repairs that *cannot
+succeed* (too few intact placements to reconstruct) count as failed and wait
+for the next scrub pass to re-discover the object once a provider returns.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.cloud.errors import CloudError
+from repro.schemes.base import DataUnavailable, ObjectAudit, RepairResult
+
+from repro.maintenance.budget import TokenBucket
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.schemes.base import Scheme
+
+__all__ = ["ProactiveRepairScheduler", "RepairTicket", "REPAIR_TIME_BOUNDS"]
+
+#: MTTR-friendly histogram bounds: detection-to-repair spans minutes, not
+#: the sub-second latencies the default op buckets resolve
+REPAIR_TIME_BOUNDS = (
+    1.0, 5.0, 15.0, 60.0, 300.0, 900.0, 3600.0, 4 * 3600.0, 24 * 3600.0,
+)
+
+
+@dataclass(order=True)
+class RepairTicket:
+    """One queued object; sorts by (margin, detection time, sequence)."""
+
+    margin: int
+    detected_at: float
+    seq: int
+    path: str = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class ProactiveRepairScheduler:
+    """Priority repair queue executed under the bandwidth budget."""
+
+    def __init__(self, scheme: "Scheme", budget: TokenBucket) -> None:
+        self.scheme = scheme
+        self.budget = budget
+        self._heap: list[RepairTicket] = []
+        self._queued: dict[str, RepairTicket] = {}
+        self._seq = itertools.count()
+        self.completed: list[RepairResult] = []
+
+    # ----------------------------------------------------------------- queue
+    def __len__(self) -> int:
+        return len(self._queued)
+
+    @property
+    def pending_paths(self) -> list[str]:
+        return sorted(self._queued)
+
+    def enqueue_audit(self, audit: ObjectAudit) -> bool:
+        """Queue an object whose audit shows damage; True when queued."""
+        if audit.ok:
+            return False
+        self.enqueue(audit.path, margin=audit.margin)
+        return True
+
+    def enqueue(self, path: str, *, margin: int = 0) -> None:
+        """Admit ``path`` (deduplicated; a riskier re-sighting re-sorts it)."""
+        existing = self._queued.get(path)
+        if existing is not None:
+            if margin >= existing.margin:
+                return  # already queued at equal or higher urgency
+            existing.cancelled = True  # lazy deletion; re-push sharper ticket
+            detected_at = existing.detected_at
+        else:
+            detected_at = self.scheme.clock.now
+            self.scheme.registry.counter("repair_enqueued_total").inc()
+        ticket = RepairTicket(
+            margin=margin,
+            detected_at=detected_at,
+            seq=next(self._seq),
+            path=path,
+        )
+        self._queued[path] = ticket
+        heapq.heappush(self._heap, ticket)
+        self._publish_depth()
+
+    def _publish_depth(self) -> None:
+        self.scheme.registry.gauge("repair_queue_depth").set(len(self._queued))
+
+    def _pop(self) -> RepairTicket | None:
+        while self._heap:
+            ticket = heapq.heappop(self._heap)
+            if ticket.cancelled:
+                continue
+            if self._queued.get(ticket.path) is ticket:
+                del self._queued[ticket.path]
+                return ticket
+        return None
+
+    def _estimate_bytes(self, path: str) -> int:
+        """Upper-bound estimate of one object's repair traffic.
+
+        The degraded read moves about the object's size down and the rewrite
+        at most the object's size up — 2x size is a safe reservation that
+        :meth:`TokenBucket.settle` trues up against the actual bytes.
+        """
+        entry = self.scheme.namespace.lookup(path)
+        if entry is None:
+            return 0
+        return 2 * entry.size
+
+    # ------------------------------------------------------------- execution
+    def run_cycle(self, max_objects: int | None = None) -> list[RepairResult]:
+        """Drain the queue while the budget admits work; returns results."""
+        registry = self.scheme.registry
+        results: list[RepairResult] = []
+        deferred: list[RepairTicket] = []
+        done = 0
+        while max_objects is None or done < max_objects:
+            if not self._queued:
+                break
+            head = self._heap[0]
+            estimate = self._estimate_bytes(
+                head.path if not head.cancelled else next(iter(self._queued))
+            )
+            if not self.budget.try_take(estimate):
+                registry.counter("repair_budget_throttled_total").inc()
+                break
+            ticket = self._pop()
+            if ticket is None:
+                self.budget.settle(estimate, 0)
+                break
+            done += 1
+            try:
+                result = self.scheme.repair_object(ticket.path)
+            except FileNotFoundError:
+                self.budget.settle(estimate, 0)
+                continue  # object removed since detection: nothing owed
+            except (DataUnavailable, CloudError):
+                self.budget.settle(estimate, 0)
+                registry.counter("repair_failed_total").inc()
+                continue  # next scrub pass re-discovers it when repairable
+            self.budget.settle(estimate, result.bytes_written)
+            registry.counter("repair_bytes_total").inc(result.bytes_written)
+            if result.skipped_pending:
+                registry.counter("repair_skipped_pending_total").inc(
+                    len(result.skipped_pending)
+                )
+            if result.complete:
+                registry.counter("repair_completed_total").inc()
+                registry.histogram(
+                    "repair_time_seconds", bounds=REPAIR_TIME_BOUNDS
+                ).observe(self.scheme.clock.now - ticket.detected_at)
+                self.completed.append(result)
+            else:
+                # Something remained unrepairable right now (provider down,
+                # write-log ownership): keep the original detection time so
+                # MTTR reflects the full exposure, and retry next cycle.
+                deferred.append(ticket)
+            results.append(result)
+        for ticket in deferred:
+            retry = RepairTicket(
+                margin=ticket.margin,
+                detected_at=ticket.detected_at,
+                seq=next(self._seq),
+                path=ticket.path,
+            )
+            self._queued[ticket.path] = retry
+            heapq.heappush(self._heap, retry)
+        self._publish_depth()
+        return results

@@ -284,6 +284,126 @@ _SPECS: tuple[MetricSpec, ...] = (
         "exhausted the probe retry policy (the provider scores inf).",
         labels=("provider",),
     ),
+    # ----------------------------------------------------- maintenance plane
+    MetricSpec(
+        "scrub_cycles_total",
+        "counter",
+        "Anti-entropy scrub cycles completed (one cycle audits up to the "
+        "configured number of namespace objects).",
+    ),
+    MetricSpec(
+        "scrub_objects_checked_total",
+        "counter",
+        "Objects audited by the scrubber (every placement probed or "
+        "digest-verified once per audit).",
+    ),
+    MetricSpec(
+        "scrub_bytes_verified_total",
+        "counter",
+        "Fragment/replica bytes fetched and digest-verified by deep scrub "
+        "passes (the scrub read amplification).",
+        unit="B",
+    ),
+    MetricSpec(
+        "scrub_findings_total",
+        "counter",
+        "Damaged or suspect placements discovered by scrub audits, by "
+        "finding kind (corrupt / missing / stale / unreachable).",
+        labels=("kind",),
+    ),
+    MetricSpec(
+        "repair_enqueued_total",
+        "counter",
+        "Objects admitted to the proactive repair queue (deduplicated: a "
+        "path already queued is re-prioritised, not double-counted).",
+    ),
+    MetricSpec(
+        "repair_completed_total",
+        "counter",
+        "Repair executions that restored every repairable placement of "
+        "their object.",
+    ),
+    MetricSpec(
+        "repair_failed_total",
+        "counter",
+        "Repair executions abandoned because too few intact placements "
+        "remained to reconstruct the payload (data loss until a provider "
+        "returns).",
+    ),
+    MetricSpec(
+        "repair_skipped_pending_total",
+        "counter",
+        "Placements a repair pass refused to rewrite because a write-log "
+        "entry for the same key awaits replay (consistency update owns it).",
+    ),
+    MetricSpec(
+        "repair_bytes_total",
+        "counter",
+        "Payload bytes uploaded by repair rewrites (budget-metered traffic).",
+        unit="B",
+    ),
+    MetricSpec(
+        "repair_queue_depth",
+        "gauge",
+        "Objects currently waiting in the priority repair queue "
+        "(most-at-risk stripes drain first).",
+    ),
+    MetricSpec(
+        "repair_time_seconds",
+        "histogram",
+        "Simulated time from damage detection to restored full redundancy, "
+        "observed once per completed repair (MTTR-to-full-redundancy).",
+        unit="s",
+    ),
+    MetricSpec(
+        "repair_budget_throttled_total",
+        "counter",
+        "Repair cycles cut short because the token-bucket bandwidth budget "
+        "could not cover the next object's estimated rewrite.",
+    ),
+    MetricSpec(
+        "migration_enqueued_total",
+        "counter",
+        "Objects queued for live migration (policy reclassification or "
+        "provider decommission).",
+    ),
+    MetricSpec(
+        "migration_completed_total",
+        "counter",
+        "Objects re-striped/re-replicated to their new placement by the "
+        "live migration engine.",
+    ),
+    MetricSpec(
+        "migration_failed_total",
+        "counter",
+        "Migration attempts that raised (object stays on its old, intact "
+        "placement and is re-queued).",
+    ),
+    MetricSpec(
+        "migration_bytes_total",
+        "counter",
+        "Payload bytes uploaded by live migrations (budget-metered traffic).",
+        unit="B",
+    ),
+    MetricSpec(
+        "migration_pending",
+        "gauge",
+        "Objects still waiting in the live-migration queue.",
+    ),
+    MetricSpec(
+        "slo_stripes_at_risk",
+        "gauge",
+        "Objects currently known to sit below full redundancy (at least one "
+        "placement damaged or unreachable), per the latest scrub knowledge.",
+    ),
+    MetricSpec(
+        "slo_durability_risk_seconds",
+        "gauge",
+        "Durability risk integral: sum over under-redundant objects of "
+        "(now - first seen below full redundancy) — stripes below full "
+        "redundancy weighted by exposure time.",
+        unit="s",
+    ),
 )
 
 #: name -> spec for every metric the runtime may emit.

@@ -31,6 +31,7 @@ import numpy as np
 from repro.cloud.errors import (
     CircuitOpenError,
     CloudError,
+    NoSuchObject,
     ProviderUnavailable,
     TransientProviderError,
 )
@@ -52,9 +53,12 @@ from repro.sim.rng import make_rng
 __all__ = [
     "CloudOp",
     "DataUnavailable",
+    "ObjectAudit",
     "OpOutcome",
     "PhaseResult",
+    "RepairResult",
     "Scheme",
+    "VerifyFinding",
 ]
 
 #: below this combined size, dispatching fragment hashing to threads costs
@@ -251,6 +255,92 @@ class PhaseResult:
         raise KeyError(f"no successful data outcome from {provider!r}")
 
 
+@dataclass(frozen=True)
+class VerifyFinding:
+    """One damaged/suspect placement discovered by :meth:`Scheme.verify_object`.
+
+    Kinds: ``corrupt`` (digest mismatch — bit rot and truncation alike),
+    ``missing`` (the provider answered but the object is gone), ``stale``
+    (a pending write-log entry supersedes the stored object; the consistency
+    update owns it, not the repair queue) and ``unreachable`` (the provider
+    could not be audited — counts against surviving redundancy, but there is
+    nothing to rewrite while it is down).
+    """
+
+    path: str
+    provider: str
+    key: str
+    kind: str  # "corrupt" | "missing" | "stale" | "unreachable"
+    fragment: int
+
+    _KINDS = frozenset({"corrupt", "missing", "stale", "unreachable"})
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise ValueError(f"unknown finding kind {self.kind!r}")
+
+    @property
+    def repairable(self) -> bool:
+        """Damage a repair pass can rewrite right now (corrupt/missing)."""
+        return self.kind in ("corrupt", "missing")
+
+    @property
+    def site(self) -> tuple[str, str]:
+        return (self.provider, self.key)
+
+
+@dataclass(frozen=True)
+class ObjectAudit:
+    """Result of auditing one object's placements.
+
+    ``intact`` placements passed verification; ``min_needed`` is how many
+    the scheme requires to reconstruct (``k`` for striped layouts, 1 for
+    replication), so ``intact - min_needed`` is the object's remaining
+    fault margin — the repair queue sorts ascending on it (most-at-risk
+    stripes first).
+    """
+
+    path: str
+    version: int
+    findings: tuple[VerifyFinding, ...]
+    checked: int
+    bytes_verified: int
+    total: int
+    min_needed: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    @property
+    def intact(self) -> int:
+        return self.total - len(self.findings)
+
+    @property
+    def margin(self) -> int:
+        """Surviving placements beyond the reconstruction minimum."""
+        return self.intact - self.min_needed
+
+    def by_kind(self, kind: str) -> tuple[VerifyFinding, ...]:
+        return tuple(f for f in self.findings if f.kind == kind)
+
+
+@dataclass(frozen=True)
+class RepairResult:
+    """Outcome of :meth:`Scheme.repair_object` for one object."""
+
+    path: str
+    repaired: tuple[VerifyFinding, ...]
+    skipped_pending: tuple[VerifyFinding, ...]
+    skipped_unreachable: tuple[VerifyFinding, ...]
+    bytes_written: int
+
+    @property
+    def complete(self) -> bool:
+        """True when nothing repairable remains outstanding."""
+        return not self.skipped_pending and not self.skipped_unreachable
+
+
 def _public_op(method):
     """Exception safety for public operations.
 
@@ -306,6 +396,13 @@ class Scheme(ABC):
     #: into the default :class:`~repro.core.resilience.RetryPolicy` when no
     #: explicit ``resilience`` config is given
     transient_retries: int = 2
+
+    #: repair discipline: False (default) rewrites only the damaged
+    #: placements in place; True re-puts the whole object as a new version
+    #: instead — for schemes whose per-placement objects cannot be rebuilt
+    #: in isolation (DepSky-CA bundles carry secret shares drawn fresh per
+    #: sharing, and shares from two sharings do not combine)
+    repair_by_rewrite: bool = False
 
     def __init__(
         self,
@@ -378,6 +475,10 @@ class Scheme(ABC):
         self._meta_sizes: dict[str, int] = {}
         #: optional :class:`repro.obs.slo.SloTracker` — see :meth:`attach_slo`
         self.slo = None
+        #: optional :class:`repro.maintenance.MaintenancePlane` — see
+        #: :meth:`attach_maintenance`; None (the default) keeps every
+        #: foreground path byte-identical to a maintenance-free build
+        self.maintenance = None
         self._init_containers()
 
     # ------------------------------------------------------------- lifecycle
@@ -621,7 +722,10 @@ class Scheme(ABC):
                     # Mutations the provider missed — outage or exhausted
                     # retries alike — are logged for the consistency update.
                     self._log_missed_mutation(op)
-                if breaker is not None:
+                # NoSuchObject is a definitive answer from a healthy
+                # provider (the scrubber probes keys that may be lost); it
+                # must not push the breaker toward open.
+                if breaker is not None and not isinstance(error, NoSuchObject):
                     before = breaker.state
                     breaker.record_failure(now)
                     self._note_breaker(breaker, before)
@@ -1725,6 +1829,267 @@ class Scheme(ABC):
     ) -> FileEntry:
         """Default partial-update: rewrite the whole object."""
         return self._put_file(entry.path, new_content, entry)
+
+    # ------------------------------------------------------- maintenance plane
+    def attach_maintenance(self, config=None, *, loop=None, ledger=None):
+        """Attach a background :class:`~repro.maintenance.MaintenancePlane`.
+
+        Builds the plane (anti-entropy scrubber, budgeted repair scheduler,
+        live migration engine) on this scheme's clock and starts its
+        recurring scrub schedule.  Detached (the default), every foreground
+        path is byte-identical to a maintenance-free build: no extra RNG
+        draws, no clock movement, no metric emissions — the same zero-cost
+        bar the tracer and SLO tracker meet.  Returns the plane.
+        """
+        from repro.maintenance.plane import MaintenancePlane
+
+        if self.maintenance is not None:
+            raise RuntimeError("a maintenance plane is already attached")
+        plane = MaintenancePlane(self, config=config, loop=loop, ledger=ledger)
+        self.maintenance = plane
+        plane.start()
+        return plane
+
+    def detach_maintenance(self):
+        """Stop and unhook the maintenance plane (returns it, or None)."""
+        plane = self.maintenance
+        if plane is not None:
+            plane.stop()
+            self.maintenance = None
+        return plane
+
+    def _placement_storage_key(self, entry: FileEntry, idx: int, replicated: bool) -> str:
+        return (
+            f"{entry.path}#v{entry.version}"
+            if replicated
+            else self._fragment_key(entry.path, idx, entry.version)
+        )
+
+    def _expected_digest(self, entry: FileEntry, idx: int) -> str | None:
+        if entry.digests and idx < len(entry.digests):
+            return entry.digests[idx]
+        return None
+
+    def _min_needed(self, entry: FileEntry, codec: ErasureCodec | None) -> int:
+        """Intact placements required to reconstruct ``entry``'s payload."""
+        return 1 if codec is None else codec.k
+
+    @_public_op
+    def verify_object(self, path: str, deep: bool = True) -> ObjectAudit:
+        """Audit every placement of ``path`` (one ``scrub`` op).
+
+        Deep verification fetches each fragment/replica and checks it against
+        the write-time digest, so silent corruption and truncation surface as
+        ``corrupt`` findings; ``deep=False`` only probes existence (``head``),
+        which is cheaper but blind to bit rot.  Placements on unavailable
+        providers are reported ``unreachable``; keys superseded by a pending
+        write-log entry are ``stale`` (the consistency update owns them).
+        All traffic is charged like any other operation.
+        """
+        path = normalize_path(path)
+        self._begin_op()
+        entry = self.namespace.get(path)
+        audit = self._audit_entry(entry, deep)
+        report = self._end_op("scrub", path)
+        self.collector.add(report)
+        return audit
+
+    def _audit_entry(self, entry: FileEntry, deep: bool) -> ObjectAudit:
+        """Audit one entry inside the current op accounting."""
+        codec = self._codec_for(entry)
+        replicated = codec is None
+        min_needed = self._min_needed(entry, codec)
+        findings: list[VerifyFinding] = []
+        probe_sites: list[tuple[str, int, str]] = []
+        for prov, idx in entry.placements:
+            key = self._placement_storage_key(entry, idx, replicated)
+            if self._is_stale(prov, self.container, key):
+                findings.append(VerifyFinding(entry.path, prov, key, "stale", idx))
+            elif not self._provider_usable(prov):
+                findings.append(
+                    VerifyFinding(entry.path, prov, key, "unreachable", idx)
+                )
+            else:
+                probe_sites.append((prov, idx, key))
+        checked = 0
+        bytes_verified = 0
+        if probe_sites:
+            kind = "get" if deep else "head"
+            phase = self._run_phase(
+                [CloudOp(prov, kind, self.container, key) for prov, _, key in probe_sites]
+            )
+            for (prov, idx, key), outcome in zip(probe_sites, phase.outcomes):
+                checked += 1
+                if not outcome.ok:
+                    found = (
+                        "missing"
+                        if isinstance(outcome.error, NoSuchObject)
+                        else "unreachable"
+                    )
+                    findings.append(VerifyFinding(entry.path, prov, key, found, idx))
+                    continue
+                if deep and outcome.data is not None:
+                    bytes_verified += len(outcome.data)
+                    expected = self._expected_digest(entry, idx)
+                    if expected is not None and not self._verify_digest(
+                        key, outcome.data, expected
+                    ):
+                        findings.append(
+                            VerifyFinding(entry.path, prov, key, "corrupt", idx)
+                        )
+        if findings:
+            self._mark_degraded()
+        return ObjectAudit(
+            path=entry.path,
+            version=entry.version,
+            findings=tuple(findings),
+            checked=checked,
+            bytes_verified=bytes_verified,
+            total=len(entry.placements),
+            min_needed=min_needed,
+        )
+
+    @_public_op
+    def repair_object(self, path: str, audit: ObjectAudit | None = None) -> RepairResult:
+        """Restore full redundancy for ``path`` (one ``repair`` op).
+
+        Re-reads the object through the scheme's own degraded-read path
+        (digest-verified, so persistent corruption cannot poison the source),
+        then rewrites only the damaged placements — a replica re-put, or a
+        re-encode of exactly the affected fragments.  A stale ``audit`` (from
+        an earlier scrub of a different version) is re-taken in place.
+
+        Two classes of placement are deliberately *skipped*:
+
+        - keys with a pending write-log entry — replay draining and a repair
+          of the same key would race to double-write, so the consistency
+          update keeps ownership (see :meth:`WriteLog.has_pending
+          <repro.core.recovery.WriteLog.has_pending>`);
+        - placements on currently unreachable providers — nothing can be
+          written there; the scheduler re-queues the object.
+
+        Raises :class:`DataUnavailable` when too few intact placements
+        remain to reconstruct the payload (genuine data loss).
+        """
+        path = normalize_path(path)
+        self._begin_op()
+        entry = self.namespace.get(path)
+        if audit is None or audit.version != entry.version:
+            audit = self._audit_entry(entry, deep=True)
+        codec = self._codec_for(entry)
+        replicated = codec is None
+        targets: list[VerifyFinding] = []
+        skipped_pending: list[VerifyFinding] = []
+        skipped_unreachable: list[VerifyFinding] = []
+        for f in audit.findings:
+            if f.kind == "stale":
+                skipped_pending.append(f)
+                continue
+            if f.kind == "unreachable" or not self._provider_usable(f.provider):
+                skipped_unreachable.append(f)
+                continue
+            # Re-check at repair time: a foreground write may have landed in
+            # the provider's log between the scrub and this repair.
+            if self._write_logs[f.provider].has_pending(self.container, f.key):
+                skipped_pending.append(f)
+                continue
+            targets.append(f)
+        bytes_written = 0
+        if targets and self.repair_by_rewrite:
+            data, _degraded = self._read_file(entry)
+            up_before = self._acc.bytes_up
+            new_entry = self._put_file(entry.path, bytes(data), entry)
+            self.namespace.upsert(new_entry)
+            if self._placement_changed(entry, new_entry):
+                self._remove_stale_fragments(entry)
+            self._persist_metadata(dirname(path))
+            bytes_written = self._acc.bytes_up - up_before
+            repaired = tuple(targets)
+            # The rewrite supersedes the old version wholesale, pending
+            # write-log entries for it included.
+            skipped_pending = []
+            skipped_unreachable = []
+        elif targets:
+            data, _degraded = self._read_file(entry)
+            if replicated:
+                ops = [
+                    CloudOp(f.provider, "put", self.container, f.key, data)
+                    for f in targets
+                ]
+                phase = self._run_phase(ops)
+                bytes_written += phase.bytes_up
+                for f, outcome in zip(targets, phase.outcomes):
+                    if outcome.ok:
+                        self._record_digest(f.key, data)
+            else:
+                with self.tracer.span(
+                    "codec.encode", codec=type(codec).__name__, size=entry.size
+                ):
+                    fragments = codec.encode_views(data)
+                ops = [
+                    CloudOp(
+                        f.provider,
+                        "put",
+                        self.container,
+                        f.key,
+                        fragments[f.fragment],
+                    )
+                    for f in targets
+                ]
+                phase = self._run_phase(ops)
+                bytes_written += phase.bytes_up
+                # The rewritten keys rebound to fresh buffers: the stale
+                # payload-cache entry must go before ids can be recycled.
+                self._payload_cache.discard(f"{entry.path}#v{entry.version}")
+                for f, outcome in zip(targets, phase.outcomes):
+                    if outcome.ok:
+                        self._record_digest(f.key, fragments[f.fragment])
+            # A put that failed mid-repair was write-logged by the phase and
+            # will land via the consistency update; it still counts as owed
+            # to that path, not to this repair.
+            repaired = tuple(
+                f for f, o in zip(targets, phase.outcomes) if o.ok
+            )
+            skipped_unreachable.extend(
+                f for f, o in zip(targets, phase.outcomes) if not o.ok
+            )
+        else:
+            repaired = ()
+        report = self._end_op("repair", path)
+        self.collector.add(report)
+        return RepairResult(
+            path=path,
+            repaired=repaired,
+            skipped_pending=tuple(skipped_pending),
+            skipped_unreachable=tuple(skipped_unreachable),
+            bytes_written=bytes_written,
+        )
+
+    @_public_op
+    def migrate_object(self, path: str) -> OpReport:
+        """Re-place one object under the scheme's *current* placement policy.
+
+        Read through the old placement (degraded reconstruction if needed),
+        write through :meth:`_put_file` — which consults whatever placement
+        the scheme would choose for a fresh write today — then garbage-collect
+        the old fragments.  Atomic per key: the namespace flips to the new
+        entry only after the new placement is fully written, so a crash
+        mid-migration leaves the old (intact) version authoritative.
+        """
+        path = normalize_path(path)
+        self._begin_op()
+        entry = self.namespace.get(path)
+        data, _degraded = self._read_file(entry)
+        if not isinstance(data, bytes):
+            data = bytes(data)
+        new_entry = self._put_file(path, data, entry)
+        self.namespace.upsert(new_entry)
+        if self._placement_changed(entry, new_entry):
+            self._remove_stale_fragments(entry)
+        self._persist_metadata(dirname(path))
+        report = self._end_op("migrate", path)
+        self.collector.add(report)
+        return report
 
     # --------------------------------------------------------------- queries
     def stored_bytes_by_provider(self) -> dict[str, int]:

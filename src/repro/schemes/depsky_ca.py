@@ -39,6 +39,12 @@ class DepSkyCAScheme(Scheme):
 
     name = "depsky-ca"
 
+    # A bundle cannot be rebuilt in isolation: its key share comes from one
+    # specific sharing, and shares from two different sharings of the same
+    # key do not combine.  Repair re-puts the whole object (fresh encrypt +
+    # share + encode) instead of patching single placements.
+    repair_by_rewrite = True
+
     def __init__(
         self,
         providers: list[SimulatedProvider],
@@ -87,6 +93,14 @@ class DepSkyCAScheme(Scheme):
     def _codec_for(self, entry: FileEntry) -> ErasureCodec | None:
         # Bundles are bespoke objects; generic helpers must not re-frame them.
         return None
+
+    def _placement_storage_key(self, entry: FileEntry, idx: int, replicated: bool) -> str:
+        # Bundles live under fragment keys even though _codec_for is None.
+        return self._fragment_key(entry.path, idx, entry.version)
+
+    def _min_needed(self, entry: FileEntry, codec: ErasureCodec | None) -> int:
+        # f+1 bundles reconstruct: k RS fragments and k key shares each.
+        return self.f + 1
 
     def _put_file(self, path: str, data: bytes, prev: FileEntry | None) -> FileEntry:
         version = prev.version + 1 if prev else 1

@@ -1,9 +1,9 @@
 """A small discrete-event loop.
 
-Used by the outage scheduler and the recovery drill example; the bandwidth
-model has its own specialised event loop in :mod:`repro.sim.bandwidth` for
-speed.  Events scheduled for the same instant fire in scheduling order
-(stable), which keeps traces deterministic.
+Used by the outage scheduler, the recovery drill example and the maintenance
+plane; the bandwidth model has its own specialised event loop in
+:mod:`repro.sim.bandwidth` for speed.  Events scheduled for the same instant
+fire in scheduling order (stable), which keeps traces deterministic.
 """
 
 from __future__ import annotations
@@ -15,6 +15,45 @@ from typing import Callable
 from repro.sim.clock import SimClock
 
 
+class RecurringEvent:
+    """Cancellable handle for a :meth:`EventLoop.schedule_every` registration.
+
+    Reschedules itself ``interval`` seconds after each firing; ``cancel()``
+    stops the cycle (including a pending occurrence).
+    """
+
+    def __init__(
+        self, loop: "EventLoop", interval: float, callback: Callable[[], None]
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        self._loop = loop
+        self.interval = float(interval)
+        self._callback = callback
+        self._handle: int | None = None
+        self.active = True
+        self.fired = 0
+
+    def _arm(self, at: float) -> None:
+        self._handle = self._loop.schedule(at, self._fire)
+
+    def _fire(self) -> None:
+        self._handle = None
+        if not self.active:
+            return
+        self._callback()
+        self.fired += 1
+        if self.active:  # the callback itself may have cancelled us
+            self._arm(self._loop.clock.now + self.interval)
+
+    def cancel(self) -> None:
+        """Stop recurring; safe to call more than once."""
+        self.active = False
+        if self._handle is not None:
+            self._loop.cancel(self._handle)
+            self._handle = None
+
+
 class EventLoop:
     """Priority-queue event loop driving a :class:`SimClock`."""
 
@@ -23,6 +62,7 @@ class EventLoop:
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._counter = itertools.count()
         self._cancelled: set[int] = set()
+        self._pending: set[int] = set()
 
     def schedule(self, at: float, callback: Callable[[], None]) -> int:
         """Schedule ``callback`` at absolute time ``at``; returns a handle."""
@@ -32,6 +72,7 @@ class EventLoop:
             )
         handle = next(self._counter)
         heapq.heappush(self._heap, (float(at), handle, callback))
+        self._pending.add(handle)
         return handle
 
     def schedule_in(self, delay: float, callback: Callable[[], None]) -> int:
@@ -40,9 +81,29 @@ class EventLoop:
             raise ValueError(f"delay must be >= 0, got {delay}")
         return self.schedule(self.clock.now + delay, callback)
 
+    def schedule_every(
+        self,
+        interval: float,
+        callback: Callable[[], None],
+        *,
+        first: float | None = None,
+    ) -> RecurringEvent:
+        """Schedule ``callback`` every ``interval`` seconds.
+
+        The first occurrence fires at ``first`` (absolute time) when given,
+        otherwise ``interval`` seconds from now.  Returns a
+        :class:`RecurringEvent` whose ``cancel()`` stops the cycle.
+        """
+        event = RecurringEvent(self, interval, callback)
+        event._arm(self.clock.now + interval if first is None else first)
+        return event
+
     def cancel(self, handle: int) -> None:
         """Cancel a previously scheduled event (no-op if already fired)."""
-        self._cancelled.add(handle)
+        # Only remember handles that are actually still pending: cancelling a
+        # fired handle must not grow ``_cancelled`` forever.
+        if handle in self._pending:
+            self._cancelled.add(handle)
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -51,10 +112,16 @@ class EventLoop:
         """Fire the next pending event; returns False when the queue is empty."""
         while self._heap:
             at, handle, callback = heapq.heappop(self._heap)
+            self._pending.discard(handle)
             if handle in self._cancelled:
                 self._cancelled.discard(handle)
                 continue
-            self.clock.advance_to(at)
+            # The clock may already sit past ``at`` when it is shared with
+            # foreground traffic (the maintenance plane pumps due events after
+            # each foreground op); fire late events at the current instant
+            # rather than trying to move time backwards.
+            if at > self.clock.now:
+                self.clock.advance_to(at)
             callback()
             return True
         return False

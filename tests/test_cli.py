@@ -10,7 +10,8 @@ class TestParser:
         parser = build_parser()
         for cmd in ("table1", "table2", "fig3", "fig4", "fig5", "fig6",
                     "threshold", "replication", "codec", "degraded",
-                    "whatif", "availability", "lockin", "report"):
+                    "whatif", "availability", "lockin", "report",
+                    "maintain"):
             args = parser.parse_args([cmd])
             assert args.command == cmd
             assert args.seed == 0

@@ -79,7 +79,20 @@ def emitted_names():
     ).bind("aliyun")
     for i in range(8):
         scheme.get(f"/h/f{i}")
-    return names | scheme.registry.emitted_names()
+    names |= scheme.registry.emitted_names()
+
+    # The maintenance drill lights up the scrub/repair/migration metrics;
+    # a deliberately tight budget exercises the throttle counter too.
+    from repro.maintenance.drill import run_maintenance_drill
+
+    drill = run_maintenance_drill(
+        seed=0,
+        files=9,
+        read_rounds=1,
+        repair_rate_bytes_per_s=256 * 1024,
+        repair_burst_bytes=512 * 1024,
+    )
+    return names | drill["scheme"].registry.emitted_names()
 
 
 def test_runtime_emits_only_documented_names(emitted_names):
@@ -101,6 +114,13 @@ def test_catalog_is_exercised(emitted_names):
         # the storm heals between ops and a heal replay closes a tripped
         # breaker directly, so the half-open probe path stays cold here
         "breaker_half_open",
+        # maintenance failure paths: the drill fleet stays healthy, so no
+        # repair/migration attempt ever raises and no scrubbed key overlaps
+        # a pending write-log entry (unit-covered in
+        # tests/test_maintenance_plane.py)
+        "repair_failed_total",
+        "repair_skipped_pending_total",
+        "migration_failed_total",
     }
     unexercised = set(METRIC_CATALOG) - emitted_names - allowed_unexercised
     assert not unexercised, f"catalog entries never emitted: {unexercised}"

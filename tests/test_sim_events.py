@@ -76,3 +76,81 @@ class TestEventLoop:
 
     def test_step_on_empty_returns_false(self):
         assert EventLoop().step() is False
+
+    def test_cancel_fired_handle_does_not_accumulate(self):
+        # Cancelling a handle that already fired (or never existed) must not
+        # grow the tombstone set — only genuinely pending handles count.
+        loop = EventLoop()
+        handle = loop.schedule(1.0, lambda: None)
+        loop.run()
+        loop.cancel(handle)
+        loop.cancel(999_999)
+        assert loop._cancelled == set()
+
+    def test_cancelled_tombstone_cleared_after_skip(self):
+        loop = EventLoop()
+        handle = loop.schedule(1.0, lambda: None)
+        loop.schedule(2.0, lambda: None)
+        loop.cancel(handle)
+        loop.run()
+        assert loop._cancelled == set()
+        assert loop._pending == set()
+
+    def test_late_event_fires_at_current_instant(self):
+        # When the clock is shared with foreground traffic it can move past a
+        # due event between steps; the event fires late, without rewinding.
+        clock = SimClock()
+        loop = EventLoop(clock)
+        fired = []
+        loop.schedule(1.0, lambda: fired.append(clock.now))
+        clock.advance_to(5.0)
+        loop.run()
+        assert fired == [5.0]
+
+
+class TestScheduleEvery:
+    def test_recurring_fires_on_interval(self):
+        loop = EventLoop()
+        fired = []
+        event = loop.schedule_every(10.0, lambda: fired.append(loop.clock.now))
+        loop.run_until(35.0)
+        assert fired == [10.0, 20.0, 30.0]
+        assert event.fired == 3
+        assert event.active
+
+    def test_first_occurrence_override(self):
+        loop = EventLoop(SimClock(100.0))
+        fired = []
+        loop.schedule_every(10.0, lambda: fired.append(loop.clock.now), first=102.0)
+        loop.run_until(125.0)
+        assert fired == [102.0, 112.0, 122.0]
+
+    def test_cancel_stops_recurrence(self):
+        loop = EventLoop()
+        fired = []
+        event = loop.schedule_every(10.0, lambda: fired.append(loop.clock.now))
+        loop.run_until(15.0)
+        event.cancel()
+        event.cancel()  # idempotent
+        loop.run_until(100.0)
+        assert fired == [10.0]
+        assert not event.active
+        assert len(loop) == 0
+
+    def test_callback_can_cancel_itself(self):
+        loop = EventLoop()
+        fired = []
+
+        def tick():
+            fired.append(loop.clock.now)
+            if len(fired) == 2:
+                event.cancel()
+
+        event = loop.schedule_every(10.0, tick)
+        loop.run_until(100.0)
+        assert fired == [10.0, 20.0]
+
+    def test_nonpositive_interval_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(ValueError):
+            loop.schedule_every(0.0, lambda: None)

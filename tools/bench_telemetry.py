@@ -18,7 +18,12 @@ allows" north star is pushed against:
   *simulated* outputs (op count, mean access latency, simulated elapsed
   time) are deterministic and gated like every other deterministic value;
   the measured ops/sec and the speedup over the pre-overhaul baseline are
-  recorded informationally (host-dependent, never gated).
+  recorded informationally (host-dependent, never gated);
+- **maintenance** — the seeded maintenance drill (scrub / budgeted repair /
+  live migration against a ground-truth corruption ledger).  Every recorded
+  field is simulated-time arithmetic — detection rate, repair counts and
+  bytes, mean time to full redundancy, foreground p95 — so all of it sits
+  under ``deterministic`` and is drift-gated.
 
 Everything under ``deterministic`` is simulated-time arithmetic from seeded
 runs: regenerating with the same seed on the same code reproduces it bit for
@@ -47,7 +52,7 @@ ROOT = Path(__file__).resolve().parent.parent
 if str(ROOT / "src") not in sys.path:  # allow running without PYTHONPATH=src
     sys.path.insert(0, str(ROOT / "src"))
 
-SCHEMA = "repro-bench-telemetry/2"
+SCHEMA = "repro-bench-telemetry/3"
 
 #: fig3-scale replay throughput measured at the pre-overhaul commit — kept
 #: in the telemetry file so the recorded speedup stays anchored to the same
@@ -261,6 +266,43 @@ def run_replay_throughput(seed: int) -> tuple[dict, dict]:
     return deterministic, informational
 
 
+#: deterministic numeric fields every maintenance facet must carry — shared
+#: between collection and schema_check so the two cannot drift apart
+MAINTENANCE_FIELDS = (
+    "injected",
+    "detected",
+    "detection_rate",
+    "scrub_cycles",
+    "scrub_bytes_verified",
+    "repairs_completed",
+    "repair_bytes",
+    "repair_throttled",
+    "mttr_mean_s",
+    "migrations_completed",
+    "migration_bytes",
+    "residual_findings",
+    "foreground_p95_s",
+    "foreground_mean_s",
+    "sim_time_s",
+)
+
+
+def run_maintenance(seed: int) -> dict:
+    """The default maintenance drill's simulated outputs — all deterministic.
+
+    Booleans (``read_back_ok``, ``decommission_evacuated``) are asserted here
+    rather than recorded: ``numeric_leaves`` skips bools, so committing them
+    would be dead weight, and a drill that fails either invariant should fail
+    loudly at generation time, not drift quietly past the gate.
+    """
+    from repro.maintenance.drill import run_maintenance_drill
+
+    summary = run_maintenance_drill(seed=seed)["summary"]
+    if not (summary["read_back_ok"] and summary["decommission_evacuated"]):
+        raise AssertionError(f"maintenance drill invariants failed: {summary}")
+    return {"drill": {field: summary[field] for field in MAINTENANCE_FIELDS}}
+
+
 def build_payload(seed: int, date: str) -> dict:
     replay_det, replay_info = run_replay_throughput(seed)
     return {
@@ -274,6 +316,7 @@ def build_payload(seed: int, date: str) -> dict:
             },
             "availability": run_availability(),
             "replay_throughput": replay_det,
+            "maintenance": run_maintenance(seed),
         },
         "informational": {
             "codec_throughput": run_codec_throughput(seed),
@@ -383,6 +426,16 @@ def schema_check(payload: dict, path: Path) -> list[str]:
                     isinstance(entry, dict)
                     and isinstance(entry.get(field), (int, float)),
                     f"replay_throughput.{name}.{field} missing",
+                )
+        maint = det.get("maintenance")
+        need(isinstance(maint, dict) and maint, "maintenance section missing")
+        for name, entry in (maint or {}).items():
+            for field in MAINTENANCE_FIELDS:
+                need(
+                    isinstance(entry, dict)
+                    and isinstance(entry.get(field), (int, float))
+                    and not isinstance(entry.get(field), bool),
+                    f"maintenance.{name}.{field} missing",
                 )
     info = payload.get("informational")
     need(isinstance(info, dict), "informational section missing")
