@@ -1,0 +1,45 @@
+"""Chaos campaigns: seeded fault storms, client crashes, hard invariants.
+
+The replay and availability experiments measure *performance under
+faults*; this package interrogates *correctness under faults*.  A campaign
+composes, per episode, a random-but-seeded fault storm, network partition
+plan and client-crash schedule over a mixed workload, then settles the
+world and machine-verifies five system-wide invariants (no acknowledged
+write lost, no torn stripe readable, journal drained, write logs
+converged, namespace/provider audit clean).  Same seed, same report —
+byte for byte.
+
+Entry points: :func:`run_episode`, :func:`run_campaign`, the ``repro
+chaos`` CLI command, and :func:`run_crash_drill` (a deterministic
+single-crash recovery walkthrough used by docs and the metrics fixture).
+See ``docs/chaos.md``.
+"""
+
+from repro.chaos.engine import (
+    CHAOS_SCHEMES,
+    EpisodeResult,
+    chaos_resilience,
+    run_campaign,
+    run_episode,
+)
+from repro.chaos.invariants import INVARIANTS, run_all
+
+__all__ = [
+    "CHAOS_SCHEMES",
+    "EpisodeResult",
+    "INVARIANTS",
+    "chaos_resilience",
+    "run_campaign",
+    "run_crash_drill",
+    "run_episode",
+    "run_all",
+]
+
+
+def __getattr__(name: str):
+    # drill imports schemes lazily; keep package import light
+    if name == "run_crash_drill":
+        from repro.chaos.drill import run_crash_drill
+
+        return run_crash_drill
+    raise AttributeError(f"module 'repro.chaos' has no attribute {name!r}")

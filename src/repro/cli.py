@@ -14,6 +14,8 @@ Examples::
     python -m repro report --from-trace /tmp/storm.jsonl
     python -m repro watch --cadence 30 --ts-out /tmp/storm-ts.jsonl
     python -m repro watch --from /tmp/storm-ts.jsonl
+    python -m repro chaos --episodes 8 --check-determinism
+    python -m repro chaos --schemes hyrd,racs --json-out /tmp/chaos.json
 """
 
 from __future__ import annotations
@@ -324,7 +326,64 @@ def _cmd_lockin(args: argparse.Namespace) -> str:
     )
 
 
+def _cmd_chaos(args: argparse.Namespace) -> str:
+    import json
+
+    from repro.chaos import INVARIANTS, run_campaign
+
+    schemes = tuple(s for s in args.schemes.split(",") if s) if args.schemes else None
+    report = run_campaign(
+        schemes=schemes,
+        episodes=args.episodes,
+        base_seed=args.seed,
+        check_determinism=args.check_determinism,
+    )
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, sort_keys=True, indent=2)
+            fh.write("\n")
+    by_scheme: dict[str, dict] = {}
+    for ep in report["episodes"]:
+        row = by_scheme.setdefault(
+            ep["scheme"],
+            {"episodes": 0, "crashes": 0, "degraded": 0, "violations": 0},
+        )
+        row["episodes"] += 1
+        row["crashes"] += len(ep["crashes"]["fired"])
+        row["degraded"] += ep["workload"]["degraded_reads"]
+        row["violations"] += sum(
+            len(ep["invariants"][name]["violations"]) for name in INVARIANTS
+        )
+    rows = [
+        [name, row["episodes"], row["crashes"], row["degraded"], row["violations"],
+         "ok" if row["violations"] == 0 else "VIOLATED"]
+        for name, row in by_scheme.items()
+    ]
+    table = render_table(
+        ["Scheme", "Episodes", "Crashes", "Degraded reads", "Violations", "Verdict"],
+        rows,
+        title=(
+            f"Chaos campaign — {report['totals']['episodes']} episodes, "
+            f"base seed {args.seed}"
+        ),
+    )
+    footer = []
+    if args.check_determinism:
+        drift = report["determinism_drift"]
+        footer.append(
+            "determinism: drift in "
+            + ", ".join(f"{d['scheme']}@{d['seed']}" for d in drift)
+            if drift
+            else "determinism: byte-identical re-runs"
+        )
+    footer.append(
+        "campaign OK" if report["ok"] else "campaign FAILED — see violations above"
+    )
+    return table + "\n" + "\n".join(footer)
+
+
 _COMMANDS = {
+    "chaos": _cmd_chaos,
     "table1": _cmd_table1,
     "table2": _cmd_table2,
     "fig3": _cmd_fig3,
@@ -396,6 +455,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-color",
         action="store_true",
         help="watch: disable ANSI colors in the dashboard",
+    )
+    parser.add_argument(
+        "--episodes",
+        type=int,
+        default=8,
+        help="chaos: episodes per scheme (default 8)",
+    )
+    parser.add_argument(
+        "--schemes",
+        metavar="A,B,...",
+        help="chaos: comma-separated scheme subset (default: all)",
+    )
+    parser.add_argument(
+        "--check-determinism",
+        action="store_true",
+        help="chaos: re-run each scheme's first episode and fail on any "
+        "byte-level report drift",
+    )
+    parser.add_argument(
+        "--json-out",
+        metavar="PATH",
+        help="chaos: also write the full campaign report as JSON to PATH",
     )
     return parser
 

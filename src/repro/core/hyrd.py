@@ -299,6 +299,16 @@ class HyRDClient(Scheme):
         """Currently promoted large files: path -> (provider, version)."""
         return dict(self._hot)
 
+    def _extra_expected_keys(self) -> set[str]:
+        # Promoted hot copies are scheme-private keys no namespace placement
+        # accounts for; shield the *current* ones from the orphan sweep.
+        # (A restarted client forgets its promotions, so a predecessor's hot
+        # copies are swept — they are regenerable cache, not redundancy.)
+        return {
+            self._hot_key(path, version)
+            for path, (_provider, version) in self._hot.items()
+        }
+
     # ------------------------------------------- adaptation & vendor mobility
     def reevaluate(self) -> dict[str, "object"]:
         """Re-probe every provider and refresh the classification.

@@ -47,10 +47,29 @@ class LoggedWrite:
 
 
 class WriteLog:
-    """Pending mutations for one provider, last-wins per (container, key)."""
+    """Pending mutations for one provider, last-wins per (container, key).
 
-    def __init__(self) -> None:
+    Payload memory is accounted incrementally: :meth:`pending_bytes` is the
+    O(1) logical total of retained put payloads.  A ``memory_limit_bytes``
+    bounds the *in-memory* share — once retained payloads exceed it, the
+    oldest pending puts are spilled (modelled as moving the payload to
+    client-local disk: the entry stays replayable, but its bytes count
+    against :meth:`spilled_bytes` instead of :meth:`memory_bytes`).  The
+    default (``None``) never spills, matching the historical behaviour.
+    """
+
+    def __init__(self, memory_limit_bytes: int | None = None) -> None:
+        if memory_limit_bytes is not None and memory_limit_bytes < 0:
+            raise ValueError(
+                f"memory_limit_bytes must be >= 0, got {memory_limit_bytes}"
+            )
         self._entries: OrderedDict[tuple[str, str], LoggedWrite] = OrderedDict()
+        self.memory_limit_bytes = memory_limit_bytes
+        self._pending_bytes = 0
+        self._spilled: set[tuple[str, str]] = set()
+        self._spilled_bytes = 0
+        #: spill actions taken (one per payload moved to disk); monotone
+        self.spill_events = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -58,16 +77,41 @@ class WriteLog:
     def __bool__(self) -> bool:
         return bool(self._entries)
 
+    def _drop_accounting(self, k: tuple[str, str]) -> None:
+        old = self._entries.pop(k, None)
+        if old is not None and old.data is not None:
+            self._pending_bytes -= len(old.data)
+            if k in self._spilled:
+                self._spilled.discard(k)
+                self._spilled_bytes -= len(old.data)
+
+    def _maybe_spill(self) -> None:
+        if self.memory_limit_bytes is None:
+            return
+        if self.memory_bytes() <= self.memory_limit_bytes:
+            return
+        # Oldest-first: the entries most likely to wait longest for replay
+        # are the ones worth paying a disk round trip for.
+        for k, e in self._entries.items():
+            if self.memory_bytes() <= self.memory_limit_bytes:
+                break
+            if e.data is not None and k not in self._spilled:
+                self._spilled.add(k)
+                self._spilled_bytes += len(e.data)
+                self.spill_events += 1
+
     def log_put(self, container: str, key: str, data: bytes, now: float) -> None:
         """Record that (container, key) should hold ``data`` after recovery."""
         k = (container, key)
-        self._entries.pop(k, None)  # move-to-end on overwrite keeps replay ordered
+        self._drop_accounting(k)  # move-to-end on overwrite keeps replay ordered
         self._entries[k] = LoggedWrite("put", container, key, bytes(data), now)
+        self._pending_bytes += len(data)
+        self._maybe_spill()
 
     def log_remove(self, container: str, key: str, now: float) -> None:
         """Record that (container, key) should be absent after recovery."""
         k = (container, key)
-        self._entries.pop(k, None)
+        self._drop_accounting(k)
         self._entries[k] = LoggedWrite("remove", container, key, None, now)
 
     def log_create(self, container: str, now: float) -> None:
@@ -78,12 +122,12 @@ class WriteLog:
         be healed (its object log can stay empty forever).
         """
         k = (container, "")
-        self._entries.pop(k, None)
+        self._drop_accounting(k)
         self._entries[k] = LoggedWrite("create", container, "", None, now)
 
     def discard(self, container: str, key: str) -> None:
         """Drop a pending entry (e.g. the object was re-placed elsewhere)."""
-        self._entries.pop((container, key), None)
+        self._drop_accounting((container, key))
 
     def has_pending(self, container: str, key: str) -> bool:
         """True when a logged mutation for (container, key) awaits replay.
@@ -97,9 +141,16 @@ class WriteLog:
         return (container, key) in self._entries
 
     def drain(self) -> list[LoggedWrite]:
-        """Remove and return all pending writes in log order."""
+        """Remove and return all pending writes in log order.
+
+        Spilled payloads are reloaded transparently — the entries returned
+        always carry their data, whatever tier it waited on.
+        """
         entries = list(self._entries.values())
         self._entries.clear()
+        self._pending_bytes = 0
+        self._spilled.clear()
+        self._spilled_bytes = 0
         return entries
 
     def peek(self) -> list[LoggedWrite]:
@@ -107,5 +158,14 @@ class WriteLog:
         return list(self._entries.values())
 
     def pending_bytes(self) -> int:
-        """Payload bytes awaiting replay (the consistency-update upload cost)."""
-        return sum(len(e.data) for e in self._entries.values() if e.data is not None)
+        """Payload bytes awaiting replay (the consistency-update upload
+        cost), across both memory and spill tiers.  O(1)."""
+        return self._pending_bytes
+
+    def memory_bytes(self) -> int:
+        """Retained payload bytes currently held in client memory.  O(1)."""
+        return self._pending_bytes - self._spilled_bytes
+
+    def spilled_bytes(self) -> int:
+        """Payload bytes parked on client-local disk by the spill policy."""
+        return self._spilled_bytes

@@ -49,6 +49,14 @@ class RetryPolicy:
     ``deadline`` bounds the total backoff a single request may accumulate;
     once the next wait would exceed it, the request gives up (and, for
     mutations, falls into the write log like any exhausted retry).
+
+    ``op_deadline`` is the *overall* per-request budget: failed-attempt
+    round trips **plus** backoff waits together may never exceed it.  The
+    attempt count alone cannot bound wall time (a browned-out provider can
+    burn an arbitrary RTT per failed attempt); with an op deadline set, the
+    retry chain stops scheduling further attempts the moment its serialized
+    penalty reaches the budget.  ``None`` (the default) keeps the
+    historical attempt-count-only behaviour.
     """
 
     max_attempts: int = 3
@@ -57,12 +65,17 @@ class RetryPolicy:
     max_delay: float = 2.0
     jitter: float = 0.25
     deadline: float = 30.0
+    op_deadline: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
         if self.base_delay < 0 or self.max_delay < 0 or self.deadline < 0:
             raise ValueError("delays must be >= 0")
+        if self.op_deadline is not None and self.op_deadline <= 0:
+            raise ValueError(
+                f"op_deadline must be > 0 when set, got {self.op_deadline}"
+            )
         if self.multiplier < 1.0:
             raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
         if not (0.0 <= self.jitter < 1.0):
@@ -313,6 +326,10 @@ class ResilienceConfig:
         EWMA smoothing for :class:`ProviderHealth`.
     health_error_weight:
         Error-rate weight in the evaluator's health-aware re-ranking.
+    write_log_memory_limit:
+        In-memory byte budget per provider write log; retained put payloads
+        beyond it spill to client-local disk (see
+        :class:`~repro.core.recovery.WriteLog`).  ``None`` never spills.
     """
 
     retry: RetryPolicy = field(default_factory=RetryPolicy)
@@ -330,6 +347,7 @@ class ResilienceConfig:
     hedge_min_delay_factor: float = 1.1
     health_alpha: float = 0.2
     health_error_weight: float = 4.0
+    write_log_memory_limit: int | None = None
 
     def __post_init__(self) -> None:
         if self.hedge_min_delay_factor < 1.0:

@@ -1,10 +1,12 @@
 """Scripted fault injection: composable per-provider fault profiles."""
 
+from repro.faults.crash import ClientCrash, CrashPoint, CrashSchedule
 from repro.faults.profile import (
     FaultEffect,
     FaultProfile,
     FlappingOutage,
     LatencyBrownout,
+    NetworkPartition,
     SilentCorruption,
     Throttling,
     TransientErrorBurst,
@@ -15,20 +17,25 @@ from repro.faults.ledger import (
     inject_bit_rot,
     inject_loss,
 )
-from repro.faults.scenario import FaultScenario, make_fault_storm
+from repro.faults.scenario import FaultScenario, make_fault_storm, partition_scenario
 
 __all__ = [
+    "ClientCrash",
     "CorruptionLedger",
+    "CrashPoint",
+    "CrashSchedule",
     "DamageEvent",
     "FaultEffect",
     "FaultProfile",
     "FaultScenario",
     "FlappingOutage",
     "LatencyBrownout",
+    "NetworkPartition",
     "SilentCorruption",
     "Throttling",
     "TransientErrorBurst",
     "inject_bit_rot",
     "inject_loss",
     "make_fault_storm",
+    "partition_scenario",
 ]

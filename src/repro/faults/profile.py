@@ -31,6 +31,7 @@ __all__ = [
     "Throttling",
     "LatencyBrownout",
     "FlappingOutage",
+    "NetworkPartition",
     "SilentCorruption",
     "FaultProfile",
 ]
@@ -72,9 +73,19 @@ class FaultEffect:
     def downtime_windows(self, t0: float, t1: float) -> list[tuple[float, float]]:
         """Half-open ``[start, end)`` intervals in ``[t0, t1)`` where
         :meth:`is_out` is true — the ground truth the SLO tracker's observed
-        MTBF/MTTR is checked against.  Effects that never take the provider
-        down (the default) contribute nothing."""
-        return []
+        MTBF/MTTR is checked against.
+
+        The default derives the answer from :meth:`is_out` itself: an effect
+        that overrides ``is_out`` is down for its whole active window (so new
+        down-taking effects contribute truth without extra code), while
+        effects that never take the provider down contribute nothing.  An
+        effect whose ``is_out`` has a *duty cycle* inside the window must
+        override this with the precise sub-intervals (FlappingOutage does).
+        """
+        if type(self).is_out is FaultEffect.is_out:
+            return []
+        lo, hi = max(t0, self.start), min(t1, self.end)
+        return [(lo, hi)] if hi > lo else []
 
 
 @dataclass(frozen=True)
@@ -179,6 +190,23 @@ class FlappingOutage(FaultEffect):
                 windows.append((a, b))
             k += 1
         return windows
+
+
+@dataclass(frozen=True)
+class NetworkPartition(FaultEffect):
+    """The client cannot reach the provider for the whole window.
+
+    From the client's seat a partition is indistinguishable from a provider
+    outage — every request times out — but it is a *network* fact: the
+    provider is up, serving other clients, and its stored state is intact
+    and ageing.  Partition windows therefore contribute to
+    ``downtime_windows`` ground truth (via the base-class default) exactly
+    like real outages, which is what keeps SLO downtime ledgers honest when
+    the chaos engine scripts reachability, not provider health.
+    """
+
+    def is_out(self, t: float) -> bool:
+        return self.active(t)
 
 
 @dataclass(frozen=True)

@@ -21,6 +21,7 @@ from repro.faults.profile import (
     FaultProfile,
     FlappingOutage,
     LatencyBrownout,
+    NetworkPartition,
     SilentCorruption,
     Throttling,
     TransientErrorBurst,
@@ -29,7 +30,7 @@ from repro.faults.profile import (
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (provider imports us)
     from repro.cloud.provider import SimulatedProvider
 
-__all__ = ["FaultScenario", "make_fault_storm"]
+__all__ = ["FaultScenario", "make_fault_storm", "partition_scenario"]
 
 
 class FaultScenario:
@@ -98,3 +99,26 @@ def make_fault_storm(
             [SilentCorruption(t0, end, rate=0.2)], seed=seed
         )
     return FaultScenario("fault-storm", profiles)
+
+
+def partition_scenario(
+    windows: list[tuple[float, float, list[str]]],
+    seed: int = 0,
+    name: str = "partition",
+) -> FaultScenario:
+    """Per-provider reachability sets over sim-time windows.
+
+    ``windows`` is a plan of ``(t0, t1, unreachable_providers)`` triples —
+    during ``[t0, t1)`` the client cannot reach any provider in the set.
+    Each named provider gets one :class:`NetworkPartition` effect per window
+    it appears in, all folded into a single profile (a provider may only
+    carry one profile at a time).
+    """
+    per: dict[str, list[NetworkPartition]] = {}
+    for t0, t1, unreachable in windows:
+        for pname in unreachable:
+            per.setdefault(pname, []).append(NetworkPartition(t0, t1))
+    return FaultScenario(
+        name,
+        {pname: FaultProfile(list(effects), seed=seed) for pname, effects in per.items()},
+    )

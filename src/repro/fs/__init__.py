@@ -6,15 +6,19 @@ file's entry records where its redundancy fragments live.
 
 - :mod:`repro.fs.namespace` -- paths, :class:`FileEntry`, the in-client index
 - :mod:`repro.fs.metadata`  -- directory metadata groups (serialisation + store)
+- :mod:`repro.fs.journal`   -- write-ahead intent journal (crash consistency)
 """
 
+from repro.fs.journal import IntentJournal, WriteIntent
 from repro.fs.metadata import MetadataStore, decode_group, encode_group
 from repro.fs.namespace import FileEntry, Namespace, dirname, normalize_path
 
 __all__ = [
     "FileEntry",
+    "IntentJournal",
     "MetadataStore",
     "Namespace",
+    "WriteIntent",
     "decode_group",
     "dirname",
     "encode_group",

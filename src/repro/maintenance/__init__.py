@@ -12,6 +12,7 @@ Entry point: :meth:`Scheme.attach_maintenance
 """
 
 from repro.maintenance.budget import TokenBucket
+from repro.maintenance.gc import OrphanSweeper
 from repro.maintenance.migration import LiveMigrationEngine
 from repro.maintenance.plane import MaintenanceConfig, MaintenancePlane
 from repro.maintenance.repair import ProactiveRepairScheduler, RepairTicket
@@ -22,6 +23,7 @@ __all__ = [
     "LiveMigrationEngine",
     "MaintenanceConfig",
     "MaintenancePlane",
+    "OrphanSweeper",
     "ProactiveRepairScheduler",
     "RepairTicket",
     "TokenBucket",

@@ -36,6 +36,7 @@ from typing import TYPE_CHECKING
 from repro.sim.events import EventLoop, RecurringEvent
 
 from repro.maintenance.budget import TokenBucket
+from repro.maintenance.gc import OrphanSweeper
 from repro.maintenance.migration import LiveMigrationEngine
 from repro.maintenance.repair import ProactiveRepairScheduler
 from repro.maintenance.scrubber import AntiEntropyScrubber
@@ -65,6 +66,8 @@ class MaintenanceConfig:
     repair_burst_bytes: float = 64 * 1024 * 1024
     #: live-migration keys re-placed per tick
     migration_keys_per_cycle: int = 4
+    #: orphaned keys garbage-collected per tick (crash-recovery hygiene)
+    gc_keys_per_cycle: int = 16
 
     def __post_init__(self) -> None:
         if self.scrub_interval <= 0:
@@ -101,6 +104,7 @@ class MaintenancePlane:
             deep=self.config.deep_scrub,
         )
         self.repair = ProactiveRepairScheduler(scheme, self.budget)
+        self.orphans = OrphanSweeper(scheme, self.budget)
         self.migration = LiveMigrationEngine(
             scheme,
             self.budget,
@@ -213,6 +217,9 @@ class MaintenancePlane:
             if result.complete:
                 self._risk_since.pop(result.path, None)
         self.migration.run_cycle()
+        # Orphan hygiene last: repairs outrank deletions for the shared
+        # budget (redundancy first, housekeeping second).
+        self.orphans.run_cycle(max_keys=self.config.gc_keys_per_cycle)
         self._publish_risk()
         return audits
 

@@ -147,6 +147,61 @@ _SPECS: tuple[MetricSpec, ...] = (
         "updates (the paper's §III-C recovery step).",
         labels=("provider",),
     ),
+    MetricSpec(
+        "writelog_pending_bytes",
+        "gauge",
+        "Payload bytes retained by the provider's write log awaiting "
+        "replay, across memory and spill tiers (the consistency-update "
+        "upload debt).",
+        labels=("provider",),
+        unit="B",
+    ),
+    MetricSpec(
+        "writelog_spilled_bytes",
+        "gauge",
+        "Write-log payload bytes parked on client-local disk by the "
+        "memory-limit spill policy (0 with no limit configured).",
+        labels=("provider",),
+        unit="B",
+    ),
+    # --------------------------------------------------- write-ahead journal
+    MetricSpec(
+        "journal_intents_total",
+        "counter",
+        "Write intents recorded by the crash-consistency journal before a "
+        "mutating op's first fragment put, by op kind.",
+        labels=("op",),
+    ),
+    MetricSpec(
+        "journal_commits_total",
+        "counter",
+        "Journaled intents committed after their namespace publish (a "
+        "commit closes the crash window the intent guarded).",
+    ),
+    MetricSpec(
+        "journal_pending",
+        "gauge",
+        "Intents currently open in the journal; anything above 0 after "
+        "recovery means an unresolved crash window.",
+    ),
+    MetricSpec(
+        "journal_payload_bytes",
+        "gauge",
+        "Redo-payload bytes currently held by open journal intents.",
+        unit="B",
+    ),
+    MetricSpec(
+        "journal_rollforward_total",
+        "counter",
+        "Crash recoveries that redid the interrupted op from its journaled "
+        "payload (enough planned placements had landed).",
+    ),
+    MetricSpec(
+        "journal_rollback_total",
+        "counter",
+        "Crash recoveries that restored the pre-op namespace entry and "
+        "garbage-collected the torn placements.",
+    ),
     # -------------------------------------------------------- provider layer
     MetricSpec(
         "provider_requests_total",
@@ -403,6 +458,40 @@ _SPECS: tuple[MetricSpec, ...] = (
         "(now - first seen below full redundancy) — stripes below full "
         "redundancy weighted by exposure time.",
         unit="s",
+    ),
+    MetricSpec(
+        "orphan_gc_pending",
+        "gauge",
+        "Orphaned cloud objects (torn-write fragments, stray hot copies) "
+        "queued for budgeted deletion by the maintenance plane's sweeper.",
+    ),
+    MetricSpec(
+        "orphan_gc_removed_total",
+        "counter",
+        "Orphaned cloud objects deleted by the maintenance plane's orphan "
+        "sweeper, per provider.",
+        labels=("provider",),
+    ),
+    # ------------------------------------------------------ chaos campaigns
+    MetricSpec(
+        "chaos_crashes_total",
+        "counter",
+        "Client crashes injected by the chaos engine's crash schedule "
+        "(each one kills the client between two cloud requests).",
+    ),
+    MetricSpec(
+        "chaos_invariant_violations_total",
+        "counter",
+        "Invariant checks failed at chaos-episode settlement, by invariant "
+        "name; any non-zero value fails the campaign.",
+        labels=("invariant",),
+    ),
+    MetricSpec(
+        "partition_windows_total",
+        "counter",
+        "Network-partition windows scripted against the provider by the "
+        "chaos engine's partition plan.",
+        labels=("provider",),
     ),
 )
 

@@ -38,10 +38,12 @@ from repro.cloud.errors import (
 from repro.cloud.gcsapi import GcsApi
 from repro.cloud.latency import ClientLink
 from repro.cloud.provider import SimulatedProvider
-from repro.core.recovery import WriteLog
+from repro.core.recovery import LoggedWrite, WriteLog
 from repro.core.resilience import CircuitBreaker, ProviderHealth, ResilienceConfig
 from repro.erasure.codec import ErasureCodec
-from repro.fs.metadata import MetadataStore, group_key
+from repro.faults.crash import ClientCrash, CrashSchedule
+from repro.fs.journal import IntentJournal
+from repro.fs.metadata import MetadataStore, group_key, is_group_key
 from repro.fs.namespace import FileEntry, Namespace, dirname, normalize_path
 from repro.metrics.collector import LatencyCollector, OpReport
 from repro.metrics.registry import MetricsRegistry
@@ -352,16 +354,50 @@ def _public_op(method):
     def wrapper(self, *args, **kwargs):
         try:
             return method(self, *args, **kwargs)
-        except BaseException:
+        except BaseException as exc:
             self._acc = None
             self._abort_op_span()
-            if self.slo is not None:
+            # A ClientCrash models the process dying mid-op: nothing else
+            # client-side runs, so the journal intent stays *pending* (the
+            # evidence recovery consumes) and no failure is recorded.
+            crashed = isinstance(exc, ClientCrash)
+            ctx = self._jctx
+            self._jctx = None
+            if (
+                not crashed
+                and ctx is not None
+                and ctx.seq is not None
+                and self.journal is not None
+            ):
+                # Clean failure with the client alive: keep the intent,
+                # flagged aborted, so recovery GCs whatever landed.
+                self.journal.mark_aborted(ctx.seq)
+                self._publish_journal_gauges()
+            if self.slo is not None and not crashed:
                 self.slo.record_failure(
                     method.__name__.lstrip("_"), self.clock.now
                 )
             raise
 
     return wrapper
+
+
+@dataclass
+class _JournalCtx:
+    """Journal context for the mutating public op currently in flight.
+
+    Armed by :meth:`Scheme._journal_arm` at op entry with what is known
+    there (kind, path, previous entry, redo payload); the placement plan —
+    and with it the actual :class:`~repro.fs.journal.WriteIntent` — is
+    filled in by :meth:`Scheme._journal_plan` just before the first
+    fragment put, once the write helper knows sites and thresholds.
+    """
+
+    kind: str
+    path: str
+    prev: FileEntry | None
+    payload: bytes | None
+    seq: int | None = None
 
 
 @dataclass
@@ -466,7 +502,10 @@ class Scheme(ABC):
         self.namespace = Namespace()
         self.meta = MetadataStore(self.namespace, metadata_cache_capacity)
         self.container = f"{self.name}-store"
-        self._write_logs: dict[str, WriteLog] = {p.name: WriteLog() for p in providers}
+        self._write_logs: dict[str, WriteLog] = {
+            p.name: WriteLog(memory_limit_bytes=resilience.write_log_memory_limit)
+            for p in providers
+        }
         #: write-time fragment digests, reused to skip re-hashing on verified
         #: reads that return the identical stored buffer
         self._digest_cache = _DigestCache()
@@ -479,6 +518,14 @@ class Scheme(ABC):
         #: :meth:`attach_maintenance`; None (the default) keeps every
         #: foreground path byte-identical to a maintenance-free build
         self.maintenance = None
+        #: optional :class:`repro.fs.journal.IntentJournal` — see
+        #: :meth:`attach_journal`; None (the default) keeps the write path
+        #: byte-identical to a journal-free build
+        self.journal: IntentJournal | None = None
+        self._jctx: _JournalCtx | None = None
+        #: optional :class:`repro.faults.crash.CrashSchedule` — see
+        #: :meth:`install_crash_schedule`
+        self._crash: CrashSchedule | None = None
         self._init_containers()
 
     # ------------------------------------------------------------- lifecycle
@@ -653,6 +700,12 @@ class Scheme(ABC):
             self._note_breaker(breaker, before)
 
         for i, op in enumerate(ops):
+            # Scripted crash injection: die *between* cloud ops, before this
+            # one applies — earlier ops in the phase already mutated provider
+            # state (a torn write), nothing after this line runs, and the
+            # clock never advances past the kill point.
+            if self._crash is not None and self._crash.tick():
+                raise ClientCrash(self._crash.ops_seen, op.provider, op.kind)
             provider = self.provider(op.provider)
             health = self.health.get(op.provider)
             # Bypass skips the *gate* only; outcomes still feed the breaker,
@@ -689,9 +742,19 @@ class Scheme(ABC):
                     penalty += rtt
                     if attempt + 1 >= policy.max_attempts:
                         break
+                    if (
+                        policy.op_deadline is not None
+                        and penalty >= policy.op_deadline
+                    ):
+                        break  # whole-op budget already burnt by retries
                     wait = policy.backoff(attempt, self._retry_rng)
                     if backoff_spent + wait > policy.deadline:
                         break  # backoff budget exhausted: give up early
+                    if (
+                        policy.op_deadline is not None
+                        and penalty + wait > policy.op_deadline
+                    ):
+                        break  # next wait would blow the per-op deadline
                     backoff_spent += wait
                     penalty += wait
                     self.collector.bump("retries")
@@ -865,14 +928,49 @@ class Scheme(ABC):
 
     def _note_write_log(self, provider: str) -> None:
         """Publish one logged mutation and the provider's pending depth."""
+        log = self._write_logs[provider]
         self.registry.counter("write_log_entries_total", provider=provider).inc()
-        self.registry.gauge("write_log_pending", provider=provider).set(
-            len(self._write_logs[provider])
+        self.registry.gauge("write_log_pending", provider=provider).set(len(log))
+        self.registry.gauge("writelog_pending_bytes", provider=provider).set(
+            log.pending_bytes()
         )
+        if log.memory_limit_bytes is not None:
+            self.registry.gauge("writelog_spilled_bytes", provider=provider).set(
+                log.spilled_bytes()
+            )
 
     # -------------------------------------------------------------- recovery
     def pending_log(self, provider: str) -> WriteLog:
         return self._write_logs[provider]
+
+    def adopt_write_logs(self, logs: dict[str, WriteLog]) -> None:
+        """Inherit a crashed predecessor's write logs.
+
+        The write logs are client-local *durable* state, exactly like the
+        intent journal: they survive the process.  A replacement client
+        pointed at the same Cloud-of-Clouds adopts them so the consistency
+        update still owes every mutation the dead client logged.  Entries
+        this client already logged itself (container creates from
+        ``__init__`` under an outage) are folded in on top, last-wins.
+        """
+        for name, inherited in logs.items():
+            own = self._write_logs.get(name)
+            if own is None or inherited is own:
+                continue
+            for e in own.peek():
+                if e.kind == "create":
+                    inherited.log_create(e.container, e.logged_at)
+                elif e.kind == "put":
+                    inherited.log_put(e.container, e.key, e.data or b"", e.logged_at)
+                else:
+                    inherited.log_remove(e.container, e.key, e.logged_at)
+            self._write_logs[name] = inherited
+            self.registry.gauge("write_log_pending", provider=name).set(
+                len(inherited)
+            )
+            self.registry.gauge("writelog_pending_bytes", provider=name).set(
+                inherited.pending_bytes()
+            )
 
     def heal_returned(self) -> list[OpReport]:
         """Replay write logs of every provider that has come back.
@@ -905,18 +1003,27 @@ class Scheme(ABC):
         :meth:`_heal_before_touching`, where the replay cost is attributed
         to the foreground operation that forced it.
         """
-        entries = log.drain()
+        # Replay from a *peek*, discarding each entry only once its replay op
+        # succeeded: a client crash mid-replay then leaves the unapplied tail
+        # in the durable log (re-replaying an applied put/remove is
+        # idempotent), instead of losing everything a drain() took out.
+        entries = log.peek()
         ops: list[CloudOp] = [CloudOp(name, "create", self.container)]
+        op_entries: list[LoggedWrite | None] = [None]
         for e in entries:
             if e.kind == "create":
                 continue  # the leading create op already covers it
             if e.kind == "put":
                 ops.append(CloudOp(name, "put", e.container, e.key, e.data))
+                op_entries.append(e)
             else:
                 # Removing a key the provider never saw is a no-op; only
                 # issue the delete when the object exists there.
                 if self.provider(name).store.has(e.container, e.key):
                     ops.append(CloudOp(name, "remove", e.container, e.key))
+                    op_entries.append(e)
+                else:
+                    log.discard(e.container, e.key)
         # The replay ignores circuit breakers: it only runs once the provider
         # is available again, and its outcome is the decisive health probe —
         # a successful replay closes the breaker, a failure re-opens it.
@@ -924,15 +1031,32 @@ class Scheme(ABC):
         # back into itself without advancing the clock (a livelock).
         with self.tracer.span("heal.replay", provider=name) as sp:
             phase = self._run_phase(ops, bypass_breakers=True)
-            replayed = sum(
-                1 for o in phase.outcomes if o.ok and o.op.kind != "create"
-            )
+            replayed = 0
+            for e, o in zip(op_entries, phase.outcomes):
+                if e is None:
+                    if o.ok:
+                        for ce in entries:
+                            if ce.kind == "create":
+                                log.discard(ce.container, ce.key)
+                    continue
+                if o.ok:
+                    # A failed op already re-logged itself (last-wins on the
+                    # same key), so only successes leave the log.
+                    log.discard(e.container, e.key)
+                    replayed += 1
             sp.set(entries=len(entries), replayed=replayed)
         if replayed:
             self.registry.counter("heal_replayed_total", provider=name).inc(replayed)
         # A replay that failed partway re-logs the unreplayed tail, so the
-        # pending gauge reflects whatever is still owed after this pass.
+        # pending gauges reflect whatever is still owed after this pass.
         self.registry.gauge("write_log_pending", provider=name).set(len(log))
+        self.registry.gauge("writelog_pending_bytes", provider=name).set(
+            log.pending_bytes()
+        )
+        if log.memory_limit_bytes is not None:
+            self.registry.gauge("writelog_spilled_bytes", provider=name).set(
+                log.spilled_bytes()
+            )
 
     def _heal_before_touching(self, providers: set[str]) -> None:
         """Consistency-update any returned-but-stale provider we are about to use."""
@@ -1071,6 +1195,13 @@ class Scheme(ABC):
         """
         self._heal_before_touching(set(providers))
         key = f"{key_base}#v{version}"
+        self._journal_plan(
+            version=version,
+            codec_name="replication",
+            replicated=True,
+            min_needed=1,
+            sites=tuple((p, key) for p in providers),
+        )
         ops = [CloudOp(p, "put", self.container, key, data) for p in providers]
         if self.sequential_replication:
             for op in ops:
@@ -1243,6 +1374,16 @@ class Scheme(ABC):
                 f"{codec!r} needs {codec.n} providers, got {len(providers)}"
             )
         self._heal_before_touching(set(providers))
+        self._journal_plan(
+            version=version,
+            codec_name=type(codec).__name__,
+            replicated=False,
+            min_needed=codec.k,
+            sites=tuple(
+                (p, self._fragment_key(key_base, i, version))
+                for i, p in enumerate(providers)
+            ),
+        )
         with self.tracer.span("codec.encode", codec=type(codec).__name__, size=len(data)):
             fragments = codec.encode_views(data)
         ops = [
@@ -1384,6 +1525,23 @@ class Scheme(ABC):
         parities = list(range(codec.k, codec.n))
         touched = affected + parities
         self._heal_before_touching({providers_by_index[i] for i in touched})
+        # In-place RMW overwrites the *current* version's fragments, so a
+        # crash mid-op can never be rolled back (the old bytes are partially
+        # gone).  min_needed=0 pins recovery to roll forward from the
+        # journaled post-update payload.
+        self._journal_plan(
+            version=entry.version,
+            codec_name=type(codec).__name__,
+            replicated=False,
+            min_needed=0,
+            sites=tuple(
+                (
+                    providers_by_index[i],
+                    self._fragment_key(entry.path, i, entry.version),
+                )
+                for i in touched
+            ),
+        )
 
         # Phase 1: read old affected data fragments and old parities.
         read_ops = [
@@ -1480,6 +1638,15 @@ class Scheme(ABC):
         key_base = group_key(directory)
         targets = self._meta_write_targets()
         codec = self._meta_codec()
+        # Journal the redo image before the group write scatters: a crash
+        # mid-persist can tear a striped group beyond k-of-n reconstruction,
+        # and recovery then reads this copy instead (see recover_namespace).
+        if (
+            self.journal is not None
+            and self._jctx is not None
+            and self._jctx.seq is not None
+        ):
+            self.journal.attach_meta(self._jctx.seq, directory, blob)
         # Metadata groups are identified by key alone (no version suffix):
         # the newest write wins, exactly like the paper's metadata updates.
         if codec is None:
@@ -1580,13 +1747,36 @@ class Scheme(ABC):
         self._begin_op()
         codec = self._meta_codec()
         targets = self._meta_write_targets()
+        # Consistency-update any returned-but-stale metadata provider first:
+        # a replica that missed group writes during an outage must not serve
+        # the recovery read (its blob predates the writes its log owes).
+        self._heal_before_touching(set(targets))
         group_keys = self._list_meta_group_keys(targets, striped=codec is not None)
         for base_key in sorted(group_keys):
-            blob = self._fetch_meta_blob(base_key, codec, targets)
+            directory = base_key[len("__meta__"):]
+            fallback = self._journaled_meta_blob(directory)
+            try:
+                blob = self._fetch_meta_blob(base_key, codec, targets)
+            except ValueError:
+                # Torn striped group: a crash mid-persist left fragments of
+                # two generations and no k-subset decodes.  The pending
+                # intent journaled the redo image — the one consistent copy.
+                if fallback is None:
+                    raise
+                blob = fallback
+            if blob is None:
+                blob = fallback
             if blob is None:
                 continue
-            directory = base_key[len("__meta__"):]
-            entries = self.meta.apply_group(blob)
+            try:
+                entries = self.meta.apply_group(blob)
+            except ValueError:
+                # Same tear, subtler face: equal-length mixed fragments
+                # decode into bytes that are not a metadata group.
+                if fallback is None or fallback == blob:
+                    raise
+                blob = fallback
+                entries = self.meta.apply_group(blob)
             if entries:
                 self._meta_sizes[directory] = len(blob)
                 self.meta.touch(directory)
@@ -1598,8 +1788,29 @@ class Scheme(ABC):
     def _after_namespace_recovery(self) -> None:
         """Hook for schemes that keep per-object client state (NCCloud)."""
 
+    def _journaled_meta_blob(self, directory: str) -> bytes | None:
+        """Redo image of ``directory``'s group from a pending intent, if any."""
+        if self.journal is None:
+            return None
+        for intent in self.journal.pending():
+            blob = intent.meta_blobs.get(directory)
+            if blob is not None:
+                return blob
+        return None
+
     def _list_meta_group_keys(self, targets: list[str], striped: bool) -> set[str]:
-        """Metadata-group base keys, from the first listable provider."""
+        """Metadata-group base keys, from the first listable provider.
+
+        Group writes still owed to *unreachable* providers sit in their
+        write logs; those keys are unioned in so a group whose publish never
+        reached any listable provider is still recovered (from the durable
+        log) rather than silently dropped.
+        """
+        logged: set[str] = set()
+        for log in self._write_logs.values():
+            for e in log.peek():
+                if e.kind == "put" and is_group_key(e.key):
+                    logged.add(self._meta_base_key(e.key, striped))
         for name in self._rank_providers(list(targets), 0, "down"):
             if not self.provider(name).is_available():
                 continue
@@ -1608,22 +1819,33 @@ class Scheme(ABC):
             if not outcome.ok or outcome.data is None:
                 continue
             keys = outcome.data.decode().split("\n") if outcome.data else []
-            groups: set[str] = set()
+            groups: set[str] = set(logged)
             for key in keys:
                 if not key.startswith("__meta__"):
                     continue
-                if striped:
-                    base, dot, _idx = key.rpartition(".")
-                    groups.add(base if dot else key)
-                else:
-                    groups.add(key)
+                groups.add(self._meta_base_key(key, striped))
             return groups
+        if logged:
+            return logged
         raise DataUnavailable("namespace", f"no metadata provider listable in {targets}")
+
+    @staticmethod
+    def _meta_base_key(key: str, striped: bool) -> str:
+        if striped:
+            base, dot, _idx = key.rpartition(".")
+            return base if dot else key
+        return key
 
     def _fetch_meta_blob(
         self, base_key: str, codec: ErasureCodec | None, targets: list[str]
     ) -> bytes | None:
-        """Fetch and reassemble one metadata group's blob (None if gone)."""
+        """Fetch and reassemble one metadata group's blob (None if gone).
+
+        Replicas that missed writes (stale: a pending write-log entry
+        supersedes their stored blob) never serve; when no clean stored copy
+        is reachable, the newest *logged* payload — the durable client-local
+        record of the unreplayed publish — serves instead.
+        """
         if codec is None:
             for name in self._rank_providers(list(targets), 0, "down"):
                 if not self.provider(name).is_available() or self._is_stale(
@@ -1636,14 +1858,22 @@ class Scheme(ABC):
                 outcome = phase.outcomes[0]
                 if outcome.ok and outcome.data is not None:
                     return outcome.data
-            return None
+            return self._newest_logged_meta(base_key, targets)
         fragments: dict[int, bytes] = {}
         for i, name in enumerate(targets):
             if len(fragments) >= codec.k:
                 break
-            if not self.provider(name).is_available() or self._is_stale(
-                name, self.container, f"{base_key}.{i}"
-            ):
+            if self._is_stale(name, self.container, f"{base_key}.{i}"):
+                # The provider's stored fragment predates the pending logged
+                # write; the logged payload is the current one.
+                pending = self._logged_payload(name, f"{base_key}.{i}")
+                if pending is not None:
+                    fragments[i] = pending
+                continue
+            if not self.provider(name).is_available():
+                pending = self._logged_payload(name, f"{base_key}.{i}")
+                if pending is not None:
+                    fragments[i] = pending
                 continue
             phase = self._run_phase(
                 [CloudOp(name, "get", self.container, f"{base_key}.{i}")]
@@ -1659,6 +1889,24 @@ class Scheme(ABC):
         blob = codec.decode(fragments, frag_len * codec.k)
         return blob.rstrip(b"\x00")
 
+    def _newest_logged_meta(self, key: str, targets: list[str]) -> bytes | None:
+        """Most recently logged (unreplayed) publish of a replicated group."""
+        best: tuple[float, bytes] | None = None
+        for name in targets:
+            log = self._write_logs.get(name)
+            if not log:
+                continue
+            for e in log.peek():
+                if (
+                    e.kind == "put"
+                    and e.container == self.container
+                    and e.key == key
+                    and e.data is not None
+                    and (best is None or e.logged_at >= best[0])
+                ):
+                    best = (e.logged_at, e.data)
+        return None if best is None else best[1]
+
     # ------------------------------------------------------------ public API
     @_public_op
     def put(self, path: str, data: bytes) -> OpReport:
@@ -1666,11 +1914,14 @@ class Scheme(ABC):
         path = normalize_path(path)
         self._begin_op()
         prev = self.namespace.lookup(path)
-        entry = self._put_file(path, bytes(data), prev)
+        data = bytes(data)
+        self._journal_arm("put", path, prev, data)
+        entry = self._put_file(path, data, prev)
         self.namespace.upsert(entry)
         if prev is not None and self._placement_changed(prev, entry):
             self._remove_stale_fragments(prev)
         self._persist_metadata(dirname(path))
+        self._journal_commit()
         report = self._end_op("put", path)
         self.collector.add(report)
         return report
@@ -1708,11 +1959,13 @@ class Scheme(ABC):
         buf[: entry.size] = old
         buf[offset : offset + len(patch)] = patch
         new_content = bytes(buf)
+        self._journal_arm("update", path, entry, new_content)
         new_entry = self._update_file(entry, offset, patch, new_content)
         self.namespace.upsert(new_entry)
         if self._placement_changed(entry, new_entry):
             self._remove_stale_fragments(entry)
         self._persist_metadata(dirname(path))
+        self._journal_commit()
         report = self._end_op("update", path)
         self.collector.add(report)
         return report
@@ -1723,9 +1976,25 @@ class Scheme(ABC):
         path = normalize_path(path)
         self._begin_op()
         entry = self.namespace.remove(path)
+        self._journal_arm("remove", path, entry, None)
+        # Removes know their plan up front: the keys being deleted.  A
+        # crashed remove always rolls forward (the client already acked
+        # nothing, and half-deleted redundancy is worthless).
+        codec = self._codec_for(entry)
+        self._journal_plan(
+            version=entry.version,
+            codec_name=entry.codec,
+            replicated=codec is None,
+            min_needed=0,
+            sites=tuple(
+                (prov, self._placement_storage_key(entry, idx, codec is None))
+                for prov, idx in entry.placements
+            ),
+        )
         self._payload_cache.discard(f"{entry.path}#v{entry.version}")
         self._remove_file(entry)
         self._persist_metadata(dirname(path))
+        self._journal_commit()
         report = self._end_op("remove", path)
         self.collector.add(report)
         return report
@@ -1857,6 +2126,285 @@ class Scheme(ABC):
             plane.stop()
             self.maintenance = None
         return plane
+
+    # ------------------------------------------- crash consistency (journal)
+    def attach_journal(self, journal: IntentJournal | None = None) -> IntentJournal:
+        """Attach a write-ahead :class:`~repro.fs.journal.IntentJournal`.
+
+        With a journal attached, every mutating public op records an intent
+        before its first fragment put and commits it after the namespace
+        publish, giving :meth:`recover` the evidence to roll a crashed op
+        forward or back.  The journal is pure bookkeeping — attaching one
+        leaves simulated timings byte-identical (no RNG draws, no clock
+        movement).  Pass an existing journal to model a durable client-local
+        log surviving a crash (the chaos engine hands the dead client's
+        journal to its replacement).
+        """
+        if self.journal is not None:
+            raise RuntimeError("a journal is already attached")
+        self.journal = journal if journal is not None else IntentJournal()
+        self._publish_journal_gauges()
+        return self.journal
+
+    def install_crash_schedule(self, schedule: CrashSchedule | None) -> None:
+        """Arm (or, with None, disarm) scripted crash injection.
+
+        The schedule's op counter ticks once per cloud op entering
+        :meth:`_run_phase`; a matching crash point raises
+        :class:`~repro.faults.crash.ClientCrash` *before* that op applies.
+        The schedule object is owned by the caller so the counter survives
+        client rebuilds.
+        """
+        self._crash = schedule
+
+    def _journal_arm(
+        self,
+        kind: str,
+        path: str,
+        prev: FileEntry | None,
+        payload: bytes | None,
+    ) -> None:
+        """Open the journal context for the mutating op now in flight."""
+        if self.journal is None:
+            return
+        self._jctx = _JournalCtx(kind=kind, path=path, prev=prev, payload=payload)
+
+    def _journal_plan(
+        self,
+        *,
+        version: int,
+        codec_name: str,
+        replicated: bool,
+        min_needed: int,
+        sites: tuple[tuple[str, str], ...],
+    ) -> None:
+        """Record the armed op's placement plan as a pending intent.
+
+        Called by the write helpers once sites are known, immediately before
+        the first fragment put.  First plan wins: the metadata-group write
+        that follows the data write reuses the same helpers, and must not
+        journal a second intent.
+        """
+        ctx = self._jctx
+        if ctx is None or ctx.seq is not None or self.journal is None:
+            return
+        intent = self.journal.begin(
+            kind=ctx.kind,
+            path=ctx.path,
+            version=version,
+            codec=codec_name,
+            replicated=replicated,
+            min_needed=min_needed,
+            sites=sites,
+            payload=ctx.payload,
+            prev=ctx.prev,
+            logged_at=self.clock.now,
+        )
+        ctx.seq = intent.seq
+        self.registry.counter("journal_intents_total", op=ctx.kind).inc()
+        self._publish_journal_gauges()
+
+    def _journal_commit(self) -> None:
+        """The op published its namespace entry: fulfil the intent."""
+        ctx = self._jctx
+        self._jctx = None
+        if ctx is None or ctx.seq is None or self.journal is None:
+            return
+        self.journal.commit(ctx.seq)
+        self.registry.counter("journal_commits_total").inc()
+        self._publish_journal_gauges()
+
+    def _publish_journal_gauges(self) -> None:
+        if self.journal is None:
+            return
+        self.registry.gauge("journal_pending").set(len(self.journal))
+        self.registry.gauge("journal_payload_bytes").set(
+            self.journal.payload_bytes()
+        )
+
+    def recover(self) -> dict:
+        """Crash recovery: resolve pending journal intents, sweep orphans.
+
+        Run by a restarted client after :meth:`recover_namespace`.  For each
+        unresolved intent, recovery counts how many planned placements
+        landed and decides:
+
+        - **roll forward** (``landed >= min_needed``, pending put/update):
+          redo the op from the journaled payload via :meth:`put` — the new
+          version becomes authoritative and is fully redundant;
+        - **roll back** (too few landed): restore the pre-op namespace entry
+          (or absence) and republish the directory's metadata group;
+        - **remove intents** always complete the removal (``min_needed=0``);
+        - **aborted** intents (op failed cleanly before the crash) need no
+          namespace action — their stray fragments are orphans.
+
+        Afterwards a full orphan sweep lists every reachable provider and
+        deletes keys no namespace entry (nor metadata group, nor
+        scheme-private key via :meth:`_extra_expected_keys`) accounts for —
+        routed through the maintenance plane's budgeted scheduler when one
+        is attached, inline otherwise.  The journal drains to empty.
+
+        Returns a JSON-friendly summary of the actions taken.
+        """
+        if self.journal is None:
+            raise RuntimeError("recover() requires an attached journal")
+        # Recovery itself must not trip scripted crash points: the schedule
+        # counts foreground ops, and a recovery that died mid-flight would
+        # simply run again from the same journal.
+        schedule, self._crash = self._crash, None
+        summary: dict = {
+            "rolled_forward": [],
+            "rolled_back": [],
+            "removals_completed": [],
+            "aborted_gc": [],
+            "orphans_removed": {},
+        }
+        try:
+            for intent in self.journal.pending():
+                action = self._recover_intent(intent)
+                summary[action].append(intent.describe())
+                self.journal.resolve(intent.seq)
+                if action == "rolled_forward":
+                    self.registry.counter("journal_rollforward_total").inc()
+                elif action == "rolled_back":
+                    self.registry.counter("journal_rollback_total").inc()
+            summary["orphans_removed"] = self._sweep_orphans()
+            self._publish_journal_gauges()
+        finally:
+            self._crash = schedule
+        return summary
+
+    def _recover_intent(self, intent) -> str:
+        """Resolve one journaled intent; returns the summary bucket name."""
+        if intent.state == "aborted":
+            # The op already failed in front of its caller; nothing to redo.
+            # Whatever it scattered is swept as orphans.
+            return "aborted_gc"
+        if intent.kind == "remove":
+            # A crashed remove always completes: the file was already gone
+            # from the client's namespace when the plan was journaled.
+            current = self.namespace.lookup(intent.path)
+            if current is not None and current.version <= intent.version:
+                self.remove(intent.path)
+            return "removals_completed"
+        landed = self._count_landed(intent)
+        if landed >= intent.min_needed:
+            # Enough of the new version exists that redoing the op from the
+            # journaled payload is the cheaper truth (and for in-place RMW,
+            # min_needed=0, the only correct one).
+            self.put(intent.path, intent.payload)
+            return "rolled_forward"
+        self._rollback_intent(intent)
+        return "rolled_back"
+
+    def _count_landed(self, intent) -> int:
+        """Planned placements that durably left the client before the crash.
+
+        A placement counts when the provider's store holds the planned key
+        (a client-side peek, no wire cost) **or** the provider's durable
+        write log retains the put awaiting replay — a logged fragment is as
+        committed as a landed one, since the log survives the crash and the
+        consistency update will deliver it.  Counting logged placements is
+        what makes the roll-forward/back decision safe: once a scheme op
+        finishes scattering, every site is landed-or-logged, so a crash in
+        the later windows (stale-fragment removal, metadata persist — where
+        the *previous* version is already being destroyed) always resolves
+        forward.  Unreachable providers with nothing logged count as not
+        landed — recovery cannot lean on bytes it cannot fetch.
+        """
+        landed = 0
+        for prov, key in intent.sites:
+            try:
+                provider = self.provider(prov)
+            except KeyError:
+                continue
+            if self._logged_payload(prov, key) is not None:
+                landed += 1
+            elif provider.is_available() and provider.store.has(self.container, key):
+                landed += 1
+        return landed
+
+    def _rollback_intent(self, intent) -> None:
+        """Restore the pre-op namespace entry and republish its group."""
+        self._begin_op()
+        if intent.prev is not None:
+            self.namespace.upsert(intent.prev)
+        else:
+            try:
+                self.namespace.remove(intent.path)
+            except FileNotFoundError:
+                pass
+        self._persist_metadata(dirname(intent.path))
+        report = self._end_op("recover", intent.path)
+        self.collector.add(report)
+
+    def _extra_expected_keys(self) -> set[str]:
+        """Scheme-private storage keys the orphan sweep must not touch."""
+        return set()
+
+    def _expected_keys(self) -> set[str]:
+        """Every storage key the current namespace accounts for."""
+        expected: set[str] = set()
+        for path in self.namespace.paths():
+            entry = self.namespace.lookup(path)
+            if entry is None:
+                continue
+            codec = self._codec_for(entry)
+            for prov, idx in entry.placements:
+                expected.add(
+                    self._placement_storage_key(entry, idx, codec is None)
+                )
+        expected |= self._extra_expected_keys()
+        return expected
+
+    def _sweep_orphans(self) -> dict[str, int]:
+        """Delete unaccounted keys from every reachable provider.
+
+        Keys with a pending write-log entry are skipped (the consistency
+        update owns them); metadata-group keys are always kept.  With a
+        maintenance plane attached the deletions are enqueued on its
+        budgeted orphan sweeper instead of issued inline.
+        """
+        expected = self._expected_keys()
+        removed: dict[str, int] = {}
+        plane = self.maintenance
+        for p in self.api.providers():
+            name = p.name
+            if not p.is_available():
+                continue
+            self._begin_op()
+            phase = self._run_phase([CloudOp(name, "list", self.container)])
+            outcome = phase.outcomes[0]
+            keys = (
+                outcome.data.decode().split("\n")
+                if outcome.ok and outcome.data
+                else []
+            )
+            log = self._write_logs.get(name)
+            orphans = [
+                k
+                for k in keys
+                if k
+                and not is_group_key(k)
+                and k not in expected
+                and not (log is not None and log.has_pending(self.container, k))
+            ]
+            if orphans and plane is not None and plane.orphans is not None:
+                for k in orphans:
+                    plane.orphans.enqueue(name, self.container, k)
+            elif orphans:
+                phase = self._run_phase(
+                    [CloudOp(name, "remove", self.container, k) for k in orphans]
+                )
+                ok = sum(1 for o in phase.outcomes if o.ok)
+                if ok:
+                    removed[name] = ok
+                    self.registry.counter(
+                        "orphan_gc_removed_total", provider=name
+                    ).inc(ok)
+            report = self._end_op("recover", f"orphan-sweep:{name}")
+            self.collector.add(report)
+        return removed
 
     def _placement_storage_key(self, entry: FileEntry, idx: int, replicated: bool) -> str:
         return (
@@ -1998,11 +2546,14 @@ class Scheme(ABC):
         if targets and self.repair_by_rewrite:
             data, _degraded = self._read_file(entry)
             up_before = self._acc.bytes_up
-            new_entry = self._put_file(entry.path, bytes(data), entry)
+            data = bytes(data)
+            self._journal_arm("put", path, entry, data)
+            new_entry = self._put_file(entry.path, data, entry)
             self.namespace.upsert(new_entry)
             if self._placement_changed(entry, new_entry):
                 self._remove_stale_fragments(entry)
             self._persist_metadata(dirname(path))
+            self._journal_commit()
             bytes_written = self._acc.bytes_up - up_before
             repaired = tuple(targets)
             # The rewrite supersedes the old version wholesale, pending
@@ -2082,11 +2633,13 @@ class Scheme(ABC):
         data, _degraded = self._read_file(entry)
         if not isinstance(data, bytes):
             data = bytes(data)
+        self._journal_arm("put", path, entry, data)
         new_entry = self._put_file(path, data, entry)
         self.namespace.upsert(new_entry)
         if self._placement_changed(entry, new_entry):
             self._remove_stale_fragments(entry)
         self._persist_metadata(dirname(path))
+        self._journal_commit()
         report = self._end_op("migrate", path)
         self.collector.add(report)
         return report

@@ -71,7 +71,15 @@ class DepSkyScheme(Scheme):
 
     def _put_file(self, path: str, data: bytes, prev: FileEntry | None) -> FileEntry:
         version = prev.version + 1 if prev else 1
-        placements = self._quorum_write(f"{path}#v{version}", data)
+        key = f"{path}#v{version}"
+        self._journal_plan(
+            version=version,
+            codec_name="replication",
+            replicated=True,
+            min_needed=1,
+            sites=tuple((p, key) for p in self.replicas),
+        )
+        placements = self._quorum_write(key, data)
         now = self.clock.now
         return FileEntry(
             path=path,

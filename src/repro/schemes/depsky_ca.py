@@ -104,6 +104,18 @@ class DepSkyCAScheme(Scheme):
 
     def _put_file(self, path: str, data: bytes, prev: FileEntry | None) -> FileEntry:
         version = prev.version + 1 if prev else 1
+        # f+1 landed bundles reconstruct (fragment + share each), so that is
+        # the roll-forward threshold after a crash mid-scatter.
+        self._journal_plan(
+            version=version,
+            codec_name=type(self.codec).__name__,
+            replicated=False,
+            min_needed=self.f + 1,
+            sites=tuple(
+                (cloud, self._fragment_key(path, i, version))
+                for i, cloud in enumerate(self.clouds)
+            ),
+        )
         key = random_key(self.rng)
         ciphertext = keystream_cipher(key, data)
         fragments = self.codec.encode(ciphertext)

@@ -222,3 +222,56 @@ class TestScenario:
         storm = make_fault_storm(corruption_provider="amazon_s3")
         assert "amazon_s3" in storm.profiles
         assert storm.profiles["amazon_s3"].corruption_rate(1.0) == pytest.approx(0.2)
+
+
+class TestDowntimeWindows:
+    """``downtime_windows`` is the SLO tracker's ground truth: the union of
+    every down-taking effect's sub-intervals, clipped and coalesced."""
+
+    def test_partition_is_down_for_its_whole_window(self):
+        from repro.faults import NetworkPartition
+
+        cut = NetworkPartition(10.0, 50.0)
+        assert cut.is_out(10.0) and cut.is_out(49.9)
+        assert not cut.is_out(9.9) and not cut.is_out(50.0)
+        assert cut.downtime_windows(0.0, 100.0) == [(10.0, 50.0)]
+        assert cut.downtime_windows(20.0, 30.0) == [(20.0, 30.0)]  # clipped
+        assert cut.downtime_windows(60.0, 100.0) == []
+
+    def test_non_down_effects_contribute_nothing(self):
+        burst = TransientErrorBurst(0.0, 100.0, rate=0.5)
+        brownout = LatencyBrownout(0.0, 100.0, rtt_factor=4.0)
+        profile = FaultProfile([burst, brownout])
+        assert burst.downtime_windows(0.0, 100.0) == []
+        assert profile.downtime_windows(0.0, 100.0) == []
+
+    def test_overlapping_flap_and_partition_merge(self):
+        from repro.faults import NetworkPartition
+
+        # flap down-phases: [0,5) [20,25) [40,45) [60,65) [80,85)
+        flap = FlappingOutage(0.0, 100.0, period=20.0, downtime=5.0)
+        cut = NetworkPartition(22.0, 62.0)
+        profile = FaultProfile([flap, cut])
+        # the partition swallows three flap phases and glues onto a fourth
+        assert profile.downtime_windows(0.0, 100.0) == [
+            (0.0, 5.0),
+            (20.0, 65.0),
+            (80.0, 85.0),
+        ]
+        # consistency: every merged instant reports is_out
+        for t in (0.0, 4.9, 20.0, 23.0, 50.0, 61.9, 64.9, 80.0):
+            assert profile.is_out(t)
+        for t in (5.0, 19.9, 65.0, 79.9, 85.0):
+            assert not profile.is_out(t)
+
+    def test_partition_reaches_provider_scheduled_downtime(self):
+        from repro.faults import NetworkPartition
+
+        clock = SimClock()
+        profile = FaultProfile([NetworkPartition(5.0, 15.0)]).bind("p1")
+        provider = _provider(clock, faults=profile)
+        assert provider.scheduled_downtime(0.0, 100.0) == [(5.0, 15.0)]
+        clock.advance(6.0)
+        assert not provider.is_available()
+        clock.advance(10.0)
+        assert provider.is_available()

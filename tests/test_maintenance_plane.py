@@ -423,3 +423,75 @@ class TestDepSkyMargins:
         results = plane.repair.run_cycle()
         assert [r.path for r in results] == ["/d/critical", "/d/safe"]
         assert all(r.complete for r in results)
+
+
+class TestOrphanSweeper:
+    """Crash recovery routes orphan deletions through the plane's budgeted
+    sweeper when one is attached, instead of deleting inline."""
+
+    @staticmethod
+    def _crash_orphans(attach_plane):
+        """Overwrite-crash early enough to roll back, leaving the dead
+        client's stray fragments as orphans; recover and report."""
+        from repro.faults.crash import ClientCrash, CrashSchedule
+        from repro.schemes import RacsScheme
+
+        clock, providers = _fleet()
+        fleet = [providers[p] for p in ("amazon_s3", "azure", "aliyun", "rackspace")]
+        scheme = RacsScheme(fleet, clock)
+        journal = scheme.attach_journal()
+        rng = make_rng(0, "orphan-route")
+        old = rng.bytes(64 * KB)
+        scheme.put("/gc/f0", old)
+        # Ordinal 2: one fragment of the overwrite lands (< k), then death.
+        scheme.install_crash_schedule(CrashSchedule([2]))
+        with pytest.raises(ClientCrash):
+            scheme.put("/gc/f0", rng.bytes(64 * KB))
+        dead = scheme
+        scheme = RacsScheme(fleet, clock)
+        scheme.adopt_write_logs(dead._write_logs)
+        scheme.attach_journal(journal)
+        plane = scheme.attach_maintenance() if attach_plane else None
+        scheme.recover_namespace()
+        summary = scheme.recover()
+        assert summary["rolled_back"], "ordinal 2 must roll back"
+        return scheme, plane, summary, old
+
+    def test_without_plane_recovery_deletes_inline(self):
+        scheme, _plane, summary, old = self._crash_orphans(attach_plane=False)
+        assert sum(summary["orphans_removed"].values()) > 0
+        data, _ = scheme.get("/gc/f0")
+        assert data == old
+
+    def test_with_plane_orphans_are_enqueued_not_deleted(self):
+        scheme, plane, summary, _old = self._crash_orphans(attach_plane=True)
+        assert summary["orphans_removed"] == {}  # deferred to the sweeper
+        assert len(plane.orphans) > 0
+        # the stray fragments are still on the providers, queue is truthful
+        for provider, container, key in plane.orphans.pending():
+            assert scheme.provider(provider).store.has(container, key)
+
+    def test_sweeper_drains_under_per_cycle_key_budget(self):
+        scheme, plane, _summary, old = self._crash_orphans(attach_plane=True)
+        queued = plane.orphans.pending()
+        cycles = 0
+        while plane.orphans.run_cycle(max_keys=1):
+            cycles += 1
+            assert cycles <= len(queued) + 4
+        # one key per cycle: draining took as many cycles as keys
+        assert cycles == len(queued)
+        assert len(plane.orphans) == 0
+        for provider, container, key in queued:
+            assert not scheme.provider(provider).store.has(container, key)
+        # sweeping only removed garbage: the object still reads clean
+        data, _ = scheme.get("/gc/f0")
+        assert data == old
+        audit = scheme.verify_object("/gc/f0", deep=True)
+        assert audit.ok
+
+    def test_enqueue_dedupes(self):
+        scheme, plane, _summary, _old = self._crash_orphans(attach_plane=True)
+        provider, container, key = plane.orphans.pending()[0]
+        depth = len(plane.orphans)
+        assert not plane.orphans.enqueue(provider, container, key)
+        assert len(plane.orphans) == depth

@@ -82,6 +82,92 @@ class TestWriteLog:
         assert log.peek()[0].data == b"abc"
 
 
+class TestWriteLogSpill:
+    """Bounded memory: past the limit, oldest put payloads move to the
+    client-local disk tier (still replayable, no longer resident)."""
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WriteLog(memory_limit_bytes=-1)
+
+    def test_unlimited_never_spills(self):
+        log = WriteLog()
+        log.log_put("c", "k", b"x" * 1024, 0.0)
+        assert log.spilled_bytes() == 0 and log.spill_events == 0
+        assert log.memory_bytes() == 1024
+
+    def test_zero_budget_spills_everything(self):
+        log = WriteLog(memory_limit_bytes=0)
+        log.log_put("c", "a", b"x" * 10, 0.0)
+        log.log_put("c", "b", b"y" * 20, 1.0)
+        assert log.memory_bytes() == 0
+        assert log.spilled_bytes() == 30
+        assert log.pending_bytes() == 30
+        assert log.spill_events == 2
+
+    def test_spill_is_oldest_first(self):
+        log = WriteLog(memory_limit_bytes=25)
+        log.log_put("c", "a", b"a" * 10, 0.0)
+        log.log_put("c", "b", b"b" * 10, 1.0)
+        assert log.spilled_bytes() == 0  # 20 <= 25: all resident
+        log.log_put("c", "c", b"c" * 10, 2.0)
+        # 30 > 25: spill "a" (oldest) — 20 resident fits the budget
+        assert log.spilled_bytes() == 10
+        assert log.memory_bytes() == 20
+        assert log.spill_events == 1
+
+    def test_removes_cost_no_memory(self):
+        log = WriteLog(memory_limit_bytes=0)
+        log.log_remove("c", "k", 0.0)
+        assert log.pending_bytes() == 0 and log.spill_events == 0
+
+    def test_overwrite_of_spilled_entry_fixes_accounting(self):
+        log = WriteLog(memory_limit_bytes=0)
+        log.log_put("c", "k", b"x" * 100, 0.0)
+        assert log.spilled_bytes() == 100
+        log.log_put("c", "k", b"y" * 40, 1.0)
+        assert log.pending_bytes() == 40
+        assert log.spilled_bytes() == 40  # re-spilled under the zero budget
+        log.log_remove("c", "k", 2.0)
+        assert log.pending_bytes() == 0 and log.spilled_bytes() == 0
+
+    def test_discard_of_spilled_entry(self):
+        log = WriteLog(memory_limit_bytes=0)
+        log.log_put("c", "k", b"x" * 7, 0.0)
+        log.discard("c", "k")
+        assert not log
+        assert log.pending_bytes() == 0 and log.spilled_bytes() == 0
+
+    def test_drain_reloads_spilled_payloads_and_resets(self):
+        log = WriteLog(memory_limit_bytes=0)
+        log.log_put("c", "a", b"payload-a", 0.0)
+        log.log_put("c", "b", b"payload-b", 1.0)
+        entries = log.drain()
+        # entries always carry their data, whatever tier they waited on
+        assert [e.data for e in entries] == [b"payload-a", b"payload-b"]
+        assert log.pending_bytes() == 0
+        assert log.memory_bytes() == 0
+        assert log.spilled_bytes() == 0
+
+    @given(
+        limit=st.integers(min_value=0, max_value=64),
+        sizes=st.lists(st.integers(min_value=0, max_value=32), max_size=20),
+    )
+    def test_tier_accounting_is_conserved(self, limit, sizes):
+        log = WriteLog(memory_limit_bytes=limit)
+        for i, size in enumerate(sizes):
+            log.log_put("c", f"k{i}", b"x" * size, float(i))
+            # the two tiers always partition the pending payload...
+            assert log.memory_bytes() + log.spilled_bytes() == log.pending_bytes()
+            # ...and residency only exceeds the budget when nothing more
+            # can be spilled (every retained payload is already on disk)
+            if log.memory_bytes() > limit:
+                assert all(
+                    e.data is None or log.spilled_bytes() >= log.pending_bytes()
+                    for e in log.peek()
+                )
+
+
 # (container, key) space small enough that random sequences collide often —
 # collisions are exactly what exercises the last-wins compaction.
 _KEYS = st.tuples(st.sampled_from(["c1", "c2"]), st.sampled_from(["a", "b", "c"]))

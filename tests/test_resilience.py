@@ -216,3 +216,75 @@ class TestResilienceConfig:
             ResilienceConfig(hedge_quantile_dev=-1.0)
         with pytest.raises(ValueError):
             ResilienceConfig(health_error_weight=-1.0)
+
+
+class TestOpDeadline:
+    """``RetryPolicy.op_deadline`` bounds a request's total wall time.
+
+    Attempt counts alone cannot: against a browned-out provider every
+    failed attempt burns a (huge) RTT before the client can react, so ten
+    attempts of a slow provider cost minutes.  The op deadline stops the
+    retry chain once the serialized penalty reaches the budget.
+    """
+
+    def test_validation_and_default(self):
+        assert RetryPolicy().op_deadline is None
+        RetryPolicy(op_deadline=0.5)  # valid
+        with pytest.raises(ValueError):
+            RetryPolicy(op_deadline=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(op_deadline=-1.0)
+
+    @staticmethod
+    def _slow_provider_put(op_deadline):
+        """One replicated put against a scripted slow provider: azure fails
+        ~every request and answers 60x slower than its SLA."""
+        from repro.cloud.provider import make_table2_cloud_of_clouds
+        from repro.faults import FaultProfile, LatencyBrownout, TransientErrorBurst
+        from repro.schemes import DuraCloudScheme
+        from repro.sim.clock import SimClock
+
+        clock = SimClock()
+        profile = FaultProfile(
+            [
+                TransientErrorBurst(0.0, 1e6, rate=0.999),
+                LatencyBrownout(0.0, 1e6, rtt_factor=60.0, bw_factor=1.0),
+            ],
+            seed=3,
+        ).bind("azure")
+        fleet = make_table2_cloud_of_clouds(clock, faults={"azure": profile})
+        policy = RetryPolicy(
+            max_attempts=10,
+            base_delay=0.05,
+            jitter=0.0,
+            deadline=1e9,
+            op_deadline=op_deadline,
+        )
+        scheme = DuraCloudScheme(
+            [fleet["amazon_s3"], fleet["azure"]],
+            clock,
+            resilience=ResilienceConfig(retry=policy),
+        )
+        scheme.put("/d/slow", b"x" * 4096)
+        return scheme
+
+    def test_deadline_caps_retry_spend_against_slow_provider(self):
+        unbounded = self._slow_provider_put(op_deadline=None)
+        bounded = self._slow_provider_put(op_deadline=3.0)
+        # strictly fewer retries burned, strictly less simulated time
+        assert bounded.collector.counter("retries") < unbounded.collector.counter(
+            "retries"
+        )
+        assert bounded.clock.now < unbounded.clock.now
+        # the slow provider's missed mutation still lands in its write log
+        # either way — giving up early must not drop the consistency update
+        assert bounded._write_logs["azure"].has_pending(
+            bounded.container, next(iter(bounded._write_logs["azure"].peek())).key
+        )
+        assert unbounded._write_logs["azure"]
+
+    def test_deadline_is_deterministic(self):
+        a = self._slow_provider_put(op_deadline=3.0)
+        b = self._slow_provider_put(op_deadline=3.0)
+        assert a.clock.now == b.clock.now
+        assert a.collector.reports == b.collector.reports
