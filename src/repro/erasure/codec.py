@@ -9,7 +9,7 @@ reconstruct the payload.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from collections.abc import Callable, Mapping
+from collections.abc import Callable, Mapping, Sequence
 
 __all__ = ["ErasureCodec", "register_codec", "get_codec", "available_codecs"]
 
@@ -52,6 +52,20 @@ class ErasureCodec(ABC):
         :meth:`encode`.
         """
         return list(self.encode(data))
+
+    def encode_views_batch(
+        self, payloads: Sequence[bytes]
+    ) -> list[list[bytes | memoryview]]:
+        """Encode a burst of payloads; fragment list per payload, in order.
+
+        Contents are byte-identical to calling :meth:`encode_views` per
+        payload — the contract batching must never change.  Codecs whose
+        encode has per-call fixed costs worth amortising (matrix binding,
+        kernel tile ramp-up) override this to run one batched parity pass
+        over the whole burst; ``ReedSolomonCode`` does.  The default is the
+        straightforward loop.
+        """
+        return [self.encode_views(p) for p in payloads]
 
     @abstractmethod
     def decode(self, fragments: Mapping[int, bytes], size: int) -> bytes:

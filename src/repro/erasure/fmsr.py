@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.erasure.codec import ErasureCodec
 from repro.erasure.galois import gf_inverse_matrix, gf_matmul
+from repro.erasure.gfkernel import gf_matmul_fast
 from repro.erasure.striping import join_shards, shard_length, split_shards
 from repro.sim.rng import make_rng
 
@@ -118,13 +119,34 @@ class FMSRCode(ErasureCodec):
 
     # ------------------------------------------------------------------ codec
     def fragment_size(self, size: int) -> int:
+        """Bytes per node fragment: ``(n-k)`` coded chunks of shard length."""
         return self._r * shard_length(size, self._native)
 
-    def encode(self, data: bytes) -> list[bytes]:
+    def _encode_coded(self, data: bytes) -> np.ndarray:
+        """The full (n*r, L) coded-chunk matrix ``ECM @ native`` (kernel-backed)."""
         native = split_shards(data, self._native)  # (k*r, L)
-        coded = gf_matmul(self._ecm, native)  # (n*r, L)
+        return gf_matmul_fast(self._ecm, native)  # (n*r, L)
+
+    def encode(self, data: bytes) -> list[bytes]:
+        """``n`` node fragments, each the concatenation of its r coded chunks."""
+        coded = self._encode_coded(data)
         return [
             coded[self._node_rows(i)].tobytes() for i in range(self._n)
+        ]
+
+    def encode_views(self, data: bytes) -> list[bytes | memoryview]:
+        """Zero-copy encode: node fragments are flat views into the coded matrix.
+
+        FMSR fragments are linear combinations of every native chunk, so —
+        unlike the systematic codes — no fragment can alias ``data``; the
+        win is skipping the per-node ``tobytes`` copies of :meth:`encode`.
+        Each view is 1-D (``len`` counts bytes) over the node's contiguous
+        row block of the freshly encoded matrix.
+        """
+        coded = self._encode_coded(data)
+        return [
+            memoryview(coded[self._node_rows(i)].reshape(-1))
+            for i in range(self._n)
         ]
 
     def _fragment_chunks(self, frag: bytes, chunk_len: int, node: int) -> np.ndarray:
@@ -146,7 +168,7 @@ class FMSRCode(ErasureCodec):
             [self._fragment_chunks(fragments[i], chunk_len, i) for i in nodes]
         )
         inv = gf_inverse_matrix(rows)
-        native = gf_matmul(inv, chunks)
+        native = gf_matmul_fast(inv, chunks)
         return join_shards(native, size)
 
     # ------------------------------------------------------------------ repair
@@ -183,7 +205,7 @@ class FMSRCode(ErasureCodec):
                 alpha = rng.integers(0, 256, size=(1, self._r), dtype=np.uint8)
                 sent_rows[j] = gf_matmul(alpha, self._ecm[self._node_rows(i)])[0]
                 if chunk_len:
-                    sent_chunks[j] = gf_matmul(alpha, sur_chunks[i])[0]
+                    sent_chunks[j] = gf_matmul_fast(alpha, sur_chunks[i])[0]
             # Phase 2: the replacement combines them into r new chunks.
             beta = rng.integers(0, 256, size=(self._r, self._n - 1), dtype=np.uint8)
             new_rows = gf_matmul(beta, sent_rows)  # (r, k*r)
@@ -192,7 +214,7 @@ class FMSRCode(ErasureCodec):
             if not self._is_mds(candidate):
                 continue
             new_chunks = (
-                gf_matmul(beta, sent_chunks)
+                gf_matmul_fast(beta, sent_chunks)
                 if chunk_len
                 else np.zeros((self._r, 0), dtype=np.uint8)
             )

@@ -5,9 +5,13 @@ x^8 + x^4 + x^3 + x^2 + 1 (0x11d) and generator 2 — the same construction
 used by jerasure/ISA-L, so fragment bytes produced here match standard RS
 implementations bit-for-bit.
 
-Scalar-times-vector products (the hot path of encoding) are a single fancy
-index into a precomputed 256x256 multiplication table; per the repo's
-HPC guides we never loop over bytes in Python.
+Scalar-times-vector products are a single fancy index into a precomputed
+256x256 multiplication table; per the repo's HPC guides we never loop over
+bytes in Python.  This module is the *scalar reference oracle*: correct and
+simple, but its 2-D gathers walk the 64 KiB table cache-hostilely.  The
+data-plane hot paths use :mod:`repro.erasure.gfkernel`, whose strategies are
+all held bit-identical to :func:`gf_matmul` by the property suite — see
+``docs/codecs.md``.
 """
 
 from __future__ import annotations
@@ -94,11 +98,16 @@ def gf_pow(a: int, n: int) -> int:
 
 
 def gf_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Matrix product over GF(256).
+    """Matrix product over GF(256) — the scalar reference implementation.
 
     Shapes follow NumPy's ``@``: (r, c) x (c, m) -> (r, m).  The inner loop
     runs over the *small* shared dimension c (the code's k), so multiplying a
     generator matrix by megabyte-wide shard matrices stays vectorised.
+
+    This is the correctness oracle; hot paths call
+    :func:`repro.erasure.gfkernel.gf_matmul_fast`, which is bit-identical
+    but gathers from contiguous per-coefficient tables instead of the
+    cache-hostile 2-D ``np.ix_`` walk here.
     """
     a = np.asarray(a, dtype=np.uint8)
     b = np.asarray(b, dtype=np.uint8)

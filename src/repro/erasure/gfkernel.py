@@ -1,0 +1,522 @@
+"""Vectorised GF(2^8) encode kernels — the parity-generation hot path.
+
+Parity generation is a constant-matrix product over GF(256): every output
+row is ``XOR_j coeff[i, j] * shard[j]`` for a small, fixed coefficient
+matrix and megabyte-wide shard rows.  The scalar reference
+(:func:`repro.erasure.galois.gf_matmul`) evaluates it as one 2-D fancy
+gather per shard column — a cache-hostile random walk over the 64 KiB
+product table that topped out around 140 MB/s for RS(2+2).  This module
+replaces that walk with contiguous table lookups shaped for NumPy's
+``take`` and keeps every byte bit-identical to the scalar oracle.
+
+Kernel strategies (``REPRO_GF_KERNEL`` environment variable, or
+:func:`set_strategy` / the ``strategy=`` argument):
+
+``packed`` (chosen by ``auto``, the default)
+    Adjacent input bytes are paired through a natural little-endian
+    ``uint16`` view (no index construction), and each gathered entry is a
+    ``uint32`` packing the products for *two* output rows — one ``take``
+    therefore performs four GF multiplies.  Tables are 64 Ki entries
+    (256 KiB) per coefficient pair, LRU-cached, and execution is tiled so
+    accumulators stay cache-resident.  On top of that the planner folds
+    input columns pairwise: whenever two coefficient columns are equal or
+    differ by exactly ``1`` in every row (which is *always* true for the
+    two data columns of a systematic Vandermonde code with ``k = 2``),
+    both shards are combined with a single XOR pass and one gather covers
+    them both.
+``table``
+    One contiguous 256-entry row lookup per (row, column) coefficient,
+    XOR-accumulated — the classic log-free LUT kernel.  Slower than
+    ``packed`` but needs only the shared 64 KiB product table.
+``nibble``
+    Split high/low-nibble tables (two 256x16 byte tables, 8 KiB total)
+    in the ISA-L/PSHUFB style: ``c*x = LO[c][x & 15] ^ HI[c][x >> 4]``.
+    The tables always stay cache-resident, but NumPy pays two gathers
+    plus the nibble extraction per coefficient, so this is a fallback
+    for cache-starved hosts, not the default.
+``scalar``
+    Defers to :func:`~repro.erasure.galois.gf_matmul` — the reference
+    oracle the property suite checks every other strategy against.
+
+See ``docs/codecs.md`` for the full decision tree and the measured
+numbers behind it.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.erasure.galois import MUL_TABLE, gf_matmul
+
+__all__ = [
+    "KERNEL_STRATEGIES",
+    "EncodePlan",
+    "active_strategy",
+    "set_strategy",
+    "plan_for",
+    "encode_parity",
+    "gf_matmul_fast",
+    "xor_rows",
+]
+
+#: accepted strategy names; ``auto`` resolves to the fastest implemented
+#: kernel (currently ``packed``)
+KERNEL_STRATEGIES = ("auto", "packed", "table", "nibble", "scalar")
+
+_ENV_VAR = "REPRO_GF_KERNEL"
+#: uint16 elements per tile — 128 KiB of index bytes, so index tile,
+#: two uint32 accumulators (512 KiB) and a couple of 256 KiB tables fit a
+#: 2 MiB L2 together
+_TILE = 1 << 16
+#: below this many bytes per shard the NumPy call overhead exceeds the
+#: gather win and the scalar oracle is used directly
+_SMALL_CUTOFF = 2048
+_PAIR16_MAX = 128  # cached uint16 pair tables, 128 KiB each
+_PACKED32_MAX = 64  # cached uint32 packed tables, 256 KiB each
+_PLAN_MAX = 256
+
+
+def _resolve(strategy: str | None) -> str:
+    name = strategy if strategy is not None else _DEFAULT[0]
+    if name not in KERNEL_STRATEGIES:
+        raise ValueError(
+            f"unknown GF kernel strategy {name!r}; choose from {KERNEL_STRATEGIES}"
+        )
+    return "packed" if name == "auto" else name
+
+
+def active_strategy() -> str:
+    """The strategy new plans resolve to right now (``auto`` resolved)."""
+    return _resolve(None)
+
+
+def set_strategy(name: str | None) -> None:
+    """Set the process-wide default strategy (``None`` restores ``auto``).
+
+    Bound plans are dropped so the next encode re-plans; cached product
+    tables survive (they are strategy-independent data).
+    """
+    _DEFAULT[0] = name if name is not None else os.environ.get(_ENV_VAR, "auto")
+    _resolve(None)  # validate eagerly
+    _PLANS.clear()
+
+
+_DEFAULT = [os.environ.get(_ENV_VAR, "auto")]
+
+
+# ------------------------------------------------------------------- tables
+_PAIR16: OrderedDict[int, np.ndarray] = OrderedDict()
+_PACKED32: OrderedDict[tuple[int, int], np.ndarray] = OrderedDict()
+_NIBBLE: list[tuple[np.ndarray, np.ndarray] | None] = [None]
+
+
+def _pair16(c: int) -> np.ndarray:
+    """64 Ki-entry uint16 table: products of ``c`` for a byte *pair*.
+
+    Indexed by the little-endian ``uint16`` view of bytes ``[lo, hi]``
+    (``lo | hi << 8``); the entry is ``c*lo | (c*hi) << 8`` — the LE
+    ``uint16`` view of the two product bytes.
+    """
+    cached = _PAIR16.get(c)
+    if cached is None:
+        row = MUL_TABLE[c].astype(np.uint16)
+        cached = (row[np.newaxis, :] | (row[:, np.newaxis] << 8)).reshape(-1)
+        _PAIR16[c] = cached
+        if len(_PAIR16) > _PAIR16_MAX:
+            _PAIR16.popitem(last=False)
+    else:
+        _PAIR16.move_to_end(c)
+    return cached
+
+
+def _packed32(c0: int, c1: int) -> np.ndarray:
+    """uint32 pair table packing two output rows: low half ``c0``, high ``c1``."""
+    key = (c0, c1)
+    cached = _PACKED32.get(key)
+    if cached is None:
+        cached = _pair16(c0).astype(np.uint32) | (
+            _pair16(c1).astype(np.uint32) << 16
+        )
+        _PACKED32[key] = cached
+        if len(_PACKED32) > _PACKED32_MAX:
+            _PACKED32.popitem(last=False)
+    else:
+        _PACKED32.move_to_end(key)
+    return cached
+
+
+def _nibble_tables() -> tuple[np.ndarray, np.ndarray]:
+    """(LO, HI) split tables: ``c*x = LO[c][x & 15] ^ HI[c][x >> 4]``."""
+    if _NIBBLE[0] is None:
+        lo = np.ascontiguousarray(MUL_TABLE[:, :16])
+        hi = np.ascontiguousarray(MUL_TABLE[:, 0:256:16])
+        _NIBBLE[0] = (lo, hi)
+    return _NIBBLE[0]
+
+
+# ---------------------------------------------------------------- workspace
+class _Workspace:
+    """Per-process scratch reused across every kernel execution.
+
+    One tile's worth of each accumulator dtype plus on-demand index
+    buffers for folded columns; reuse avoids re-faulting megabytes of
+    fresh pages on every encode call.
+    """
+
+    def __init__(self) -> None:
+        self.acc32 = np.empty(_TILE, dtype=np.uint32)
+        self.tmp32 = np.empty(_TILE, dtype=np.uint32)
+        self.acc16 = np.empty(_TILE, dtype=np.uint16)
+        self.tmp16 = np.empty(_TILE, dtype=np.uint16)
+        self.tmp8 = np.empty(2 * _TILE, dtype=np.uint8)
+        self._idx: list[np.ndarray] = []
+
+    def idx16(self, i: int) -> np.ndarray:
+        while len(self._idx) <= i:
+            self._idx.append(np.empty(_TILE, dtype=np.uint16))
+        return self._idx[i]
+
+
+_WS = _Workspace()
+
+
+# --------------------------------------------------------------------- plan
+class _Term:
+    """One gather term of the packed schedule.
+
+    ``col`` is the shard column whose (possibly folded) bytes are the
+    gather index; ``fold_col`` is the partner column folded into the index
+    by XOR (or ``None``); ``fold_extra`` marks the difference-one fold,
+    where the partner shard must additionally be XORed into *every*
+    output row; ``coeffs`` is the per-output-row coefficient vector.
+    """
+
+    __slots__ = ("col", "fold_col", "fold_extra", "coeffs")
+
+    def __init__(
+        self, col: int, fold_col: int | None, fold_extra: bool, coeffs: np.ndarray
+    ) -> None:
+        self.col = col
+        self.fold_col = fold_col
+        self.fold_extra = fold_extra
+        self.coeffs = coeffs
+
+
+def _fold_schedule(coeff: np.ndarray) -> list[_Term]:
+    """Greedy pairwise column folding.
+
+    Two shard columns fold into one gather when their coefficient columns
+    XOR to the same constant ``d`` in every output row and ``d`` is 0
+    (identical columns: ``c*s1 ^ c*s2 = c*(s1 ^ s2)``) or 1
+    (``c*s1 ^ (c^1)*s2 = c*(s1 ^ s2) ^ s2``).  Systematic Vandermonde
+    generators with ``k = 2`` always satisfy the ``d = 1`` case, which is
+    what makes the RS(2+m) write path one gather per output-row pair.
+    """
+    m, k = coeff.shape
+    terms: list[_Term] = []
+    used = [False] * k
+    for j1 in range(k):
+        if used[j1]:
+            continue
+        used[j1] = True
+        fold: tuple[int, int] | None = None
+        for j2 in range(j1 + 1, k):
+            if used[j2]:
+                continue
+            diff = coeff[:, j1] ^ coeff[:, j2]
+            d = int(diff[0])
+            if d <= 1 and np.all(diff == d):
+                fold = (j2, d)
+                used[j2] = True
+                break
+        if fold is None:
+            terms.append(_Term(j1, None, False, coeff[:, j1].copy()))
+        else:
+            j2, d = fold
+            terms.append(_Term(j1, j2, d == 1, coeff[:, j1].copy()))
+    return terms
+
+
+class EncodePlan:
+    """A coefficient matrix bound to one kernel strategy.
+
+    Binding analyses the matrix once (column folding, row pairing) so a
+    replay write burst pays the planning cost a single time; plans are
+    cached by matrix bytes (:func:`plan_for`), and the packed gather
+    tables live in their own LRU shared across plans.  ``execute`` is
+    byte-identical to ``gf_matmul(coeff, shards)`` for every strategy —
+    the hypothesis suite in ``tests/test_gfkernel.py`` holds each one to
+    the scalar oracle.
+    """
+
+    def __init__(self, coeff: np.ndarray, strategy: str | None = None) -> None:
+        coeff = np.asarray(coeff, dtype=np.uint8)
+        if coeff.ndim != 2:
+            raise ValueError(f"coefficient matrix must be 2-D, got {coeff.shape}")
+        self.coeff = coeff
+        self.strategy = _resolve(strategy)
+        self.m, self.k = coeff.shape
+        self._terms = _fold_schedule(coeff) if self.strategy == "packed" else []
+        self._pairs = [(r, r + 1) for r in range(0, self.m - 1, 2)]
+        self._odd = self.m - 1 if self.m % 2 else None
+
+    # ------------------------------------------------------------- dispatch
+    def execute(
+        self,
+        rows: Sequence[np.ndarray],
+        length: int,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Parity rows for ``rows`` (k 1-D uint8 arrays of >= ``length``).
+
+        Returns an ``(m, length)`` C-contiguous uint8 matrix (``out`` may
+        supply it); every fragment byte matches the scalar oracle exactly.
+        """
+        if len(rows) != self.k:
+            raise ValueError(f"plan expects {self.k} shard rows, got {len(rows)}")
+        if out is None:
+            out = np.empty((self.m, length), dtype=np.uint8)
+        elif out.shape != (self.m, length) or out.dtype != np.uint8:
+            raise ValueError(
+                f"out must be uint8 {(self.m, length)}, got {out.dtype} {out.shape}"
+            )
+        if length == 0 or self.m == 0:
+            return out
+        if self.strategy == "scalar" or length < _SMALL_CUTOFF:
+            stacked = np.vstack([np.asarray(r[:length], dtype=np.uint8) for r in rows])
+            out[:] = gf_matmul(self.coeff, stacked)
+            return out
+        if self.strategy == "packed":
+            self._run_packed(rows, length, out)
+        elif self.strategy == "table":
+            self._run_table(rows, length, out)
+        else:
+            self._run_nibble(rows, length, out)
+        return out
+
+    __call__ = execute
+
+    # --------------------------------------------------------------- packed
+    def _run_packed(
+        self, rows: Sequence[np.ndarray], length: int, out: np.ndarray
+    ) -> None:
+        even = length & ~1
+        half = even >> 1
+        row16 = [r[:even].view(np.uint16) for r in rows]
+        out16 = [out[i, :even].view(np.uint16) for i in range(self.m)]
+        ws = _WS
+        for s in range(0, half, _TILE):
+            e = min(s + _TILE, half)
+            w = e - s
+            idx_tiles: list[np.ndarray] = []
+            for i, t in enumerate(self._terms):
+                if t.fold_col is None:
+                    idx_tiles.append(row16[t.col][s:e])
+                else:
+                    buf = ws.idx16(i)[:w]
+                    np.bitwise_xor(
+                        row16[t.col][s:e], row16[t.fold_col][s:e], out=buf
+                    )
+                    idx_tiles.append(buf)
+            for r0, r1 in self._pairs:
+                acc = ws.acc32[:w]
+                first = True
+                for t, idx in zip(self._terms, idx_tiles):
+                    c0 = int(t.coeffs[r0])
+                    c1 = int(t.coeffs[r1])
+                    if c0 == 0 and c1 == 0:
+                        continue
+                    table = _packed32(c0, c1)
+                    if first:
+                        np.take(table, idx, out=acc, mode="clip")
+                        first = False
+                    else:
+                        tmp = ws.tmp32[:w]
+                        np.take(table, idx, out=tmp, mode="clip")
+                        np.bitwise_xor(acc, tmp, out=acc)
+                if first:
+                    out16[r0][s:e] = 0
+                    out16[r1][s:e] = 0
+                else:
+                    # truncating casts split the packed halves: low uint16 is
+                    # row r0's product pair, high uint16 is row r1's
+                    np.copyto(out16[r0][s:e], acc, casting="unsafe")
+                    acc >>= 16
+                    np.copyto(out16[r1][s:e], acc, casting="unsafe")
+            if self._odd is not None:
+                r = self._odd
+                acc = ws.acc16[:w]
+                first = True
+                for t, idx in zip(self._terms, idx_tiles):
+                    c = int(t.coeffs[r])
+                    if c == 0:
+                        continue
+                    table = _pair16(c)
+                    if first:
+                        np.take(table, idx, out=acc, mode="clip")
+                        first = False
+                    else:
+                        tmp = ws.tmp16[:w]
+                        np.take(table, idx, out=tmp, mode="clip")
+                        np.bitwise_xor(acc, tmp, out=acc)
+                if first:
+                    out16[r][s:e] = 0
+                else:
+                    out16[r][s:e] = acc
+            for t, idx in zip(self._terms, idx_tiles):
+                if t.fold_extra:
+                    extra = row16[t.fold_col][s:e]
+                    for i in range(self.m):
+                        np.bitwise_xor(out16[i][s:e], extra, out=out16[i][s:e])
+        if even < length:
+            tail = np.array([[int(r[length - 1])] for r in rows], dtype=np.uint8)
+            out[:, even:] = gf_matmul(self.coeff, tail)
+
+    # ---------------------------------------------------------------- table
+    def _run_table(
+        self, rows: Sequence[np.ndarray], length: int, out: np.ndarray
+    ) -> None:
+        ws = _WS
+        tile = 2 * _TILE
+        for s in range(0, length, tile):
+            e = min(s + tile, length)
+            w = e - s
+            for i in range(self.m):
+                acc = out[i, s:e]
+                first = True
+                for j in range(self.k):
+                    c = int(self.coeff[i, j])
+                    if c == 0:
+                        continue
+                    src = rows[j][s:e]
+                    if first:
+                        if c == 1:
+                            np.copyto(acc, src)
+                        else:
+                            np.take(MUL_TABLE[c], src, out=acc, mode="clip")
+                        first = False
+                    elif c == 1:
+                        np.bitwise_xor(acc, src, out=acc)
+                    else:
+                        tmp = ws.tmp8[:w]
+                        np.take(MUL_TABLE[c], src, out=tmp, mode="clip")
+                        np.bitwise_xor(acc, tmp, out=acc)
+                if first:
+                    acc[:] = 0
+
+    # --------------------------------------------------------------- nibble
+    def _run_nibble(
+        self, rows: Sequence[np.ndarray], length: int, out: np.ndarray
+    ) -> None:
+        lo_t, hi_t = _nibble_tables()
+        ws = _WS
+        tile = 2 * _TILE
+        for s in range(0, length, tile):
+            e = min(s + tile, length)
+            w = e - s
+            los: list[np.ndarray | None] = [None] * self.k
+            his: list[np.ndarray | None] = [None] * self.k
+            out[:, s:e] = 0
+            for i in range(self.m):
+                acc = out[i, s:e]
+                for j in range(self.k):
+                    c = int(self.coeff[i, j])
+                    if c == 0:
+                        continue
+                    src = rows[j][s:e]
+                    if c == 1:
+                        np.bitwise_xor(acc, src, out=acc)
+                        continue
+                    if los[j] is None:
+                        # nibble split computed lazily, once per shard tile
+                        los[j] = np.bitwise_and(src, 15)
+                        his[j] = np.right_shift(src, 4)
+                    tmp = ws.tmp8[:w]
+                    np.take(lo_t[c], los[j], out=tmp, mode="clip")
+                    np.bitwise_xor(acc, tmp, out=acc)
+                    np.take(hi_t[c], his[j], out=tmp, mode="clip")
+                    np.bitwise_xor(acc, tmp, out=acc)
+
+
+# ------------------------------------------------------------------- caches
+_PLANS: OrderedDict[tuple[str, tuple[int, int], bytes], EncodePlan] = OrderedDict()
+
+
+def plan_for(coeff: np.ndarray, strategy: str | None = None) -> EncodePlan:
+    """The cached :class:`EncodePlan` for ``coeff`` under ``strategy``.
+
+    Keyed by matrix bytes and resolved strategy, LRU-bounded: a replayer
+    driving thousands of writes through one codec binds the matrix once
+    and reuses the plan for the whole burst.
+    """
+    coeff = np.asarray(coeff, dtype=np.uint8)
+    key = (_resolve(strategy), coeff.shape, coeff.tobytes())
+    plan = _PLANS.get(key)
+    if plan is None:
+        plan = EncodePlan(coeff, strategy)
+        _PLANS[key] = plan
+        if len(_PLANS) > _PLAN_MAX:
+            _PLANS.popitem(last=False)
+    else:
+        _PLANS.move_to_end(key)
+    return plan
+
+
+def encode_parity(
+    coeff: np.ndarray,
+    rows: Sequence[np.ndarray],
+    length: int,
+    strategy: str | None = None,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Parity rows ``coeff @ rows`` over GF(256) via the cached plan."""
+    return plan_for(coeff, strategy).execute(rows, length, out)
+
+
+def gf_matmul_fast(
+    a: np.ndarray, b: np.ndarray, strategy: str | None = None
+) -> np.ndarray:
+    """Drop-in for :func:`~repro.erasure.galois.gf_matmul`, kernel-backed.
+
+    Same shape contract — ``(r, c) x (c, L) -> (r, L)`` — and bit-identical
+    output; small products fall back to the scalar oracle where the call
+    overhead would dominate.
+    """
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError(f"incompatible shapes for GF matmul: {a.shape} x {b.shape}")
+    return plan_for(a, strategy).execute(list(b), b.shape[1])
+
+
+def xor_rows(
+    rows: Sequence, length: int, out: np.ndarray | None = None
+) -> np.ndarray:
+    """Tiled XOR-reduce of bytes-like rows (the RAID5 parity primitive).
+
+    ``rows`` may be uint8 arrays or any bytes-like buffers of at least
+    ``length`` bytes; returns a fresh (or supplied) uint8 array of
+    ``length``.  Tiling keeps the accumulator cache-resident when folding
+    many fragments.
+    """
+    if out is None:
+        out = np.empty(length, dtype=np.uint8)
+    arrs = [
+        r if isinstance(r, np.ndarray) else np.frombuffer(r, dtype=np.uint8)
+        for r in rows
+    ]
+    if not arrs:
+        out[:length] = 0
+        return out
+    tile = 4 * _TILE
+    for s in range(0, length, tile):
+        e = min(s + tile, length)
+        acc = out[s:e]
+        np.copyto(acc, arrs[0][s:e])
+        for arr in arrs[1:]:
+            np.bitwise_xor(acc, arr[s:e], out=acc)
+    return out

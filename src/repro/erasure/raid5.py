@@ -5,16 +5,16 @@ HyRD and RACS both stripe large files as RAID5 over the four providers
 fragment — one provider outage — is recovered by XOR-ing the survivors.
 
 This is exactly RS(k, 1) mathematically, but implemented directly with XOR
-so the hot encode/repair path is one ``np.bitwise_xor.reduce``.
+so the hot encode/repair path is one tiled XOR fold
+(:func:`repro.erasure.gfkernel.xor_rows`) — no GF tables at all.
 """
 
 from __future__ import annotations
 
 from collections.abc import Mapping
 
-import numpy as np
-
 from repro.erasure.codec import ErasureCodec
+from repro.erasure.gfkernel import xor_rows
 from repro.erasure.striping import join_fragments, split_shards, split_views
 
 __all__ = ["Raid5Code"]
@@ -42,17 +42,18 @@ class Raid5Code(ErasureCodec):
         return self._k
 
     def encode(self, data: bytes) -> list[bytes]:
+        """k data fragments plus their XOR parity, all materialised as bytes."""
         shards = split_shards(data, self._k)  # (k, L)
-        parity = np.bitwise_xor.reduce(shards, axis=0)
+        parity = xor_rows(list(shards), shards.shape[1])
         return [shards[i].tobytes() for i in range(self._k)] + [parity.tobytes()]
 
     def encode_views(self, data: bytes) -> list[bytes | memoryview]:
         """Zero-copy encode: unpadded data fragments are views into ``data``
-        itself (only the padded tail shard and the parity are fresh buffers)."""
+        itself (only the padded tail shard and the parity are fresh buffers);
+        parity is a tiled XOR fold (:func:`repro.erasure.gfkernel.xor_rows`)."""
         rows = split_views(data, self._k)
-        parity = rows[0] ^ rows[1] if self._k > 1 else rows[0].copy()
-        for row in rows[2:]:
-            np.bitwise_xor(parity, row, out=parity)
+        length = rows[0].shape[0] if rows else 0
+        parity = xor_rows(rows, length)
         views: list[bytes | memoryview] = [memoryview(r) for r in rows]
         views.append(memoryview(parity))
         return views
@@ -83,10 +84,9 @@ class Raid5Code(ErasureCodec):
             raise ValueError(
                 f"cannot rebuild data fragment {lost}: parity missing too"
             )
-        acc = np.frombuffer(fragments[self.parity_index], dtype=np.uint8).copy()
-        for i in range(self._k):
-            if i != lost:
-                acc ^= np.frombuffer(fragments[i], dtype=np.uint8)
+        acc = xor_rows(
+            [fragments[i] for i in fragments if i != lost], frag_len
+        )
         rows = [acc if i == lost else fragments[i] for i in range(self._k)]
         return join_fragments(rows, frag_len, size)
 
@@ -103,12 +103,9 @@ class Raid5Code(ErasureCodec):
         frag_len = self.fragment_size(size)
         if frag_len == 0:
             return b""
-        acc = np.zeros(frag_len, dtype=np.uint8)
         for i in others:
-            frag = fragments[i]
-            if len(frag) != frag_len:
+            if len(fragments[i]) != frag_len:
                 raise ValueError(
-                    f"fragment {i} has length {len(frag)}, expected {frag_len}"
+                    f"fragment {i} has length {len(fragments[i])}, expected {frag_len}"
                 )
-            acc ^= np.frombuffer(frag, dtype=np.uint8)
-        return acc.tobytes()
+        return xor_rows([fragments[i] for i in others], frag_len).tobytes()

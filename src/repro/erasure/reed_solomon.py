@@ -4,20 +4,37 @@ The generator matrix is an (n, k) systematic Vandermonde derivative
 (:func:`repro.erasure.galois.systematic_vandermonde`): the first k fragments
 are the raw data shards, the remaining m = n - k are parity.  Any k fragments
 reconstruct the payload by inverting the corresponding kxk sub-matrix.
+
+Parity generation and degraded decode run through the vectorised kernels in
+:mod:`repro.erasure.gfkernel` (strategy selectable via ``REPRO_GF_KERNEL``);
+output stays bit-identical to the scalar ``gf_matmul`` oracle.  See
+``docs/codecs.md`` for the derivation and kernel decision tree.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from collections.abc import Mapping
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 
 from repro.erasure.codec import ErasureCodec
-from repro.erasure.galois import gf_inverse_matrix, gf_matmul, systematic_vandermonde
-from repro.erasure.striping import join_fragments, join_shards, split_shards
+from repro.erasure.galois import gf_inverse_matrix, systematic_vandermonde
+from repro.erasure.gfkernel import gf_matmul_fast, plan_for
+from repro.erasure.striping import (
+    join_fragments,
+    join_shards,
+    shard_length,
+    split_shards,
+    split_views,
+)
 
 __all__ = ["ReedSolomonCode"]
+
+#: payloads above this are encoded individually by ``encode_views_batch`` —
+#: they already saturate the kernel on their own, and concatenating them
+#: into one shard matrix would just burn memory bandwidth on the copy
+_BATCH_MAX_PAYLOAD = 256 * 1024
 
 
 class ReedSolomonCode(ErasureCodec):
@@ -55,27 +72,86 @@ class ReedSolomonCode(ErasureCodec):
         g.flags.writeable = False
         return g
 
+    def _parity_for(self, rows: Sequence[np.ndarray], length: int) -> np.ndarray:
+        """(m, length) parity matrix for k shard rows, via the bound kernel plan.
+
+        The plan is cached on the generator's parity-row bytes
+        (:func:`repro.erasure.gfkernel.plan_for`), so a write burst through
+        one codec binds the matrix once and re-uses the analysed schedule —
+        column folding included — for every stripe.
+        """
+        if self._n == self._k:
+            return np.empty((0, length), dtype=np.uint8)
+        return plan_for(self._parity_rows).execute(rows, length)
+
     def _encode_shards(self, data: bytes) -> tuple[np.ndarray, np.ndarray]:
-        """(data shards, parity shards) — parity-only matmul, systematic top."""
+        """(data shards, parity shards) — parity-only product, systematic top."""
         shards = split_shards(data, self._k)  # (k, L)
-        if self._n > self._k:
-            parity = gf_matmul(self._parity_rows, shards)  # (m, L)
-        else:
-            parity = np.empty((0, shards.shape[1]), dtype=np.uint8)
+        parity = self._parity_for(list(shards), shards.shape[1])  # (m, L)
         return shards, parity
 
     def encode(self, data: bytes) -> list[bytes]:
+        """``n`` materialised fragments: k data shards then m parity shards."""
         shards, parity = self._encode_shards(data)
         return [shards[i].tobytes() for i in range(self._k)] + [
             parity[j].tobytes() for j in range(self._n - self._k)
         ]
 
     def encode_views(self, data: bytes) -> list[bytes | memoryview]:
-        """Zero-copy encode: fragments are views into the encode buffers."""
-        shards, parity = self._encode_shards(data)
-        views: list[bytes | memoryview] = [memoryview(shards[i]) for i in range(self._k)]
+        """Zero-copy encode: unpadded data fragments are views into ``data``
+        itself (:func:`~repro.erasure.striping.split_views`); only padded tail
+        shards and the parity rows are fresh buffers."""
+        rows = split_views(data, self._k)
+        length = rows[0].shape[0] if rows else 0
+        parity = self._parity_for(rows, length)
+        views: list[bytes | memoryview] = [memoryview(r) for r in rows]
         views.extend(memoryview(parity[j]) for j in range(self._n - self._k))
         return views
+
+    def encode_views_batch(
+        self, payloads: Sequence[bytes]
+    ) -> list[list[bytes | memoryview]]:
+        """Encode a write burst with one batched parity pass.
+
+        Small stripes are concatenated column-wise into a single shard
+        matrix so the kernel runs once over the whole burst instead of
+        paying per-call fixed costs per stripe; each stripe's parity is then
+        sliced back out (contiguous rows of the shared buffer).  Fragments
+        are byte-identical to per-payload :meth:`encode_views`.  Payloads
+        larger than ``_BATCH_MAX_PAYLOAD`` — or degenerate bursts — fall
+        back to individual encodes.
+        """
+        small = [
+            i
+            for i, p in enumerate(payloads)
+            if 0 < len(p) <= _BATCH_MAX_PAYLOAD
+        ]
+        if self._n == self._k or len(small) < 2:
+            return [self.encode_views(p) for p in payloads]
+        lengths = [shard_length(len(payloads[i]), self._k) for i in small]
+        offsets = [0]
+        for ln in lengths:
+            offsets.append(offsets[-1] + ln)
+        total = offsets[-1]
+        mat = np.zeros((self._k, total), dtype=np.uint8)
+        for pos, i in enumerate(small):
+            mat[:, offsets[pos] : offsets[pos + 1]] = split_shards(
+                payloads[i], self._k
+            )
+        parity = self._parity_for(list(mat), total)  # (m, total)
+        out: list[list[bytes | memoryview] | None] = [None] * len(payloads)
+        for pos, i in enumerate(small):
+            rows = split_views(payloads[i], self._k)
+            views: list[bytes | memoryview] = [memoryview(r) for r in rows]
+            views.extend(
+                memoryview(parity[j, offsets[pos] : offsets[pos + 1]])
+                for j in range(self._n - self._k)
+            )
+            out[i] = views
+        for i, p in enumerate(payloads):
+            if out[i] is None:
+                out[i] = self.encode_views(p)
+        return out  # type: ignore[return-value]
 
     def _decode_matrix(self, indices: tuple[int, ...]) -> np.ndarray:
         """Inverse of the generator rows for ``indices`` (LRU-cached per subset)."""
@@ -108,7 +184,7 @@ class ReedSolomonCode(ErasureCodec):
             [np.frombuffer(fragments[i], dtype=np.uint8) for i in indices]
         )
         inv = self._decode_matrix(indices)
-        shards = gf_matmul(inv, stacked)
+        shards = gf_matmul_fast(inv, stacked)
         return join_shards(shards, size)
 
     def reconstruct_fragment(
@@ -128,5 +204,5 @@ class ReedSolomonCode(ErasureCodec):
         inv = self._decode_matrix(indices)
         # row(index of G) @ inv gives the combination of the available
         # fragments that equals the lost one.
-        coeffs = gf_matmul(self._gen[index : index + 1, :], inv)  # (1, k)
-        return gf_matmul(coeffs, stacked)[0].tobytes()
+        coeffs = gf_matmul_fast(self._gen[index : index + 1, :], inv)  # (1, k)
+        return gf_matmul_fast(coeffs, stacked)[0].tobytes()

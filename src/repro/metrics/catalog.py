@@ -59,6 +59,24 @@ _SPECS: tuple[MetricSpec, ...] = (
         labels=("op",),
         unit="s",
     ),
+    # ------------------------------------------------------- codec data plane
+    MetricSpec(
+        "codec_encode_bytes_total",
+        "counter",
+        "Payload bytes erasure-encoded on striped write paths, by codec "
+        "class and the GF kernel strategy active at encode time (see "
+        "docs/codecs.md for the strategy decision tree).",
+        labels=("codec", "kernel"),
+        unit="B",
+    ),
+    MetricSpec(
+        "codec_decode_bytes_total",
+        "counter",
+        "Payload bytes reconstructed by codec decode on striped reads that "
+        "missed the retained-payload cache (systematic joins included).",
+        labels=("codec",),
+        unit="B",
+    ),
     # --------------------------------------------------- resilience counters
     MetricSpec(
         "retries",

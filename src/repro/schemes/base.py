@@ -40,6 +40,7 @@ from repro.cloud.latency import ClientLink
 from repro.cloud.provider import SimulatedProvider
 from repro.core.recovery import LoggedWrite, WriteLog
 from repro.core.resilience import CircuitBreaker, ProviderHealth, ResilienceConfig
+from repro.erasure import gfkernel
 from repro.erasure.codec import ErasureCodec
 from repro.faults.crash import ClientCrash, CrashSchedule
 from repro.fs.journal import IntentJournal
@@ -1358,6 +1359,23 @@ class Scheme(ABC):
             self.clock.advance(lost)
         return None
 
+    def _encode_fragments(
+        self, codec: ErasureCodec, data: bytes
+    ) -> list[bytes | memoryview]:
+        """Every striped encode funnels through here: traced span plus the
+        ``codec_encode_bytes_total`` counter, labelled with the codec class
+        and the GF kernel strategy active for this process."""
+        with self.tracer.span(
+            "codec.encode", codec=type(codec).__name__, size=len(data)
+        ):
+            fragments = codec.encode_views(data)
+        self.registry.counter(
+            "codec_encode_bytes_total",
+            codec=type(codec).__name__,
+            kernel=gfkernel.active_strategy(),
+        ).inc(len(data))
+        return fragments
+
     def _write_striped(
         self,
         key_base: str,
@@ -1384,8 +1402,7 @@ class Scheme(ABC):
                 for i, p in enumerate(providers)
             ),
         )
-        with self.tracer.span("codec.encode", codec=type(codec).__name__, size=len(data)):
-            fragments = codec.encode_views(data)
+        fragments = self._encode_fragments(codec, data)
         ops = [
             CloudOp(p, "put", self.container, self._fragment_key(key_base, i, version), fragments[i])
             for i, p in enumerate(providers)
@@ -1487,6 +1504,9 @@ class Scheme(ABC):
             return cached, degraded
         with self.tracer.span("codec.decode", codec=type(codec).__name__, size=size):
             data = codec.decode(fragments, size)
+        self.registry.counter(
+            "codec_decode_bytes_total", codec=type(codec).__name__
+        ).inc(size)
         return data, degraded
 
     def _rmw_striped(
@@ -1560,10 +1580,7 @@ class Scheme(ABC):
         # Phase 2: write the new affected fragments + parities.  Fragment
         # content comes from re-encoding the composed object; unaffected data
         # fragments are bit-identical because size and boundaries are fixed.
-        with self.tracer.span(
-            "codec.encode", codec=type(codec).__name__, size=len(new_content)
-        ):
-            fragments = codec.encode_views(new_content)
+        fragments = self._encode_fragments(codec, new_content)
         write_ops = [
             CloudOp(
                 providers_by_index[i],
@@ -1654,7 +1671,7 @@ class Scheme(ABC):
             ops = [CloudOp(p, "put", self.container, key_base, blob) for p in targets]
         else:
             self._heal_before_touching(set(targets))
-            fragments = codec.encode_views(blob)
+            fragments = self._encode_fragments(codec, blob)
             ops = [
                 CloudOp(p, "put", self.container, f"{key_base}.{i}", fragments[i])
                 for i, p in enumerate(targets)
@@ -2573,10 +2590,7 @@ class Scheme(ABC):
                     if outcome.ok:
                         self._record_digest(f.key, data)
             else:
-                with self.tracer.span(
-                    "codec.encode", codec=type(codec).__name__, size=entry.size
-                ):
-                    fragments = codec.encode_views(data)
+                fragments = self._encode_fragments(codec, data)
                 ops = [
                     CloudOp(
                         f.provider,

@@ -75,6 +75,36 @@ class TestRoundTrip:
             c.decode({0: frags[0][:-1], 1: frags[1]}, 100)
 
 
+class TestEncodeViews:
+    """Regression: FMSRCode used to inherit the copying ``encode_views``
+    fallback from the ABC, so FMSR writes silently missed the zero-copy
+    path every other codec took."""
+
+    def test_override_exists(self):
+        assert "encode_views" in FMSRCode.__dict__
+
+    def test_views_equal_encode_bytes(self, payload):
+        c = FMSRCode(4)
+        for size in (0, 1, 7, 4096, 100_001):
+            data = payload(size)
+            views = c.encode_views(data)
+            assert [bytes(v) for v in views] == c.encode(data)
+
+    def test_views_are_zero_copy_and_flat(self, payload):
+        c = FMSRCode(4)
+        views = c.encode_views(payload(10_000))
+        assert all(isinstance(v, memoryview) for v in views)
+        # 1-D views: len() must count bytes, not chunk rows.
+        assert all(len(v) == c.fragment_size(10_000) for v in views)
+        # All node fragments alias one coded-matrix allocation: no two
+        # separately-copied buffers, just adjacent windows of one matrix.
+        arrays = [np.frombuffer(v, dtype=np.uint8) for v in views]
+        merged = np.concatenate(arrays)
+        whole = np.frombuffer(memoryview(views[0].obj.base).cast("B"), dtype=np.uint8)
+        assert np.array_equal(merged, whole)
+        assert all(np.shares_memory(a, whole) for a in arrays)
+
+
 class TestFunctionalRepair:
     def test_repair_preserves_decodability(self, payload):
         data = payload(2048)

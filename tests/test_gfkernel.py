@@ -1,0 +1,278 @@
+"""The vectorised GF kernels against the scalar oracle, byte for byte.
+
+Every kernel strategy must reproduce ``gf_matmul`` exactly — on arbitrary
+coefficient matrices, on the folded-column structures the planner exploits,
+at odd lengths that exercise the uint16 pairing tail, and through every
+codec's ``encode`` / ``encode_views`` / ``encode_views_batch`` surface.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.erasure import gfkernel
+from repro.erasure.fmsr import FMSRCode
+from repro.erasure.galois import gf_matmul, systematic_vandermonde
+from repro.erasure.gfkernel import (
+    KERNEL_STRATEGIES,
+    EncodePlan,
+    active_strategy,
+    encode_parity,
+    gf_matmul_fast,
+    plan_for,
+    set_strategy,
+    xor_rows,
+)
+from repro.erasure.raid5 import Raid5Code
+from repro.erasure.reed_solomon import ReedSolomonCode
+from repro.erasure.replication import ReplicationCode
+from repro.erasure.striping import split_shards
+
+STRATEGIES = ("packed", "table", "nibble", "scalar")
+
+#: lengths that cross every kernel boundary: empty, single byte (odd tail
+#: with no vector body), around the scalar cutoff, and around the tile size
+BOUNDARY_LENGTHS = (0, 1, 2, 3, 2047, 2048, 2049, 65535, 65536, 65537)
+
+
+@pytest.fixture(autouse=True)
+def _restore_strategy():
+    yield
+    set_strategy(None)
+
+
+def _random_case(seed: int, m: int, k: int, length: int):
+    rng = np.random.default_rng(seed)
+    coeff = rng.integers(0, 256, size=(m, k), dtype=np.uint8)
+    rows = [rng.integers(0, 256, size=length, dtype=np.uint8) for _ in range(k)]
+    stacked = (
+        np.vstack(rows) if length else np.zeros((k, 0), dtype=np.uint8)
+    )
+    return coeff, rows, gf_matmul(coeff, stacked)
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    @pytest.mark.parametrize("length", BOUNDARY_LENGTHS)
+    def test_matches_oracle_at_boundaries(self, strategy, length):
+        coeff, rows, expected = _random_case(length + 17, 3, 4, length)
+        got = encode_parity(coeff, rows, length, strategy=strategy)
+        assert np.array_equal(got, expected)
+
+    @given(
+        seed=st.integers(0, 2**31),
+        m=st.integers(1, 6),
+        k=st.integers(1, 6),
+        length=st.integers(0, 5000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_oracle_fuzzed(self, seed, m, k, length):
+        coeff, rows, expected = _random_case(seed, m, k, length)
+        for strategy in STRATEGIES:
+            got = encode_parity(coeff, rows, length, strategy=strategy)
+            assert np.array_equal(got, expected), strategy
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_vandermonde_folded_columns(self, strategy):
+        """k=2 systematic generators hit the planner's difference-one fold;
+        duplicated columns hit the difference-zero fold."""
+        rng = np.random.default_rng(5)
+        length = 70001  # odd, > tile
+        for n in (3, 4, 6):
+            gen = systematic_vandermonde(n, 2)[2:]
+            rows = [rng.integers(0, 256, size=length, dtype=np.uint8) for _ in range(2)]
+            expected = gf_matmul(gen, np.vstack(rows))
+            got = encode_parity(gen, rows, length, strategy=strategy)
+            assert np.array_equal(got, expected)
+        dup = np.array([[7, 7, 3], [9, 9, 1], [4, 4, 4]], dtype=np.uint8)
+        rows = [rng.integers(0, 256, size=length, dtype=np.uint8) for _ in range(3)]
+        expected = gf_matmul(dup, np.vstack(rows))
+        assert np.array_equal(
+            encode_parity(dup, rows, length, strategy=strategy), expected
+        )
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_unaligned_row_offsets(self, strategy):
+        """Shard rows at odd byte offsets (split_views slices) still work."""
+        rng = np.random.default_rng(9)
+        base = rng.integers(0, 256, size=3 * 4097, dtype=np.uint8)
+        rows = [base[i * 4097 : (i + 1) * 4097] for i in range(3)]
+        coeff = rng.integers(0, 256, size=(2, 3), dtype=np.uint8)
+        expected = gf_matmul(coeff, np.vstack(rows))
+        got = encode_parity(coeff, rows, 4097, strategy=strategy)
+        assert np.array_equal(got, expected)
+
+    def test_zero_coefficient_rows(self):
+        coeff = np.zeros((3, 2), dtype=np.uint8)
+        rows = [np.arange(5000, dtype=np.uint8) % 251 for _ in range(2)]
+        for strategy in STRATEGIES:
+            got = encode_parity(coeff, rows, 5000, strategy=strategy)
+            assert not got.any()
+
+
+class TestPlanApi:
+    def test_plan_cache_reuse(self):
+        coeff = np.array([[1, 2], [3, 4]], dtype=np.uint8)
+        assert plan_for(coeff) is plan_for(coeff.copy())
+
+    def test_out_parameter(self):
+        coeff, rows, expected = _random_case(1, 2, 3, 3000)
+        out = np.empty((2, 3000), dtype=np.uint8)
+        got = encode_parity(coeff, rows, 3000, out=out)
+        assert got is out
+        assert np.array_equal(out, expected)
+
+    def test_bad_out_rejected(self):
+        plan = EncodePlan(np.ones((2, 2), dtype=np.uint8))
+        rows = [np.zeros(10, dtype=np.uint8)] * 2
+        with pytest.raises(ValueError, match="out must be"):
+            plan.execute(rows, 10, out=np.empty((3, 10), dtype=np.uint8))
+
+    def test_wrong_row_count_rejected(self):
+        plan = EncodePlan(np.ones((2, 3), dtype=np.uint8))
+        with pytest.raises(ValueError, match="shard rows"):
+            plan.execute([np.zeros(4, dtype=np.uint8)], 4)
+
+    def test_gf_matmul_fast_shape_contract(self):
+        a = np.ones((2, 3), dtype=np.uint8)
+        b = np.ones((4, 10), dtype=np.uint8)
+        with pytest.raises(ValueError, match="incompatible shapes"):
+            gf_matmul_fast(a, b)
+
+    @given(
+        seed=st.integers(0, 2**31),
+        r=st.integers(1, 5),
+        c=st.integers(1, 5),
+        length=st.integers(0, 4000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_gf_matmul_fast_equals_oracle(self, seed, r, c, length):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 256, size=(r, c), dtype=np.uint8)
+        b = rng.integers(0, 256, size=(c, length), dtype=np.uint8)
+        assert np.array_equal(gf_matmul_fast(a, b), gf_matmul(a, b))
+
+
+class TestStrategySelection:
+    def test_auto_resolves_to_packed(self):
+        set_strategy("auto")
+        assert active_strategy() == "packed"
+
+    def test_explicit_strategy_sticks(self):
+        set_strategy("nibble")
+        assert active_strategy() == "nibble"
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="unknown GF kernel strategy"):
+            set_strategy("simd9000")
+        with pytest.raises(ValueError, match="unknown GF kernel strategy"):
+            encode_parity(
+                np.ones((1, 1), dtype=np.uint8),
+                [np.zeros(4, dtype=np.uint8)],
+                4,
+                strategy="nope",
+            )
+
+    def test_env_knob_honoured(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GF_KERNEL", "table")
+        set_strategy(None)  # re-read the environment default
+        assert active_strategy() == "table"
+
+    def test_all_names_listed(self):
+        assert set(STRATEGIES) <= set(KERNEL_STRATEGIES)
+
+
+class TestXorRows:
+    @given(
+        seed=st.integers(0, 2**31),
+        k=st.integers(1, 6),
+        length=st.integers(0, 5000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_equals_reduce(self, seed, k, length):
+        rng = np.random.default_rng(seed)
+        rows = [rng.integers(0, 256, size=length, dtype=np.uint8) for _ in range(k)]
+        expected = (
+            np.bitwise_xor.reduce(np.vstack(rows), axis=0)
+            if length
+            else np.zeros(0, dtype=np.uint8)
+        )
+        assert np.array_equal(xor_rows(rows, length), expected)
+        assert np.array_equal(
+            xor_rows([r.tobytes() for r in rows], length), expected
+        )
+
+    def test_empty_row_list_zero_fills(self):
+        assert not xor_rows([], 16).any()
+
+
+def _all_codecs():
+    return [
+        pytest.param(Raid5Code(3), id="raid5-3+1"),
+        pytest.param(ReedSolomonCode(2, 2), id="rs-2+2"),
+        pytest.param(ReedSolomonCode(3, 2), id="rs-3+2"),
+        pytest.param(FMSRCode(4), id="fmsr-4,2"),
+        pytest.param(ReplicationCode(2), id="replication-2"),
+    ]
+
+
+def _boundary_payload_sizes(codec):
+    k = codec.k
+    return sorted({0, 1, k - 1, k, k + 1, 3 * k * 2048 - 1, 3 * k * 2048, 3 * k * 2048 + 1} - {-1})
+
+
+class TestCodecSurfaces:
+    @pytest.mark.parametrize("codec", _all_codecs())
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_encode_views_equals_encode(self, codec, strategy):
+        set_strategy(strategy)
+        rng = np.random.default_rng(23)
+        for size in _boundary_payload_sizes(codec):
+            payload = rng.integers(0, 256, size=size, dtype=np.uint8).tobytes()
+            encoded = [bytes(f) for f in codec.encode(payload)]
+            views = [bytes(f) for f in codec.encode_views(payload)]
+            assert views == encoded, f"size={size}"
+
+    @pytest.mark.parametrize("codec", _all_codecs())
+    def test_strategies_agree_on_encode(self, codec):
+        rng = np.random.default_rng(31)
+        payload = rng.integers(0, 256, size=3 * 2048 * codec.k + 1, dtype=np.uint8).tobytes()
+        reference = None
+        for strategy in STRATEGIES:
+            set_strategy(strategy)
+            frags = [bytes(f) for f in codec.encode(payload)]
+            if reference is None:
+                reference = frags
+            else:
+                assert frags == reference, strategy
+
+    @pytest.mark.parametrize("codec", _all_codecs())
+    def test_batch_equals_singles(self, codec):
+        rng = np.random.default_rng(41)
+        burst = [
+            rng.integers(0, 256, size=int(n), dtype=np.uint8).tobytes()
+            for n in list(rng.integers(1, 8192, size=12)) + [0, 1, 300 * 1024]
+        ]
+        batched = codec.encode_views_batch(burst)
+        assert len(batched) == len(burst)
+        for payload, frags in zip(burst, batched):
+            singles = [bytes(f) for f in codec.encode_views(payload)]
+            assert [bytes(f) for f in frags] == singles
+
+    def test_rs_encode_matches_scalar_generator_product(self):
+        """The gate's identity check, in miniature: kernel fragments equal
+        the full scalar generator product."""
+        codec = ReedSolomonCode(2, 2)
+        payload = np.random.default_rng(3).integers(
+            0, 256, size=1 * 1024 * 1024 + 1, dtype=np.uint8
+        ).tobytes()
+        oracle = gf_matmul(codec.generator_matrix, split_shards(payload, codec.k))
+        for i, frag in enumerate(codec.encode_views(payload)):
+            assert bytes(frag) == oracle[i].tobytes(), i
+
+
+class TestDefaultStrategyIsVectorised:
+    def test_module_default(self):
+        # Guards against accidentally shipping with the oracle as default.
+        assert gfkernel.active_strategy() in ("packed", "table", "nibble")
