@@ -1,0 +1,109 @@
+"""Attribution plane acceptance gates, end to end.
+
+Three claims, each a hard gate:
+
+1. **Zero cost when detached.**  A scheme with the load observatory
+   attached produces byte-identical foreground op reports (and the same
+   final sim-clock reading) to one without it — observation never moves
+   the clock or draws randomness.  Same for tracing itself: the
+   :class:`~repro.obs.trace.RecordingTracer` only *reads* ``clock.now``.
+2. **Exact coverage at scale.**  Every op of the deterministic fig3-scale
+   replay tiles exactly into the phase taxonomy (checked by
+   ``tests/test_attribution.py``); here the storm-scale fault run must
+   also attribute cleanly while the observatory is live.
+3. **Determinism.**  Two identically-seeded traced runs attribute to
+   byte-identical JSONL.
+"""
+
+import numpy as np
+
+from repro.cloud.provider import make_table2_cloud_of_clouds
+from repro.core.config import HyRDConfig
+from repro.core.resilience import ResilienceConfig
+from repro.obs import (
+    COVERAGE_TOLERANCE,
+    ProviderLoadObservatory,
+    RecordingTracer,
+    attribute_trace,
+    attributions_to_jsonl,
+    run_fault_storm_report,
+)
+from repro.schemes import HyrdScheme
+from repro.sim.clock import SimClock
+from repro.sim.rng import make_rng
+
+MB = 1024 * 1024
+
+
+def _one_run(attach_observatory: bool, trace: bool = False):
+    clock = SimClock()
+    providers = make_table2_cloud_of_clouds(clock)
+    cfg = HyRDConfig(resilience=ResilienceConfig(hedge_reads=True))
+    tracer = RecordingTracer(clock) if trace else None
+    scheme = HyrdScheme(list(providers.values()), clock, config=cfg, tracer=tracer)
+    if attach_observatory:
+        scheme.attach_observatory(ProviderLoadObservatory())
+    rng = make_rng(0, "attribution-zero-cost")
+    for i in range(10):
+        size = int(rng.integers(4 * 1024, 2 * MB))
+        scheme.put(f"/z/f{i}", rng.integers(0, 256, size, dtype=np.uint8).tobytes())
+    for i in range(10):
+        scheme.get(f"/z/f{i}")
+    scheme.update("/z/f0", 0, b"patch")
+    scheme.remove("/z/f9")
+    reports = [
+        (r.op, r.path, r.elapsed, r.bytes_up, r.bytes_down, r.cloud_ops)
+        for r in scheme.collector.reports
+    ]
+    return scheme, reports, clock.now
+
+
+def test_observatory_detached_is_byte_identical(benchmark):
+    """Gate 1 — attaching the observatory is invisible to the simulation."""
+
+    def experiment():
+        _, base, t_base = _one_run(attach_observatory=False)
+        _, obs, t_obs = _one_run(attach_observatory=True)
+        _, traced, t_traced = _one_run(attach_observatory=True, trace=True)
+        return (base, t_base), (obs, t_obs), (traced, t_traced)
+
+    (base, t_base), (obs, t_obs), (traced, t_traced) = benchmark.pedantic(
+        experiment, rounds=1, iterations=1
+    )
+    assert base == obs == traced
+    assert t_base == t_obs == t_traced
+
+
+def test_storm_attributes_cleanly_with_live_observatory(benchmark):
+    """Gate 2 — the canonical fault storm tiles exactly, observatory live."""
+
+    def experiment():
+        observatory = ProviderLoadObservatory()
+        _, tracer = run_fault_storm_report(
+            seed=0, trace=True, observatory=observatory
+        )
+        return tracer, observatory
+
+    tracer, observatory = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    report = attribute_trace(tracer.records)
+    assert len(report.ops) > 50
+    for o in report.ops:
+        assert abs(o.coverage_error) <= COVERAGE_TOLERANCE * max(1.0, o.duration)
+    # The observatory saw the same fleet the attribution did.
+    assert set(observatory.providers()) <= set(report.provider_stats)
+
+
+def test_attribution_is_deterministic(benchmark):
+    """Gate 3 — same seed, byte-identical attribution JSONL."""
+
+    def experiment():
+        a, _, _ = _one_run(attach_observatory=True, trace=True)
+        b, _, _ = _one_run(attach_observatory=True, trace=True)
+        return (
+            attributions_to_jsonl(attribute_trace(a.tracer.records).ops),
+            attributions_to_jsonl(attribute_trace(b.tracer.records).ops),
+        )
+
+    text_a, text_b = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    assert text_a
+    assert text_a.encode() == text_b.encode()

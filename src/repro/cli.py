@@ -14,6 +14,8 @@ Examples::
     python -m repro report --from-trace /tmp/storm.jsonl
     python -m repro watch --cadence 30 --ts-out /tmp/storm-ts.jsonl
     python -m repro watch --from /tmp/storm-ts.jsonl
+    python -m repro explain --top 10 --trace-out /tmp/storm.jsonl
+    python -m repro explain --trace /tmp/storm.jsonl
     python -m repro chaos --episodes 8 --check-determinism
     python -m repro chaos --schemes hyrd,racs --json-out /tmp/chaos.json
 """
@@ -247,7 +249,13 @@ def _cmd_report(args: argparse.Namespace) -> str:
 
 
 def _cmd_watch(args: argparse.Namespace) -> str:
-    from repro.obs import MetricTimeSeries, SloConfig, SloTracker, TimeSeriesSampler
+    from repro.obs import (
+        MetricTimeSeries,
+        ProviderLoadObservatory,
+        SloConfig,
+        SloTracker,
+        TimeSeriesSampler,
+    )
     from repro.obs.dashboard import render_dashboard, render_frame
     from repro.obs.report import run_fault_storm_report
 
@@ -255,8 +263,9 @@ def _cmd_watch(args: argparse.Namespace) -> str:
     if args.from_ts:
         ts = MetricTimeSeries.read_jsonl(args.from_ts)
         return render_dashboard(ts, color=color)
-    # Live mode: the canonical fault storm with an SLO tracker attached and
-    # the sampler repainting the terminal on every snapshot.
+    # Live mode: the canonical fault storm with an SLO tracker and the load
+    # observatory attached and the sampler repainting on every snapshot —
+    # the observatory's provider_load_* gauges feed the load panel.
     live = sys.stdout.isatty()
 
     def repaint(sampler: TimeSeriesSampler) -> None:
@@ -267,10 +276,41 @@ def _cmd_watch(args: argparse.Namespace) -> str:
     sampler = TimeSeriesSampler(
         cadence=args.cadence, slo=slo, on_sample=repaint
     )
-    run_fault_storm_report(seed=args.seed, trace=False, slo=slo, sampler=sampler)
+    run_fault_storm_report(
+        seed=args.seed,
+        trace=False,
+        slo=slo,
+        sampler=sampler,
+        observatory=ProviderLoadObservatory(),
+    )
     if args.ts_out:
         sampler.ts.write_jsonl(args.ts_out)
     return render_dashboard(sampler.ts, color=color)
+
+
+def _cmd_explain(args: argparse.Namespace) -> str:
+    from repro.obs import (
+        ProviderLoadObservatory,
+        attribute_trace,
+        read_jsonl,
+        render_attribution,
+        run_fault_storm_report,
+    )
+
+    if args.trace:
+        # Offline: attribute a saved JSON-lines trace.  No observatory — the
+        # live load gauges only exist during a run; the analyzer still
+        # derives per-provider busy/critical/wasted seconds from the spans.
+        return render_attribution(
+            attribute_trace(read_jsonl(args.trace)), top=args.top
+        )
+    observatory = ProviderLoadObservatory()
+    _, tracer = run_fault_storm_report(seed=args.seed, observatory=observatory)
+    if args.trace_out:
+        tracer.write_jsonl(args.trace_out)
+    return render_attribution(
+        attribute_trace(tracer.records), top=args.top, observatory=observatory
+    )
 
 
 def _cmd_maintain(args: argparse.Namespace) -> str:
@@ -400,6 +440,7 @@ _COMMANDS = {
     "maintain": _cmd_maintain,
     "report": _cmd_report,
     "watch": _cmd_watch,
+    "explain": _cmd_explain,
 }
 
 
@@ -418,7 +459,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--trace-out",
         metavar="PATH",
-        help="report: also write the run's JSON-lines trace to PATH",
+        help="report/explain: also write the run's JSON-lines trace to PATH",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="explain: attribute a previously saved JSON-lines trace "
+        "instead of running the fault storm",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        help="explain: rows in the slow-op digest (default 5)",
     )
     parser.add_argument(
         "--from-trace",

@@ -102,8 +102,12 @@ class HyRDClient(Scheme):
         return codec
 
     def _put_file(self, path: str, data: bytes, prev: FileEntry | None) -> FileEntry:
-        klass = self.monitor.observe(len(data))
-        decision = self.dispatcher.decide(klass)
+        # Zero-duration marker (the sim charges no time for local placement
+        # logic): lets the attribution analyzer pin the dispatcher's
+        # classify/decide step inside the op's queueing lead-in.
+        with self.tracer.span("dispatch.decide", size=len(data)):
+            klass = self.monitor.observe(len(data))
+            decision = self.dispatcher.decide(klass)
         version = prev.version + 1 if prev else 1
         if decision.codec is None:
             placements, digests = self._write_replicated(

@@ -261,6 +261,9 @@ class ProviderHealth:
         self.slowdown = 1.0
         self.slowdown_dev = 0.0
         self.samples = 0
+        #: empirical latency-vs-load curve from the load observatory:
+        #: ((concurrency level, EWMA request seconds, samples), ...)
+        self.load_curve: tuple[tuple[int, float, int], ...] = ()
 
     def record_attempt(self, ok: bool) -> None:
         """Fold one request attempt (success or failure) into the error EWMA."""
@@ -282,6 +285,29 @@ class ProviderHealth:
             self.metrics.gauge(
                 "provider_health_slowdown", provider=self.name
             ).set(self.slowdown)
+
+    def note_load_curve(
+        self, curve: tuple[tuple[int, float, int], ...]
+    ) -> None:
+        """Accept the observatory's latency-vs-load curve for this provider.
+
+        Passive today: nothing in the engine reads it yet.  It is the
+        per-provider service-capacity signal ROADMAP's load-aware coded-read
+        scheduling (Aktaş-style) will consume.
+        """
+        self.load_curve = curve
+
+    def expected_latency_at(self, load: int) -> float | None:
+        """EWMA request latency at the nearest observed concurrency level.
+
+        Returns None until the observatory has fed at least one curve point.
+        """
+        if not self.load_curve:
+            return None
+        level, ewma, _ = min(
+            self.load_curve, key=lambda c: (abs(c[0] - load), c[0])
+        )
+        return ewma
 
     def p95_slowdown(self, k: float = 2.0) -> float:
         """Upper-tail slowdown estimate (>= 1): mean + ``k`` deviations."""

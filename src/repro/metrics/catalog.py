@@ -511,6 +511,55 @@ _SPECS: tuple[MetricSpec, ...] = (
         "chaos engine's partition plan.",
         labels=("provider",),
     ),
+    # --------------------------------------- attribution / load observatory
+    MetricSpec(
+        "hedge_wasted_seconds",
+        "histogram",
+        "Cancelled hedge-leg wire time: for each hedged read whose leg lost "
+        "the race, the seconds that leg was on the wire before the winner's "
+        "completion cancelled it.  Off the critical path by definition — "
+        "kept out of latency histograms and provider health EWMAs.",
+        labels=("provider",),
+        unit="s",
+    ),
+    MetricSpec(
+        "provider_load_inflight",
+        "gauge",
+        "Concurrent requests the provider served in the most recent "
+        "executed phase (the simulator runs whole phases, so this is the "
+        "instantaneous parallelism the provider actually saw).",
+        labels=("provider",),
+    ),
+    MetricSpec(
+        "provider_load_queue_depth",
+        "gauge",
+        "Little's-law queue-depth estimate for the provider: EWMA arrival "
+        "rate times EWMA per-request service time.",
+        labels=("provider",),
+    ),
+    MetricSpec(
+        "provider_load_service_rate",
+        "gauge",
+        "Reciprocal of the provider's EWMA per-request service time — the "
+        "request rate the provider sustains at its observed latency.",
+        labels=("provider",),
+        unit="1/s",
+    ),
+    MetricSpec(
+        "provider_load_busy_seconds",
+        "gauge",
+        "Cumulative wire seconds of completed requests observed against the "
+        "provider by the load observatory (hedge legs included).",
+        labels=("provider",),
+        unit="s",
+    ),
+    MetricSpec(
+        "attribution_exemplars_total",
+        "counter",
+        "Operations retained as latency-histogram exemplars (first N trace "
+        "IDs per op kind and latency bucket), by op kind.",
+        labels=("op",),
+    ),
 )
 
 #: name -> spec for every metric the runtime may emit.

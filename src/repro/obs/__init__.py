@@ -14,7 +14,11 @@
   availability, degraded-read fraction, error-budget burn, and per-provider
   empirical MTBF/MTTR from breaker edges vs the injected ground truth;
 - :mod:`repro.obs.dashboard` — stdlib ANSI terminal dashboard over a live
-  sampler or a saved time-series file.
+  sampler or a saved time-series file;
+- :mod:`repro.obs.attribution` — critical-path analyzer decomposing each
+  op's wall-clock into a fixed phase taxonomy with machine-checked exact
+  coverage, plus the per-provider load observatory and latency-bucket
+  exemplar store (the engine behind ``repro explain``).
 
 The *producer* side — metric instruments and the catalog that documents
 them — lives in :mod:`repro.metrics` so the collector can depend on it
@@ -22,6 +26,20 @@ without an import cycle.  See ``docs/observability.md`` and ``docs/slo.md``
 for the prose guides.
 """
 
+from repro.obs.attribution import (
+    COVERAGE_TOLERANCE,
+    PHASES,
+    AttributionReport,
+    CoverageError,
+    ExemplarStore,
+    OpAttribution,
+    ProviderLoadObservatory,
+    attribute_trace,
+    attributions_to_jsonl,
+    parse_attribution_jsonl,
+    read_attribution_jsonl,
+    render_attribution,
+)
 from repro.obs.trace import (
     NOOP_TRACER,
     NoopTracer,
@@ -30,6 +48,7 @@ from repro.obs.trace import (
     flame_summary,
     parse_jsonl,
     read_jsonl,
+    span_tree,
 )
 from repro.obs.report import RunReport, run_fault_storm_report
 from repro.obs.slo import IntervalLedger, ProviderSlo, SloConfig, SloTracker
@@ -43,6 +62,19 @@ __all__ = [
     "flame_summary",
     "parse_jsonl",
     "read_jsonl",
+    "span_tree",
+    "COVERAGE_TOLERANCE",
+    "PHASES",
+    "AttributionReport",
+    "CoverageError",
+    "ExemplarStore",
+    "OpAttribution",
+    "ProviderLoadObservatory",
+    "attribute_trace",
+    "attributions_to_jsonl",
+    "parse_attribution_jsonl",
+    "read_attribution_jsonl",
+    "render_attribution",
     "RunReport",
     "run_fault_storm_report",
     "MetricTimeSeries",

@@ -238,6 +238,37 @@ def _provider_section(ts: MetricTimeSeries, color: bool, width: int) -> list[str
     return lines
 
 
+def _load_section(ts: MetricTimeSeries, color: bool, width: int) -> list[str]:
+    """Per-provider load panel fed by the observatory's gauges.
+
+    Renders only when a :class:`~repro.obs.attribution.ProviderLoadObservatory`
+    was attached to the sampled run (the ``provider_load_*`` gauges exist).
+    """
+    by_metric = _series_by_metric(ts)
+    providers: set[str] = set()
+    for sid in by_metric.get("provider_load_inflight", []):
+        p = _label(sid, "provider")
+        if p:
+            providers.add(p)
+    if not providers:
+        return []
+    lines = [_c("Provider load (observatory)", "cyan", color)]
+    for p in sorted(providers):
+        inflight = ts.latest(f"provider_load_inflight{{provider={p}}}") or 0.0
+        depth = ts.latest(f"provider_load_queue_depth{{provider={p}}}") or 0.0
+        rate = ts.latest(f"provider_load_service_rate{{provider={p}}}") or 0.0
+        busy = ts.latest(f"provider_load_busy_seconds{{provider={p}}}") or 0.0
+        depth_series = [
+            v for _, v in ts.series(f"provider_load_queue_depth{{provider={p}}}")
+        ]
+        tag = f"  {p:<10} inflight {int(inflight):>3}  queue {depth:5.2f}  "
+        tag += f"svc {rate:6.2f}/s  busy {_fmt_secs(busy):>6}  "
+        if depth >= 2.0:
+            tag = _c(tag, "yellow", color)
+        lines.append(f"{tag}{sparkline(depth_series, max(width - 16, 8))}")
+    return lines
+
+
 def _workload_section(ts: MetricTimeSeries, color: bool, width: int) -> list[str]:
     by_metric = _series_by_metric(ts)
     sids = by_metric.get("workload_size_bucket_total", [])
@@ -293,6 +324,7 @@ def render_dashboard(
         _slo_section(ts, color, width),
         _ops_section(ts, color, width),
         _provider_section(ts, color, width),
+        _load_section(ts, color, width),
         _workload_section(ts, color, width),
     ):
         if section:

@@ -141,6 +141,7 @@ class RunReport:
             self._latency_section(),
             self._degraded_section(),
             self._time_breakdown_section(),
+            self._attribution_section(),
             self._resilience_section(),
             self._provider_section(),
             self._timeline_section(),
@@ -215,6 +216,34 @@ class RunReport:
             ["RTT wait", "Transfer", "Total"],
             [[rtt, transfer, total]],
             title="Time breakdown (critical-path seconds, summed over ops)",
+            floatfmt=".3f",
+        )
+
+    def _attribution_section(self) -> str:
+        """Phase shares from the critical-path analyzer (traced runs only).
+
+        The one-line summary version of ``repro explain``: each op's window
+        decomposed into the fixed phase taxonomy, summed over the run.
+        """
+        if not self.records:
+            return ""
+        from repro.obs.attribution import PHASES, attribute_trace
+
+        attr = attribute_trace(self.records)
+        if not attr.ops:
+            return ""
+        totals = attr.totals()
+        shares = attr.shares()
+        rows = [
+            [p, totals[p], f"{shares[p]:.1%}"]
+            for p in PHASES
+            if totals[p] > 0.0
+        ]
+        return render_table(
+            ["Phase", "Seconds", "Share"],
+            rows,
+            title="Critical-path attribution (phases tile each op's wall-clock; "
+            "see `repro explain`)",
             floatfmt=".3f",
         )
 
@@ -295,7 +324,7 @@ class RunReport:
 
 
 def run_fault_storm_report(
-    seed: int = 0, trace: bool = True, slo=None, sampler=None
+    seed: int = 0, trace: bool = True, slo=None, sampler=None, observatory=None
 ) -> tuple[RunReport, "RecordingTracer | None"]:
     """Run HyRD through the canonical fault storm with tracing on.
 
@@ -309,8 +338,11 @@ def run_fault_storm_report(
     fed the fleet's ground-truth fault schedule and published at end of run);
     ``sampler`` optionally attaches a
     :class:`~repro.obs.timeseries.TimeSeriesSampler` polled between ops —
-    the live feed behind ``repro watch``.  Both default to None and, like
-    the tracer, never perturb the simulated timings.
+    the live feed behind ``repro watch``; ``observatory`` optionally attaches
+    a :class:`~repro.obs.attribution.ProviderLoadObservatory` (per-provider
+    load gauges + exemplar linking, the live feed behind ``repro explain``).
+    All default to None and, like the tracer, never perturb the simulated
+    timings.
 
     Deterministic: the same seed reproduces the identical report and trace.
     """
@@ -341,6 +373,8 @@ def run_fault_storm_report(
     make_fault_storm(t0=15.0, duration=36000.0, seed=seed).apply(fleet)
     if slo is not None:
         scheme.attach_slo(slo)
+    if observatory is not None:
+        scheme.attach_observatory(observatory)
     if sampler is not None:
         sampler.slo = slo if sampler.slo is None else sampler.slo
         sampler.bind(scheme.registry, clock, meta={"scheme": scheme.name, "seed": seed})

@@ -29,7 +29,7 @@ JSON-lines schema (one JSON object per line, in record order)::
     {"t": "meta",   "attrs": {...}}                       # run identity
     {"t": "span",   "id": 3, "parent": 1, "name": "...",
                     "start": 12.5, "end": 13.1, "attrs": {...}}
-    {"t": "event",  "name": "...", "time": 12.5, "attrs": {...}}
+    {"t": "event",  "name": "...", "time": 12.5, "span": 1, "attrs": {...}}
     {"t": "metric", "kind": "counter", "name": "retries",
                     "labels": [["provider", "s3"]], "value": 1}
 
@@ -53,6 +53,7 @@ __all__ = [
     "read_jsonl",
     "parse_jsonl",
     "flame_summary",
+    "span_tree",
 ]
 
 
@@ -224,9 +225,21 @@ class RecordingTracer:
         return rec
 
     def event(self, name: str, **attrs: Any) -> None:
-        """Record an instantaneous point event at ``clock.now``."""
+        """Record an instantaneous point event at ``clock.now``.
+
+        The record carries the id of the innermost *open* span (``None`` at
+        top level): two back-to-back operations share a boundary timestamp,
+        so time alone cannot say which op an event at that instant belongs
+        to — the enclosing span can.
+        """
         self.records.append(
-            {"t": "event", "name": name, "time": self.clock.now, "attrs": attrs}
+            {
+                "t": "event",
+                "name": name,
+                "time": self.clock.now,
+                "span": self._stack[-1] if self._stack else None,
+                "attrs": attrs,
+            }
         )
 
     def metric(self, kind: str, name: str, labels, value) -> None:
@@ -303,6 +316,30 @@ def _iter_span_records(records: Iterable[dict[str, Any]]) -> Iterator[dict[str, 
     for r in records:
         if r.get("t") == "span":
             yield r
+
+
+def span_tree(
+    records: Iterable[dict[str, Any]],
+) -> tuple[list[dict[str, Any]], dict[int, list[dict[str, Any]]]]:
+    """Rebuild the span forest from a record stream.
+
+    Returns ``(roots, children)``: the root spans (``parent is None``) in
+    emission order, and a map from every span id to its direct children.
+    Spans whose parent never closed (a truncated trace) are treated as
+    roots.  Consumers that need the *transitive* descendants — the
+    attribution analyzer, for one — walk ``children`` from each root.
+    """
+    spans = list(_iter_span_records(records))
+    ids = {r["id"] for r in spans}
+    roots: list[dict[str, Any]] = []
+    children: dict[int, list[dict[str, Any]]] = {r["id"]: [] for r in spans}
+    for r in spans:
+        parent = r["parent"]
+        if parent is None or parent not in ids:
+            roots.append(r)
+        else:
+            children[parent].append(r)
+    return roots, children
 
 
 def flame_summary(records: Iterable[dict[str, Any]], max_depth: int = 4) -> str:

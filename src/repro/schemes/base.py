@@ -515,6 +515,10 @@ class Scheme(ABC):
         self._meta_sizes: dict[str, int] = {}
         #: optional :class:`repro.obs.slo.SloTracker` — see :meth:`attach_slo`
         self.slo = None
+        #: optional :class:`repro.obs.attribution.ProviderLoadObservatory` —
+        #: see :meth:`attach_observatory`; None (the default) keeps every
+        #: path byte-identical to an observatory-free build
+        self.observatory = None
         #: optional :class:`repro.maintenance.MaintenancePlane` — see
         #: :meth:`attach_maintenance`; None (the default) keeps every
         #: foreground path byte-identical to a maintenance-free build
@@ -567,6 +571,19 @@ class Scheme(ABC):
         slo.bind(self.registry, self.clock)
         for breaker in self._breakers.values():
             breaker.listener = slo.on_breaker_transition
+
+    def attach_observatory(self, observatory) -> None:
+        """Hook a :class:`~repro.obs.attribution.ProviderLoadObservatory` in.
+
+        The observatory sees every executed phase's outcomes (per-provider
+        in-flight, queue depth, service rate, latency-vs-load curve, pushed
+        into :class:`~repro.core.resilience.ProviderHealth`) and every
+        completed op (latency-bucket exemplar linking).  Pure bookkeeping on
+        the same contract as the tracer and SLO tracker: no clock movement,
+        no RNG draws — attaching it cannot change a run's simulated timings.
+        """
+        self.observatory = observatory
+        observatory.bind(self.registry, self.clock, self.health)
 
     @property
     def provider_names(self) -> list[str]:
@@ -652,11 +669,55 @@ class Scheme(ABC):
         if breaker.state != before:
             self.collector.bump(f"breaker_{breaker.state}")
 
+    def _feed_latency(self, outcomes: list[OpOutcome]) -> None:
+        """Feed completed requests' latencies into the health EWMAs."""
+        for o in outcomes:
+            if o.ok and o.finish > 0.0:
+                health = self.health.get(o.op.provider)
+                if health is not None:
+                    health.record_latency(o.finish, self._expected_latency(o))
+
+    def _note_hedge_waste(
+        self, outcome: OpOutcome, cancelled_after: float
+    ) -> None:
+        """Account a lost hedge leg's wire time as waste, not latency.
+
+        The loser's completion time is counterfactual — the client cancelled
+        it the moment the winner answered, so feeding it into the provider's
+        latency EWMA would poison health ranking with a number nobody
+        observed.  What *was* real is the wire time until cancellation:
+        ``min(finish, cancelled_after)`` seconds of wasted provider work,
+        recorded in the ``hedge_wasted_seconds`` histogram and surfaced to
+        the attribution analyzer as a ``hedge.wasted`` trace event.
+
+        That observed wait is also a *censored* latency sample — "still
+        pending after this long" — and it is the only signal health can get
+        about a primary that keeps losing hedges (its true completions are
+        never observed once hedging routes around it).  Feeding the censored
+        lower bound keeps the slowdown EWMA adapting to fresh brownouts
+        without leaking the counterfactual finish time.
+        """
+        if not outcome.ok or outcome.finish <= 0.0 or cancelled_after <= 0.0:
+            return
+        wasted = min(outcome.finish, cancelled_after)
+        self.registry.histogram(
+            "hedge_wasted_seconds", provider=outcome.op.provider
+        ).observe(wasted)
+        health = self.health.get(outcome.op.provider)
+        if health is not None:
+            health.record_latency(wasted, self._expected_latency(outcome))
+        if self.tracer.enabled:
+            self.tracer.event(
+                "hedge.wasted", provider=outcome.op.provider, wasted=wasted
+            )
+
     def _run_phase(
         self,
         ops: list[CloudOp],
         advance: bool = True,
         bypass_breakers: bool = False,
+        record_latency: bool = True,
+        span_offset: float = 0.0,
     ) -> PhaseResult:
         """Execute one phase of concurrent provider requests.
 
@@ -674,6 +735,13 @@ class Scheme(ABC):
         ``bypass_breakers`` is set by the consistency update, whose forced
         replay is itself the half-open probe that re-admits a healed
         provider.
+
+        Hedged reads run both legs through here with ``record_latency=False``
+        (only the race winner's latency may feed health EWMAs — the loser's
+        completion time is counterfactual) and give the delayed backup leg a
+        ``span_offset`` so its trace spans and observatory arrivals sit at
+        the simulated time the leg actually fired, not the phase start.
+        Both knobs are pure observation: simulated timings are untouched.
         """
         outcomes: list[OpOutcome] = []
         uploads: list[tuple[int, TransferSpec]] = []
@@ -766,8 +834,8 @@ class Scheme(ABC):
                         # penalty chain, which starts at the phase start.
                         self.tracer.add(
                             "retry.wait",
-                            now + penalty - wait,
-                            now + penalty,
+                            now + span_offset + penalty - wait,
+                            now + span_offset + penalty,
                             provider=op.provider,
                             attempt=attempt,
                         )
@@ -837,11 +905,12 @@ class Scheme(ABC):
 
         # Feed observed latency into the health trackers: the ratio against
         # the clean expectation is what surfaces brownouts to the client.
-        for o in outcomes:
-            if o.ok and o.finish > 0.0:
-                health = self.health.get(o.op.provider)
-                if health is not None:
-                    health.record_latency(o.finish, self._expected_latency(o))
+        # Hedge legs defer this to the race winner (see _hedged_replicated_get).
+        if record_latency:
+            self._feed_latency(outcomes)
+
+        if self.observatory is not None:
+            self.observatory.on_phase(now + span_offset, outcomes)
 
         if attempt_counts is not None:
             # Backfilled per-request child spans: each request's finish is
@@ -850,8 +919,8 @@ class Scheme(ABC):
                 if isinstance(o.error, CircuitOpenError):
                     self.tracer.add(
                         "breaker.fast_fail",
-                        now,
-                        now,
+                        now + span_offset,
+                        now + span_offset,
                         provider=o.op.provider,
                         kind=o.op.kind,
                     )
@@ -864,7 +933,12 @@ class Scheme(ABC):
                 }
                 if o.error is not None:
                     attrs["error"] = type(o.error).__name__
-                self.tracer.add("request", now, now + o.finish, **attrs)
+                self.tracer.add(
+                    "request",
+                    now + span_offset,
+                    now + span_offset + o.finish,
+                    **attrs,
+                )
 
         if advance and elapsed > 0:
             self.clock.advance(elapsed)
@@ -1114,8 +1188,10 @@ class Scheme(ABC):
             hedged=acc.hedged,
         )
         span = self._op_span
+        trace_id = None
         if span is not None:
             self._op_span = None
+            trace_id = span.record.span_id
             # The root span carries the full OpReport so a JSON-lines trace
             # is self-contained: RunReport.from_trace rebuilds the report
             # stream from these attributes alone.
@@ -1137,6 +1213,8 @@ class Scheme(ABC):
             span.__exit__(None, None, None)
         if self.slo is not None:
             self.slo.record_op(report, self.clock.now)
+        if self.observatory is not None:
+            self.observatory.on_op(report, trace_id)
         return report
 
     # ----------------------------------------------------- placement helpers
@@ -1304,8 +1382,15 @@ class Scheme(ABC):
             factor = max(health.p95_slowdown(cfg.hedge_quantile_dev), factor)
         hedge_delay = self._estimate_latency(primary, size, "down") * factor
 
+        # Both legs run with record_latency=False: only the race *winner's*
+        # latency may feed the health EWMAs.  The loser is cancelled at the
+        # winner's finish, so its completion time is counterfactual — feeding
+        # it would poison health ranking (and hedge against a browned-out
+        # backup would mark the backup slow for latency nobody waited on).
         p_phase = self._run_phase(
-            [CloudOp(primary, "get", self.container, key)], advance=False
+            [CloudOp(primary, "get", self.container, key)],
+            advance=False,
+            record_latency=False,
         )
         p = p_phase.outcomes[0]
         p_ok = (
@@ -1316,6 +1401,7 @@ class Scheme(ABC):
         if p_ok and p_phase.elapsed <= hedge_delay:
             if p_phase.elapsed > 0:
                 self.clock.advance(p_phase.elapsed)
+            self._feed_latency(p_phase.outcomes)
             return p.data, False
 
         # Primary is slow, failed or corrupt: fire the backup.  A detected
@@ -1329,8 +1415,13 @@ class Scheme(ABC):
                 "hedge.fired", primary=primary, backup=backup, delay=hedge_delay
             )
         backup_start = hedge_delay if p_ok else min(hedge_delay, p_phase.elapsed)
+        # span_offset places the backup leg's trace span and observatory
+        # arrival at the sim time the leg actually fired, not the phase start.
         b_phase = self._run_phase(
-            [CloudOp(backup, "get", self.container, key)], advance=False
+            [CloudOp(backup, "get", self.container, key)],
+            advance=False,
+            record_latency=False,
+            span_offset=backup_start,
         )
         b = b_phase.outcomes[0]
         b_ok = (
@@ -1343,6 +1434,10 @@ class Scheme(ABC):
         if p_ok and (not b_ok or p_phase.elapsed <= b_finish):
             if p_phase.elapsed > 0:
                 self.clock.advance(p_phase.elapsed)
+            self._feed_latency(p_phase.outcomes)
+            # The backup was on the wire from backup_start until the primary
+            # answered; that slice is wasted provider work, not latency.
+            self._note_hedge_waste(b, max(0.0, p_phase.elapsed - backup_start))
             return p.data, False
         if b_ok:
             self.collector.bump("hedge_wins")
@@ -1350,6 +1445,8 @@ class Scheme(ABC):
                 self.tracer.event("hedge.win", provider=backup)
             if b_finish > 0:
                 self.clock.advance(b_finish)
+            self._feed_latency(b_phase.outcomes)
+            self._note_hedge_waste(p, b_finish)
             # Degraded only when the primary actually failed — a hedge that
             # merely outran a slow-but-healthy primary is a normal read.
             return b.data, not p_ok

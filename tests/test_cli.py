@@ -63,3 +63,50 @@ class TestFastCommands:
         out = capsys.readouterr().out
         assert "Run report — scheme=hyrd" in out
         assert "Flame summary" in out
+
+
+class TestExplain:
+    def test_parser_knows_explain(self):
+        args = build_parser().parse_args(["explain", "--top", "3"])
+        assert args.command == "explain"
+        assert args.top == 3
+        assert args.trace is None
+
+    def _small_trace(self, tmp_path):
+        from repro.cloud.provider import make_table2_cloud_of_clouds
+        from repro.obs import RecordingTracer
+        from repro.schemes import HyrdScheme
+        from repro.sim.clock import SimClock
+
+        clock = SimClock()
+        fleet = make_table2_cloud_of_clouds(clock)
+        tracer = RecordingTracer(clock)
+        scheme = HyrdScheme(list(fleet.values()), clock, tracer=tracer)
+        scheme.put("/e/small", bytes(64 * 1024))
+        scheme.put("/e/large", bytes(4 * 1024 * 1024))
+        scheme.get("/e/small")
+        scheme.get("/e/large")
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(path)
+        return path
+
+    def test_explain_saved_trace(self, capsys, tmp_path):
+        path = self._small_trace(tmp_path)
+        assert main(["explain", "--trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Critical-path attribution" in out
+        assert "transfer" in out
+        assert "slow ops" in out
+
+    def test_explain_saved_trace_respects_top(self, capsys, tmp_path):
+        path = self._small_trace(tmp_path)
+        assert main(["explain", "--trace", str(path), "--top", "1"]) == 0
+        out = capsys.readouterr().out
+        # 4 ops in the trace, but the digest keeps only the slowest one:
+        # the 4 MB put, which is erasure-coded (large class).
+        assert "Top-1 slow ops" in out
+        digest = out.split("Top-1 slow ops", 1)[1].split("\n\n", 1)[0]
+        # drop the heading remainder, the column header, and the dash rule
+        rows = [l for l in digest.splitlines() if l.strip()][3:]
+        assert len(rows) == 1
+        assert "/e/large" in rows[0]

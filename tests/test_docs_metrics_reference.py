@@ -72,6 +72,12 @@ def emitted_names():
     fleet = make_table2_cloud_of_clouds(clock)
     cfg = HyRDConfig(resilience=ResilienceConfig(hedge_reads=True))
     scheme = HyrdScheme(list(fleet.values()), clock, config=cfg)
+    # The load observatory rides along: its gauges (provider_load_*), the
+    # exemplar counter, and the hedge-waste histogram all fire on this
+    # hedged burst.
+    from repro.obs import ProviderLoadObservatory
+
+    scheme.attach_observatory(ProviderLoadObservatory())
     for i in range(8):
         scheme.put(f"/h/f{i}", bytes(64 * 1024))
     fleet["aliyun"].faults = FaultProfile(

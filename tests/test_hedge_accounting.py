@@ -1,0 +1,235 @@
+"""Hedge accounting: lost-race legs are waste plus a *censored* sample.
+
+The regression this suite pins: a hedged read's losing leg used to feed its
+full (counterfactual) completion time into the provider's latency EWMA —
+a number the client never observed, because it cancelled the leg the moment
+the winner answered.  Post-fix the books are honest:
+
+- the winner's real latency feeds :meth:`ProviderHealth.record_latency`;
+- the loser's on-wire time until cancellation lands in the
+  ``hedge_wasted_seconds`` histogram and a ``hedge.wasted`` trace event;
+- the loser's health gets that same *censored* wait ("still pending after
+  this long") — the only brownout signal available once hedging routes
+  around a slow primary — never the counterfactual finish.
+"""
+
+import pytest
+
+from repro.cloud.provider import make_table2_cloud_of_clouds
+from repro.core.config import HyRDConfig
+from repro.core.resilience import ResilienceConfig
+from repro.faults import FaultProfile, LatencyBrownout
+from repro.obs import RecordingTracer, attribute_trace
+from repro.schemes import HyrdScheme
+from repro.sim.clock import SimClock
+
+KB = 1024
+
+
+def _hedge_scheme(clock, fleet, tracer=None):
+    cfg = HyRDConfig(resilience=ResilienceConfig(hedge_reads=True))
+    return HyrdScheme(list(fleet.values()), clock, config=cfg, tracer=tracer)
+
+
+def _brownout(fleet, clock, name, rtt_factor=10.0, bw_factor=0.05):
+    t0 = clock.now
+    fleet[name].faults = FaultProfile(
+        [LatencyBrownout(t0, t0 + 1e6, rtt_factor=rtt_factor, bw_factor=bw_factor)]
+    ).bind(name)
+
+
+def _expected_get(scheme, provider, size):
+    """The clean-model read expectation health ratios are computed against."""
+    lat = scheme.provider(provider).latency
+    return lat.rtt + size / min(lat.download_bw, scheme.link.downlink)
+
+
+def _wasted_series(scheme):
+    """provider -> (count, sum) over the hedge_wasted_seconds histograms."""
+    from repro.metrics.registry import Histogram
+
+    out = {}
+    for m in scheme.registry.all_metrics():
+        if isinstance(m, Histogram) and m.name == "hedge_wasted_seconds":
+            s = m.summary()
+            out[dict(m.labels)["provider"]] = (int(s["count"]), s["mean"] * s["count"])
+    return out
+
+
+class TestScriptedSlowPrimaryHedge:
+    """The ISSUE's scripted scenario: primary browns out, backup wins."""
+
+    def _run(self):
+        clock = SimClock()
+        fleet = make_table2_cloud_of_clouds(clock)
+        tracer = RecordingTracer(clock)
+        scheme = _hedge_scheme(clock, fleet, tracer)
+        data = bytes(range(256)) * 256  # 64 KB -> replicated small file
+        scheme.put("/d/small", data)
+        _brownout(fleet, clock, "aliyun")
+        s0 = scheme.health["aliyun"].slowdown
+        got, report = scheme.get("/d/small")
+        assert got == data and report.hedged
+        assert scheme.collector.counter("hedge_wins") == 1
+        return scheme, s0
+
+    def _loser_leg_duration(self, scheme):
+        fired = next(
+            r for r in scheme.tracer.records
+            if r.get("t") == "event" and r["name"] == "hedge.fired"
+        )
+        leg = next(
+            r for r in scheme.tracer.records
+            if r.get("t") == "span" and r["name"] == "request"
+            and r["attrs"].get("kind") == "get"
+            and r["attrs"]["provider"] == fired["attrs"]["primary"]
+        )
+        return leg["end"] - leg["start"]
+
+    def test_loser_health_fed_censored_wait_not_counterfactual(self):
+        scheme, s0 = self._run()
+        (count, wasted) = _wasted_series(scheme)["aliyun"]
+        assert count == 1
+        full = self._loser_leg_duration(scheme)
+        # Censoring truncated a real in-flight leg: the metered waste is the
+        # wait until cancellation, strictly less than the browned-out leg's
+        # counterfactual wire time.
+        assert 0.0 < wasted < full
+        expected = _expected_get(scheme, "aliyun", 64 * KB)
+        alpha = scheme.health["aliyun"].alpha
+        censored = s0 + alpha * (wasted / expected - s0)
+        counterfactual = s0 + alpha * (full / expected - s0)
+        assert scheme.health["aliyun"].slowdown == pytest.approx(censored)
+        # The pre-fix behavior — EWMA folded the full finish — is pinned out.
+        assert scheme.health["aliyun"].slowdown < counterfactual - 0.1
+        # And the brownout still registers: the censored sample adapts.
+        assert scheme.health["aliyun"].slowdown > s0
+
+    def test_wasted_wire_time_is_metered(self):
+        scheme, _ = self._run()
+        wasted = _wasted_series(scheme)
+        assert set(wasted) == {"aliyun"}
+        count, total = wasted["aliyun"]
+        assert count == 1 and total > 0.0
+
+    def test_trace_carries_hedge_wasted_event_and_hedge_wait_phase(self):
+        scheme, _ = self._run()
+        events = [
+            r for r in scheme.tracer.records
+            if r.get("t") == "event" and r["name"] == "hedge.wasted"
+        ]
+        assert len(events) == 1
+        assert events[0]["attrs"]["provider"] == "aliyun"
+        assert events[0]["attrs"]["wasted"] > 0.0
+        report = attribute_trace(scheme.tracer.records)
+        hedged = [o for o in report.ops if o.hedged]
+        assert len(hedged) == 1
+        o = hedged[0]
+        # The lead-in where only the doomed primary was on the wire.
+        assert o.phases["hedge_wait"] > 0.0
+        assert o.hedge_wasted == {
+            "aliyun": pytest.approx(events[0]["attrs"]["wasted"])
+        }
+        assert sum(o.phases.values()) == pytest.approx(o.duration)
+
+    def test_backup_span_sits_at_its_true_offset(self):
+        scheme, _ = self._run()
+        spans = [
+            r for r in scheme.tracer.records
+            if r.get("t") == "span" and r["name"] == "request"
+            and r["attrs"].get("kind") == "get"
+        ]
+        fired = next(
+            r for r in scheme.tracer.records
+            if r.get("t") == "event" and r["name"] == "hedge.fired"
+        )
+        primary = next(
+            s for s in spans if s["attrs"]["provider"] == fired["attrs"]["primary"]
+        )
+        backup = next(
+            s for s in spans if s["attrs"]["provider"] == fired["attrs"]["backup"]
+        )
+        # The backup leg fired hedge_delay after the primary, and the trace
+        # must say so (span_offset) — not show both legs starting together.
+        assert backup["start"] == pytest.approx(
+            primary["start"] + fired["attrs"]["delay"]
+        )
+
+    def test_health_adapts_so_repeat_reads_stop_hedging(self):
+        """The point of the censored feed: after a few hedged reads the
+        health ranking routes around the browned-out primary and reads go
+        back to single-leg."""
+        clock = SimClock()
+        fleet = make_table2_cloud_of_clouds(clock)
+        scheme = _hedge_scheme(clock, fleet)
+        data = bytes(64 * KB)
+        for i in range(6):
+            scheme.put(f"/d/f{i}", data)
+        _brownout(fleet, clock, "aliyun")
+        for i in range(6):
+            got, _ = scheme.get(f"/d/f{i}")
+            assert got == data
+        assert scheme.collector.counter("hedged_reads") < 6
+        assert scheme.health["aliyun"].slowdown > 1.0
+
+
+class TestPrimaryWinsHedge:
+    def test_slow_backup_is_wasted_not_sampled_in_full(self):
+        clock = SimClock()
+        fleet = make_table2_cloud_of_clouds(clock)
+        tracer = RecordingTracer(clock)
+        scheme = _hedge_scheme(clock, fleet, tracer)
+        data = bytes(64 * KB)
+        scheme.put("/d/small", data)
+        # Mild brownout on everyone: the primary gets slow enough to trigger
+        # the hedge but still beats a backup suffering the same factor plus
+        # the trigger delay.
+        for name in fleet:
+            _brownout(fleet, clock, name, rtt_factor=4.0, bw_factor=0.3)
+        got, report = scheme.get("/d/small")
+        assert got == data and report.hedged
+        assert scheme.collector.counter("hedged_reads") == 1
+        assert scheme.collector.counter("hedge_wins") == 0
+        fired = next(
+            r for r in tracer.records
+            if r.get("t") == "event" and r["name"] == "hedge.fired"
+        )
+        loser = fired["attrs"]["backup"]
+        winner = fired["attrs"]["primary"]
+        wasted = _wasted_series(scheme)
+        assert set(wasted) == {loser}
+        # The winner's real, browned-out latency fed health in full.
+        assert scheme.health[winner].slowdown > 1.2
+        # The loser's censored wait is bounded by the time the client
+        # actually spent racing it — not its counterfactual finish.
+        loser_leg = next(
+            r for r in tracer.records
+            if r.get("t") == "span" and r["name"] == "request"
+            and r["attrs"].get("kind") == "get"
+            and r["attrs"]["provider"] == loser
+        )
+        _, loser_wasted = wasted[loser]
+        assert loser_wasted < loser_leg["end"] - loser_leg["start"]
+
+
+class TestNoHedgeNoWaste:
+    def test_fast_primary_leaves_no_waste_series(self):
+        clock = SimClock()
+        fleet = make_table2_cloud_of_clouds(clock)
+        scheme = _hedge_scheme(clock, fleet)
+        data = bytes(64 * KB)
+        scheme.put("/d/small", data)
+        for _ in range(3):
+            got, report = scheme.get("/d/small")
+            assert got == data and not report.hedged
+        assert _wasted_series(scheme) == {}
+
+    def test_unhedged_reads_still_feed_health(self):
+        clock = SimClock()
+        fleet = make_table2_cloud_of_clouds(clock)
+        scheme = _hedge_scheme(clock, fleet)
+        data = bytes(64 * KB)
+        scheme.put("/d/small", data)
+        before = {n: h.slowdown for n, h in scheme.health.items()}
+        scheme.get("/d/small")
+        assert any(h.slowdown != before[n] for n, h in scheme.health.items())

@@ -111,6 +111,26 @@ class TestRenderDashboard:
             storm_ts, color=False
         )
 
+    def test_load_panel_renders_with_observatory(self):
+        from repro.obs import ProviderLoadObservatory, run_fault_storm_report
+
+        observatory = ProviderLoadObservatory()
+        sampler = TimeSeriesSampler(cadence=30.0)
+        run_fault_storm_report(
+            seed=0, trace=False, sampler=sampler, observatory=observatory
+        )
+        text = render_dashboard(sampler.ts, color=False)
+        assert "Provider load (observatory)" in text
+        panel = text.split("Provider load (observatory)", 1)[1]
+        for p in observatory.providers():
+            assert p in panel
+        assert "inflight" in panel and "queue" in panel and "svc" in panel
+
+    def test_load_panel_absent_without_observatory(self, storm_ts):
+        assert "Provider load (observatory)" not in render_dashboard(
+            storm_ts, color=False
+        )
+
     def test_render_frame_prepends_clear(self, storm_ts):
         sampler = TimeSeriesSampler()
         sampler.ts = storm_ts

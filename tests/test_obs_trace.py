@@ -64,9 +64,13 @@ class TestRecordingTracer:
         tracer.event("hedge.fired", primary="aliyun")
         assert tracer.records[0] == {"t": "meta", "attrs": {"scheme": "hyrd", "seed": 3}}
         assert tracer.records[1] == {
-            "t": "event", "name": "hedge.fired", "time": 7.0,
+            "t": "event", "name": "hedge.fired", "time": 7.0, "span": None,
             "attrs": {"primary": "aliyun"},
         }
+        with tracer.span("op.get") as sp:
+            tracer.event("hedge.win", provider="azure")
+        inside = next(r for r in tracer.records if r.get("name") == "hedge.win")
+        assert inside["span"] == sp.span_id
 
     def test_spans_reconstruct_records(self):
         tracer = RecordingTracer(FakeClock())

@@ -31,7 +31,15 @@ allows" north star is pushed against:
   live migration against a ground-truth corruption ledger).  Every recorded
   field is simulated-time arithmetic — detection rate, repair counts and
   bytes, mean time to full redundancy, foreground p95 — so all of it sits
-  under ``deterministic`` and is drift-gated.
+  under ``deterministic`` and is drift-gated;
+- **attribution** — the critical-path phase decomposition
+  (``repro.obs.attribution``) of the traced fig3-scale replay: attributed
+  op count, phase seconds and shares for the fixed taxonomy, with the
+  exact-coverage invariant machine-checked at generation time (a gap
+  raises instead of recording).  Plus a scripted brownout hedge — the
+  storm's seed happens never to hedge — pinning the hedge-waste
+  accounting: ``hedge_wait`` on the critical path, wasted loser-leg wire
+  seconds off it.  All simulated-time arithmetic, all drift-gated.
 
 Everything under ``deterministic`` is simulated-time arithmetic from seeded
 runs: regenerating with the same seed on the same code reproduces it bit for
@@ -60,7 +68,7 @@ ROOT = Path(__file__).resolve().parent.parent
 if str(ROOT / "src") not in sys.path:  # allow running without PYTHONPATH=src
     sys.path.insert(0, str(ROOT / "src"))
 
-SCHEMA = "repro-bench-telemetry/4"
+SCHEMA = "repro-bench-telemetry/5"
 
 #: fig3-scale replay throughput measured at the pre-overhaul commit — kept
 #: in the telemetry file so the recorded speedup stays anchored to the same
@@ -392,6 +400,82 @@ def run_maintenance(seed: int) -> dict:
     return {"drill": {field: summary[field] for field in MAINTENANCE_FIELDS}}
 
 
+#: numeric fields the scripted-hedge attribution facet must carry
+HEDGE_FACET_FIELDS = ("hedge_wait_s", "hedge_wasted_s", "read_latency_s")
+
+
+def run_attribution_facet(seed: int) -> dict:
+    """Critical-path phase decomposition — all simulated-time, all gated.
+
+    Two runs:
+
+    - the traced fig3-scale replay (same trace as ``replay_throughput``),
+      attributed op by op.  ``attribute_trace`` machine-checks the
+      exact-coverage invariant — any op whose phases fail to tile its
+      wall-clock raises ``CoverageError`` at generation time, so a broken
+      decomposition can never be committed as a baseline;
+    - a scripted brownout hedge (put a replicated small file, brown out
+      the read primary, read it back) pinning hedge accounting: the
+      storm and replay seeds happen never to hedge, so without this the
+      ``hedge_wait``/waste books would be zero everywhere and silently
+      ungated.
+    """
+    from repro.analysis.experiments import run_fig3
+    from repro.cloud.provider import make_table2_cloud_of_clouds
+    from repro.core.config import HyRDConfig
+    from repro.core.resilience import ResilienceConfig
+    from repro.faults import FaultProfile, LatencyBrownout
+    from repro.obs import PHASES, RecordingTracer, attribute_trace
+    from repro.schemes import HyrdScheme
+    from repro.sim.clock import SimClock
+    from repro.workloads.trace import TraceReplayer
+
+    ops = run_fig3(seed=seed).ops
+    clock = SimClock()
+    providers = make_table2_cloud_of_clouds(clock)
+    tracer = RecordingTracer(clock)
+    scheme = HyrdScheme(list(providers.values()), clock, tracer=tracer)
+    TraceReplayer(seed=seed).run(scheme, ops)
+    report = attribute_trace(tracer.records)  # raises CoverageError on a gap
+    fig3 = {
+        "ops_attributed": len(report.ops),
+        "phase_seconds": report.totals(),
+        "phase_shares": report.shares(),
+    }
+
+    clock = SimClock()
+    fleet = make_table2_cloud_of_clouds(clock)
+    tracer = RecordingTracer(clock)
+    scheme = HyrdScheme(
+        list(fleet.values()),
+        clock,
+        config=HyRDConfig(resilience=ResilienceConfig(hedge_reads=True)),
+        tracer=tracer,
+    )
+    scheme.put("/bench/hedge", bytes(64 * KB))
+    fleet["aliyun"].faults = FaultProfile(
+        [LatencyBrownout(clock.now, clock.now + 1e6, rtt_factor=10.0, bw_factor=0.05)]
+    ).bind("aliyun")
+    scheme.get("/bench/hedge")
+    hedged = [o for o in attribute_trace(tracer.records).ops if o.hedged]
+    if len(hedged) != 1:
+        raise AssertionError(
+            f"scripted hedge run hedged {len(hedged)} times, expected exactly 1"
+        )
+    (op,) = hedged
+    if op.phases["hedge_wait"] <= 0.0 or not op.hedge_wasted:
+        raise AssertionError("scripted hedge produced no hedge_wait/waste")
+    assert set(fig3["phase_seconds"]) == set(PHASES)
+    return {
+        "fig3_replay": fig3,
+        "scripted_hedge": {
+            "hedge_wait_s": op.phases["hedge_wait"],
+            "hedge_wasted_s": sum(op.hedge_wasted.values()),
+            "read_latency_s": op.duration,
+        },
+    }
+
+
 def build_payload(seed: int, date: str) -> dict:
     replay_det, replay_info = run_replay_throughput(seed)
     return {
@@ -407,6 +491,7 @@ def build_payload(seed: int, date: str) -> dict:
             "codec": run_codec_facet(seed),
             "replay_throughput": replay_det,
             "maintenance": run_maintenance(seed),
+            "attribution": run_attribution_facet(seed),
         },
         "informational": {
             "codec_throughput": run_codec_throughput(seed),
@@ -544,6 +629,47 @@ def schema_check(payload: dict, path: Path) -> list[str]:
                     and not isinstance(entry.get(field), bool),
                     f"maintenance.{name}.{field} missing",
                 )
+        from repro.obs import PHASES
+
+        attribution = det.get("attribution")
+        need(isinstance(attribution, dict) and attribution,
+             "attribution section missing")
+        fig3 = (attribution or {}).get("fig3_replay")
+        need(isinstance(fig3, dict), "attribution.fig3_replay missing")
+        if isinstance(fig3, dict):
+            need(
+                isinstance(fig3.get("ops_attributed"), int)
+                and fig3.get("ops_attributed", 0) > 0,
+                "attribution.fig3_replay.ops_attributed must be a positive int",
+            )
+            for section in ("phase_seconds", "phase_shares"):
+                cell = fig3.get(section)
+                need(
+                    isinstance(cell, dict)
+                    and sorted(cell) == sorted(PHASES)
+                    and all(
+                        isinstance(v, (int, float)) and v >= 0.0
+                        for v in cell.values()
+                    ),
+                    f"attribution.fig3_replay.{section} must map every "
+                    "phase to a non-negative number",
+                )
+            shares = fig3.get("phase_shares")
+            if isinstance(shares, dict) and shares:
+                need(
+                    abs(sum(shares.values()) - 1.0) < 1e-6,
+                    "attribution.fig3_replay.phase_shares must sum to 1 "
+                    "(the exact-coverage invariant)",
+                )
+        hedge = (attribution or {}).get("scripted_hedge")
+        need(isinstance(hedge, dict), "attribution.scripted_hedge missing")
+        for field in HEDGE_FACET_FIELDS:
+            need(
+                isinstance(hedge, dict)
+                and isinstance(hedge.get(field), (int, float))
+                and hedge.get(field, 0.0) > 0.0,
+                f"attribution.scripted_hedge.{field} must be positive",
+            )
     info = payload.get("informational")
     need(isinstance(info, dict), "informational section missing")
     if isinstance(info, dict):

@@ -12,6 +12,7 @@ Usage::
     PYTHONPATH=src python tools/profile_replay.py --months 3 --top 40
     PYTHONPATH=src python tools/profile_replay.py --scheme racs --sort tottime
     PYTHONPATH=src python tools/profile_replay.py --out replay.pstats  # for snakeviz etc.
+    PYTHONPATH=src python tools/profile_replay.py --attribution  # + sim-time phase table
 """
 
 from __future__ import annotations
@@ -28,10 +29,22 @@ if str(ROOT / "src") not in sys.path:  # allow running without PYTHONPATH=src
     sys.path.insert(0, str(ROOT / "src"))
 
 
-def build_replay(scheme_name: str, months: int, writes_per_month: int, seed: int):
-    """Construct (scheme, ops, replayer) for one scripted replay."""
+def build_replay(
+    scheme_name: str,
+    months: int,
+    writes_per_month: int,
+    seed: int,
+    trace: bool = False,
+):
+    """Construct (scheme, ops, replayer) for one scripted replay.
+
+    ``trace`` attaches a :class:`~repro.obs.trace.RecordingTracer` — used by
+    ``--attribution`` (and the attribution test suite), never by the timed
+    profiling run.
+    """
     from repro.analysis.experiments import run_fig3
     from repro.cloud.provider import make_table2_cloud_of_clouds
+    from repro.obs import RecordingTracer
     from repro.schemes import DuraCloudScheme, HyrdScheme, RacsScheme
     from repro.sim.clock import SimClock
     from repro.workloads.filesizes import MediaLibraryFileSizes
@@ -51,7 +64,8 @@ def build_replay(scheme_name: str, months: int, writes_per_month: int, seed: int
         "racs": RacsScheme,
         "duracloud": DuraCloudScheme,
     }
-    scheme = builders[scheme_name](list(providers.values()), clock)
+    tracer = RecordingTracer(clock) if trace else None
+    scheme = builders[scheme_name](list(providers.values()), clock, tracer=tracer)
     return scheme, ops, TraceReplayer(seed=seed)
 
 
@@ -88,6 +102,12 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="also dump raw pstats data to PATH",
     )
+    parser.add_argument(
+        "--attribution",
+        action="store_true",
+        help="re-run the replay traced (untimed) and print the critical-path "
+        "phase table next to the cProfile output",
+    )
     args = parser.parse_args(argv)
 
     scheme, ops, replayer = build_replay(
@@ -113,6 +133,19 @@ def main(argv: list[str] | None = None) -> int:
     if args.out:
         stats.dump_stats(args.out)
         print(f"profile-replay: raw stats written to {args.out}")
+
+    if args.attribution:
+        # Separate traced run: cProfile measures host CPU, attribution
+        # measures simulated wall-clock — mixing them would have the tracer's
+        # overhead pollute the profile.  Same seed, so it is the same run.
+        from repro.obs import attribute_trace, render_attribution
+
+        scheme, ops, replayer = build_replay(
+            args.scheme, args.months, args.writes_per_month, args.seed, trace=True
+        )
+        replayer.run(scheme, ops)
+        print()
+        print(render_attribution(attribute_trace(scheme.tracer.records)))
     return 0
 
 
