@@ -177,13 +177,29 @@ class HyRDClient(Scheme):
                     hot_provider, self.container, self._hot_key(entry.path, entry.version)
                 )
             ):
-                est_hot = self._estimate_latency(hot_provider, entry.size, "down")
-                frag = codec.fragment_size(entry.size)
-                est_stripe = max(
-                    self._estimate_latency(prov, frag, "down")
-                    for prov, idx in entry.placements
-                    if idx < codec.k
-                )
+                if self.scheduler is not None:
+                    # Load-aware arm of the hot-copy-vs-stripe choice: both
+                    # estimates price queueing and health, and the stripe
+                    # side is the scheduler's best k-subset (parity
+                    # included), not the fixed systematic set.
+                    est_hot = self.scheduler.score_provider(
+                        hot_provider, entry.size
+                    )
+                    est_stripe = self.scheduler.estimate_stripe(
+                        {idx: prov for prov, idx in entry.placements},
+                        entry.size,
+                        codec,
+                    )
+                else:
+                    est_hot = self._estimate_latency(
+                        hot_provider, entry.size, "down"
+                    )
+                    frag = codec.fragment_size(entry.size)
+                    est_stripe = max(
+                        self._estimate_latency(prov, frag, "down")
+                        for prov, idx in entry.placements
+                        if idx < codec.k
+                    )
                 if est_hot <= est_stripe:
                     phase = self._run_phase(
                         [

@@ -291,9 +291,10 @@ class ProviderHealth:
     ) -> None:
         """Accept the observatory's latency-vs-load curve for this provider.
 
-        Passive today: nothing in the engine reads it yet.  It is the
-        per-provider service-capacity signal ROADMAP's load-aware coded-read
-        scheduling (Aktaş-style) will consume.
+        This is the per-provider service-capacity signal the load-aware
+        coded-read scheduler consumes: :meth:`capacity_slope` and
+        :meth:`queue_wait` both read it when pricing a fragment fetch
+        (see :mod:`repro.core.scheduling`).
         """
         self.load_curve = curve
 
@@ -308,6 +309,36 @@ class ProviderHealth:
             self.load_curve, key=lambda c: (abs(c[0] - load), c[0])
         )
         return ewma
+
+    def capacity_slope(self) -> float:
+        """Marginal EWMA seconds per added unit of concurrency, >= 0.
+
+        The secant slope across the observed span of the latency-vs-load
+        curve: how much slower one request gets for each extra concurrent
+        request the provider carries.  A flat (or improving) curve — the
+        provider still has capacity headroom — reads as 0; the estimate
+        needs at least two distinct observed concurrency levels.
+        """
+        if len(self.load_curve) < 2:
+            return 0.0
+        pts = sorted(self.load_curve)
+        lo, hi = pts[0], pts[-1]
+        if hi[0] <= lo[0]:
+            return 0.0
+        return max(0.0, (hi[1] - lo[1]) / (hi[0] - lo[0]))
+
+    def queue_wait(self, depth: float) -> float:
+        """Estimated extra seconds spent queued behind ``depth`` requests.
+
+        Prices the marginal request off the load curve's congestion slope;
+        0 until the observatory has fed enough curve to know better.  The
+        scheduler adds this on top of the Little's-law wait so a provider
+        whose latency climbs steeply with load is avoided *before* its
+        queue estimate catches up.
+        """
+        if depth <= 0.0:
+            return 0.0
+        return depth * self.capacity_slope()
 
     def p95_slowdown(self, k: float = 2.0) -> float:
         """Upper-tail slowdown estimate (>= 1): mean + ``k`` deviations."""

@@ -560,6 +560,50 @@ _SPECS: tuple[MetricSpec, ...] = (
         "IDs per op kind and latency bucket), by op kind.",
         labels=("op",),
     ),
+    # ------------------------------------------- load-aware read scheduling
+    MetricSpec(
+        "sched_decisions_total",
+        "counter",
+        "Striped reads routed by the attached FragmentScheduler (one per "
+        "load-aware subset decision; zero with the scheduler detached).",
+    ),
+    MetricSpec(
+        "sched_parity_fragments_total",
+        "counter",
+        "Parity fragments the scheduler selected in place of systematic "
+        "ones because a data fragment's provider was queued or unhealthy "
+        "(each one costs a real decode that a systematic join would skip).",
+    ),
+    MetricSpec(
+        "sched_rotations_total",
+        "counter",
+        "Scheduler decisions where the fractional split policy rotated the "
+        "subset away from the pure score ranking to spread a hot path "
+        "across the capacity region.",
+    ),
+    MetricSpec(
+        "sched_hedges_total",
+        "counter",
+        "Capacity-aware hedges fired on striped reads: a backup fragment "
+        "request issued because the gating provider's estimated queue wait "
+        "exceeded the backup's wire-plus-decode cost.",
+    ),
+    MetricSpec(
+        "sched_hedge_wins_total",
+        "counter",
+        "Scheduler hedges where the backup subset completed first (or the "
+        "gating fragment failed) and the read decoded around the gating "
+        "provider.",
+    ),
+    MetricSpec(
+        "sched_queue_wait_seconds",
+        "histogram",
+        "Estimated queue wait behind the gating provider at scheduler "
+        "hedge-decision time (the 'waiting is worse than hedging' side of "
+        "the comparison), by gating provider.",
+        labels=("provider",),
+        unit="s",
+    ),
 )
 
 #: name -> spec for every metric the runtime may emit.

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import functools
 import hashlib
+import math
 import os
 from abc import ABC, abstractmethod
 from collections import OrderedDict
@@ -523,6 +524,11 @@ class Scheme(ABC):
         #: :meth:`attach_maintenance`; None (the default) keeps every
         #: foreground path byte-identical to a maintenance-free build
         self.maintenance = None
+        #: optional :class:`repro.core.scheduling.FragmentScheduler` — see
+        #: :meth:`attach_scheduler`; None (the default) keeps striped reads
+        #: on the static systematic-first ordering, byte-identical to a
+        #: scheduler-free build
+        self.scheduler = None
         #: optional :class:`repro.fs.journal.IntentJournal` — see
         #: :meth:`attach_journal`; None (the default) keeps the write path
         #: byte-identical to a journal-free build
@@ -584,6 +590,30 @@ class Scheme(ABC):
         """
         self.observatory = observatory
         observatory.bind(self.registry, self.clock, self.health)
+
+    def attach_scheduler(self, scheduler) -> None:
+        """Hook a :class:`~repro.core.scheduling.FragmentScheduler` in.
+
+        Striped reads switch from the static systematic-first ordering to
+        load-aware subset selection: every usable placement is scored from
+        health, breakers, and (when attached) the load observatory, and the
+        k cheapest fragments serve — parity included when a data fragment's
+        provider is queued.  Unlike the observatory, attaching the
+        scheduler *intentionally* changes routing; detaching restores the
+        static path byte-for-byte (gated by
+        ``benchmarks/test_read_scheduling.py``).
+        """
+        self.scheduler = scheduler
+        scheduler.bind(self)
+
+    def detach_scheduler(self):
+        """Detach the read scheduler; striped reads return to the static
+        ordering.  Returns the scheduler (counters intact) or None."""
+        scheduler = self.scheduler
+        if scheduler is not None:
+            self.scheduler = None
+            scheduler.unbind()
+        return scheduler
 
     @property
     def provider_names(self) -> list[str]:
@@ -1550,45 +1580,76 @@ class Scheme(ABC):
         if not prefer_systematic:
             order = self._rank_providers_by_index(by_index, size, codec)
         preferred = order[: codec.k]
+        # Degraded means a fragment the static policy wanted was out of
+        # reach — the scheduler routing around a *queued* provider is an
+        # optimisation, not degradation, so the flag keeps its meaning.
         degraded = any(not usable(i) for i in preferred)
+        decision = None
+        if self.scheduler is not None:
+            decision = self.scheduler.decide(
+                key_base, by_index, size, codec, usable,
+                systematic=prefer_systematic,
+            )
+            if len(decision.order) >= codec.k:
+                order = list(decision.order)
+                self._note_sched_decision(decision, by_index)
+            else:
+                decision = None  # too few usable; static path raises below
         chosen = [i for i in order if usable(i)][: codec.k]
         if len(chosen) < codec.k:
             raise DataUnavailable(
                 key_base,
                 f"only {len(chosen)} of {codec.k} required fragments reachable",
             )
-        ops = [
-            CloudOp(
-                by_index[i], "get", self.container, self._fragment_key(key_base, i, version)
-            )
-            for i in chosen
-        ]
-        phase = self._run_phase(ops)
         fragments: dict[int, bytes] = {}
         rejected: set[int] = set()
-        for idx, outcome in zip(chosen, phase.outcomes):
-            if outcome.ok and outcome.data is not None:
-                if verified(idx, outcome.data):
-                    fragments[idx] = outcome.data
-                else:
-                    rejected.add(idx)
+        if decision is not None and decision.hedge is not None:
+            fragments, rejected, hedge_degraded = self._striped_hedged_fetch(
+                key_base, version, by_index, chosen, decision.hedge, verified
+            )
+            degraded = degraded or hedge_degraded
+        else:
+            ops = [
+                CloudOp(
+                    by_index[i], "get", self.container, self._fragment_key(key_base, i, version)
+                )
+                for i in chosen
+            ]
+            phase = self._run_phase(ops)
+            for idx, outcome in zip(chosen, phase.outcomes):
+                if outcome.ok and outcome.data is not None:
+                    if verified(idx, outcome.data):
+                        fragments[idx] = outcome.data
+                    else:
+                        rejected.add(idx)
         if len(fragments) < codec.k:
             # Outage-boundary races and corrupt fragments both land here:
-            # top up from the remaining healthy placements.
+            # top up from the remaining healthy placements.  Replacements
+            # fetch in parallel batches sized to the shortfall — a read that
+            # lost f fragments pays ceil(f / need) extra round trips, not f.
             remaining = [
                 i
                 for i in order
                 if i not in fragments and i not in rejected and usable(i)
             ]
-            for i in remaining:
-                if len(fragments) >= codec.k:
-                    break
+            while len(fragments) < codec.k and remaining:
+                need = codec.k - len(fragments)
+                batch, remaining = remaining[:need], remaining[need:]
                 retry = self._run_phase(
-                    [CloudOp(by_index[i], "get", self.container, self._fragment_key(key_base, i, version))]
+                    [
+                        CloudOp(
+                            by_index[i],
+                            "get",
+                            self.container,
+                            self._fragment_key(key_base, i, version),
+                        )
+                        for i in batch
+                    ]
                 )
-                data = retry.outcomes[0].data
-                if retry.outcomes[0].ok and data is not None and verified(i, data):
-                    fragments[i] = data
+                for i, outcome in zip(batch, retry.outcomes):
+                    data = outcome.data
+                    if outcome.ok and data is not None and verified(i, data):
+                        fragments[i] = data
             degraded = True
         if len(fragments) < codec.k:
             raise DataUnavailable(key_base, "lost fragments mid-read")
@@ -1714,10 +1775,176 @@ class Scheme(ABC):
             )
         return replace(entry, modified=self.clock.now, digests=tuple(new_digests))
 
+    def _note_sched_decision(self, decision, by_index: dict[int, str]) -> None:
+        """Account one scheduler routing decision (metrics + trace event)."""
+        self.registry.counter("sched_decisions_total").inc()
+        if decision.parity_picks:
+            self.registry.counter("sched_parity_fragments_total").inc(
+                decision.parity_picks
+            )
+        if decision.rotated:
+            self.registry.counter("sched_rotations_total").inc()
+        if decision.hedge is not None:
+            self.registry.histogram(
+                "sched_queue_wait_seconds",
+                provider=by_index[decision.hedge.gating],
+            ).observe(decision.hedge.wait)
+        if self.tracer.enabled:
+            self.tracer.event(
+                "sched.decision",
+                key=decision.key,
+                chosen=list(decision.chosen),
+                parity=decision.parity_picks,
+                rotated=decision.rotated,
+                hedge=(
+                    None
+                    if decision.hedge is None
+                    else {
+                        "backup": decision.hedge.backup,
+                        "gating": decision.hedge.gating,
+                        "wait": decision.hedge.wait,
+                        "cost": decision.hedge.cost,
+                    }
+                ),
+            )
+
+    def _striped_hedged_fetch(
+        self,
+        key_base: str,
+        version: int,
+        by_index: dict[int, str],
+        chosen: list[int],
+        hedge,
+        verified,
+    ) -> tuple[dict[int, bytes], set[int], bool]:
+        """Fetch ``chosen`` fragments plus a concurrent backup fragment;
+        advance the clock only to the winning subset's finish.
+
+        Capacity-aware hedging (see :mod:`repro.core.scheduling`): the
+        scheduler already decided the gating provider's estimated queue
+        wait exceeds the backup's wire+decode cost, so both legs fire at
+        once and the first complete k-subset serves.  Mirrors
+        :meth:`_hedged_replicated_get`'s accounting — only outcomes that
+        were actually waited on feed the health EWMAs; the cancelled leg's
+        wire time is recorded as hedge waste.
+
+        Returns ``(fragments, rejected, degraded)``; a failed or corrupt
+        fetch falls back to merged bookkeeping and lets the caller's top-up
+        loop finish the read.
+        """
+        gating, backup = hedge.gating, hedge.backup
+        main = self._run_phase(
+            [
+                CloudOp(
+                    by_index[i],
+                    "get",
+                    self.container,
+                    self._fragment_key(key_base, i, version),
+                )
+                for i in chosen
+            ],
+            advance=False,
+            record_latency=False,
+        )
+        self.collector.bump("hedged_reads")
+        self.registry.counter("sched_hedges_total").inc()
+        if self._acc is not None:
+            self._acc.hedged = True
+        if self.tracer.enabled:
+            self.tracer.event(
+                "hedge.fired",
+                primary=by_index[gating],
+                backup=by_index[backup],
+                delay=0.0,
+            )
+        b_phase = self._run_phase(
+            [
+                CloudOp(
+                    by_index[backup],
+                    "get",
+                    self.container,
+                    self._fragment_key(key_base, backup, version),
+                )
+            ],
+            advance=False,
+            record_latency=False,
+        )
+        b = b_phase.outcomes[0]
+        outcomes = dict(zip(chosen, main.outcomes))
+
+        def good(i: int, o) -> bool:
+            return o.ok and o.data is not None and verified(i, o.data)
+
+        main_good = all(good(i, o) for i, o in outcomes.items())
+        others_good = all(good(i, o) for i, o in outcomes.items() if i != gating)
+        b_good = good(backup, b)
+        if main_good or (b_good and others_good):
+            others = max(
+                (o.finish for i, o in outcomes.items() if i != gating),
+                default=0.0,
+            )
+            main_done = main.elapsed
+            alt_done = max(others, b_phase.elapsed) if b_good else math.inf
+            if main_good and main_done <= alt_done:
+                # The chosen subset answered first: normal read, backup leg
+                # cancelled at the winner's finish.
+                if main_done > 0:
+                    self.clock.advance(main_done)
+                self._feed_latency(main.outcomes)
+                self._note_hedge_waste(b, main_done)
+                return {i: o.data for i, o in outcomes.items()}, set(), False
+            # The backup subset completed first (or the gating fragment
+            # failed outright): decode around the gating provider.
+            self.collector.bump("hedge_wins")
+            self.registry.counter("sched_hedge_wins_total").inc()
+            if self.tracer.enabled:
+                self.tracer.event("hedge.win", provider=by_index[backup])
+            if alt_done > 0:
+                self.clock.advance(alt_done)
+            self._feed_latency(
+                [o for i, o in outcomes.items() if i != gating] + [b]
+            )
+            self._note_hedge_waste(outcomes[gating], alt_done)
+            fragments = {i: o.data for i, o in outcomes.items() if i != gating}
+            fragments[backup] = b.data
+            # Degraded only when the gating fragment actually failed — a
+            # backup that merely outran a queued provider is a normal read.
+            return fragments, set(), not main_good
+        # A non-gating fragment failed or was corrupt: no subset won.  Wait
+        # out both legs, keep every intact fragment, and let the top-up
+        # logic recover — same degraded semantics as the unhedged path.
+        done = max(main.elapsed, b_phase.elapsed)
+        if done > 0:
+            self.clock.advance(done)
+        self._feed_latency(main.outcomes)
+        self._feed_latency(b_phase.outcomes)
+        fragments, rejected = {}, set()
+        for i, o in [*outcomes.items(), (backup, b)]:
+            if o.ok and o.data is not None:
+                if verified(i, o.data):
+                    fragments[i] = o.data
+                else:
+                    rejected.add(i)
+        return fragments, rejected, True
+
     def _rank_providers_by_index(
         self, by_index: dict[int, str], size: int, codec: ErasureCodec
     ) -> list[int]:
+        """Fragment indices sorted by estimated fetch time, fastest first.
+
+        Static (clean latency model only) by default; with a read
+        scheduler attached the load-aware score takes over, so the same
+        ranking DepSky-CA and FMSR reads use inherits queue awareness.
+        """
         frag_size = codec.fragment_size(size)
+        if self.scheduler is not None:
+            return sorted(
+                by_index,
+                key=lambda i: (
+                    self.scheduler.score_provider(by_index[i], frag_size),
+                    i,
+                ),
+            )
         return sorted(
             by_index,
             key=lambda i: self._estimate_latency(by_index[i], frag_size, "down"),

@@ -87,6 +87,36 @@ def emitted_names():
         scheme.get(f"/h/f{i}")
     names |= scheme.registry.emitted_names()
 
+    # The load-aware read scheduler lights the sched_* family: a striped
+    # read burst against a browned-out systematic provider forces parity
+    # picks; deliberately loose knobs (wide rotation pool, hair-trigger
+    # hedge) guarantee a rotation and a winning capacity-aware hedge once
+    # the observatory's queue estimates warm up.
+    from repro.core.scheduling import FragmentScheduler, SchedulerConfig
+
+    clock = SimClock()
+    fleet = make_table2_cloud_of_clouds(clock)
+    scheme = HyrdScheme(
+        list(fleet.values()), clock, config=HyRDConfig(hot_file_threshold=0)
+    )
+    scheme.attach_observatory(ProviderLoadObservatory())
+    scheme.attach_scheduler(
+        FragmentScheduler(
+            SchedulerConfig(
+                rotation_margin=1e9, hedge_margin=1e-6, hedge_winnable=1e9
+            )
+        )
+    )
+    for i in range(4):
+        scheme.put(f"/s/f{i}", bytes(2 * 1024 * 1024))
+    fleet["rackspace"].faults = FaultProfile(
+        [LatencyBrownout(clock.now, clock.now + 1e6, rtt_factor=10.0, bw_factor=0.05)]
+    ).bind("rackspace")
+    for _ in range(6):
+        for i in range(4):
+            scheme.get(f"/s/f{i}")
+    names |= scheme.registry.emitted_names()
+
     # The maintenance drill lights up the scrub/repair/migration metrics;
     # a deliberately tight budget exercises the throttle counter too.
     from repro.maintenance.drill import run_maintenance_drill

@@ -200,6 +200,87 @@ class TestOutagesAndHealing:
         assert not report.degraded
 
 
+class TestRankProvidersByIndex:
+    """Pin `_rank_providers_by_index`: static by construction, load-aware
+    only when a FragmentScheduler is attached."""
+
+    SIZE = 3 * 1024 * 1024
+
+    def _by_index(self, racs):
+        return dict(enumerate(racs.provider_names))
+
+    def _static_order(self, racs, by_index):
+        frag = racs.codec.fragment_size(self.SIZE)
+        return sorted(
+            by_index,
+            key=lambda i: racs._estimate_latency(by_index[i], frag, "down"),
+        )
+
+    def test_healthy_orders_by_static_estimate(self, racs):
+        by_index = self._by_index(racs)
+        order = racs._rank_providers_by_index(by_index, self.SIZE, racs.codec)
+        assert order == self._static_order(racs, by_index)
+        assert sorted(order) == sorted(by_index)  # a permutation, no drops
+
+    def test_degraded_health_does_not_move_static_ranking(self, racs):
+        """Static ranking deliberately ignores health: adaptive demotion is
+        the scheduler's (or `_rank_providers(adaptive=True)`'s) job, and
+        availability filtering happens later via the usable() predicate."""
+        by_index = self._by_index(racs)
+        baseline = racs._rank_providers_by_index(by_index, self.SIZE, racs.codec)
+        fastest = by_index[baseline[0]]
+        for _ in range(20):
+            racs.health[fastest].record_latency(observed=50.0, expected=1.0)
+        assert (
+            racs._rank_providers_by_index(by_index, self.SIZE, racs.codec)
+            == baseline
+        )
+
+    def test_open_breaker_does_not_move_static_ranking(self, racs, clock):
+        by_index = self._by_index(racs)
+        baseline = racs._rank_providers_by_index(by_index, self.SIZE, racs.codec)
+        fastest = by_index[baseline[0]]
+        breaker = racs._breakers[fastest]
+        for _ in range(breaker.failure_threshold):
+            breaker.record_failure(clock.now)
+        assert breaker.state == "open"
+        assert (
+            racs._rank_providers_by_index(by_index, self.SIZE, racs.codec)
+            == baseline
+        )
+
+    def test_scheduler_demotes_degraded_provider(self, racs):
+        from repro.core.scheduling import FragmentScheduler
+
+        by_index = self._by_index(racs)
+        baseline = racs._rank_providers_by_index(by_index, self.SIZE, racs.codec)
+        racs.attach_scheduler(FragmentScheduler())
+        # Healthy fleet: the load-aware score degenerates to the static
+        # estimate, so the ranking is unchanged.
+        assert (
+            racs._rank_providers_by_index(by_index, self.SIZE, racs.codec)
+            == baseline
+        )
+        fastest = by_index[baseline[0]]
+        for _ in range(20):
+            racs.health[fastest].record_latency(observed=50.0, expected=1.0)
+        ranked = racs._rank_providers_by_index(by_index, self.SIZE, racs.codec)
+        assert ranked[-1] == baseline[0]  # browned-out: demoted to last
+
+    def test_scheduler_ranks_open_breaker_last(self, racs, clock):
+        from repro.core.scheduling import FragmentScheduler
+
+        by_index = self._by_index(racs)
+        baseline = racs._rank_providers_by_index(by_index, self.SIZE, racs.codec)
+        racs.attach_scheduler(FragmentScheduler())
+        fastest = by_index[baseline[0]]
+        breaker = racs._breakers[fastest]
+        for _ in range(breaker.failure_threshold):
+            breaker.record_failure(clock.now)
+        ranked = racs._rank_providers_by_index(by_index, self.SIZE, racs.codec)
+        assert ranked[-1] == baseline[0]  # fast-failed: scored infinite
+
+
 class TestSpaceOverhead:
     def test_single_has_no_redundancy(self, single, payload):
         single.put("/d/a", payload(10_000))

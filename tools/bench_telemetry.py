@@ -39,7 +39,17 @@ allows" north star is pushed against:
   raises instead of recording).  Plus a scripted brownout hedge — the
   storm's seed happens never to hedge — pinning the hedge-waste
   accounting: ``hedge_wait`` on the critical path, wasted loser-leg wire
-  seconds off it.  All simulated-time arithmetic, all drift-gated.
+  seconds off it.  All simulated-time arithmetic, all drift-gated;
+- **read scheduling** — the Zipf-skewed striped-read experiment from
+  ``benchmarks/test_read_scheduling.py`` at telemetry scale: simulated
+  ops/s with the :class:`~repro.core.scheduling.FragmentScheduler`
+  attached vs static fragment selection against a saturated + browned-out
+  fleet, the resulting speedup, the scheduler's parity-pick count, and
+  the subset-choice histogram (which provider subsets served the
+  workload).  All simulated-time arithmetic, so all of it is drift-gated —
+  a routing change that shifts the histogram or erodes the speedup fails
+  ``--check``.  Generation also asserts scheduled strictly beats static
+  (the hard 1.3x floor lives in the benchmark suite).
 
 Everything under ``deterministic`` is simulated-time arithmetic from seeded
 runs: regenerating with the same seed on the same code reproduces it bit for
@@ -68,7 +78,7 @@ ROOT = Path(__file__).resolve().parent.parent
 if str(ROOT / "src") not in sys.path:  # allow running without PYTHONPATH=src
     sys.path.insert(0, str(ROOT / "src"))
 
-SCHEMA = "repro-bench-telemetry/5"
+SCHEMA = "repro-bench-telemetry/6"
 
 #: fig3-scale replay throughput measured at the pre-overhaul commit — kept
 #: in the telemetry file so the recorded speedup stays anchored to the same
@@ -403,6 +413,107 @@ def run_maintenance(seed: int) -> dict:
 #: numeric fields the scripted-hedge attribution facet must carry
 HEDGE_FACET_FIELDS = ("hedge_wait_s", "hedge_wasted_s", "read_latency_s")
 
+#: numeric fields the read-scheduling facet must carry — shared between
+#: collection and schema_check so the two cannot drift apart
+READ_SCHEDULING_FIELDS = (
+    "reads",
+    "scheduled_ops_per_sim_s",
+    "static_ops_per_sim_s",
+    "speedup",
+    "parity_fragments",
+    "rotations",
+    "distinct_subsets",
+)
+
+
+def run_read_scheduling_facet(seed: int) -> dict:
+    """Scheduled vs static striped reads under skew — all simulated-time.
+
+    A reduced-scale copy of the ``benchmarks/test_read_scheduling.py``
+    scenario: Zipf-skewed reads of striped files against a fleet whose two
+    systematic fragment holders are saturated and browned out, run once
+    with the scheduler + load observatory attached and once static.  Both
+    throughputs are simulated ops/s (sim-clock arithmetic, bit-for-bit
+    reproducible), and the subset-choice histogram records exactly which
+    provider subsets served the workload — the routing behaviour itself is
+    what the drift gate freezes.
+    """
+    import numpy as np
+
+    from repro.cloud.provider import make_table2_cloud_of_clouds
+    from repro.core.config import HyRDConfig
+    from repro.core.scheduling import FragmentScheduler
+    from repro.faults import FaultProfile, LatencyBrownout
+    from repro.obs import ProviderLoadObservatory
+    from repro.schemes import HyrdScheme
+    from repro.sim.clock import SimClock
+    from repro.sim.rng import make_rng
+
+    files, reads = 6, 60
+
+    def once(schedule: bool):
+        clock = SimClock()
+        providers = make_table2_cloud_of_clouds(clock)
+        # Promotion off: a promoted full copy would route around the
+        # stripe for scheduler and static alike.
+        scheme = HyrdScheme(
+            list(providers.values()),
+            clock,
+            config=HyRDConfig(hot_file_threshold=0),
+        )
+        if schedule:
+            scheme.attach_observatory(ProviderLoadObservatory())
+            scheme.attach_scheduler(FragmentScheduler())
+        rng = make_rng(seed, "bench-read-sched")
+        payloads = {}
+        for i in range(files):
+            data = rng.integers(0, 256, 2 * MB, dtype="uint8").tobytes()
+            scheme.put(f"/s/f{i}", data)
+            payloads[i] = data
+        placements = dict(
+            (idx, prov) for prov, idx in scheme.namespace.get("/s/f0").placements
+        )
+        horizon = clock.now + 1e9
+        providers[placements[0]].faults = FaultProfile(
+            [LatencyBrownout(clock.now, horizon, rtt_factor=10.0, bw_factor=0.05)]
+        ).bind(placements[0])
+        providers[placements[1]].faults = FaultProfile(
+            [LatencyBrownout(clock.now, horizon, rtt_factor=2.0, bw_factor=0.5)]
+        ).bind(placements[1])
+        weights = np.array([1.0 / (i + 1) ** 1.2 for i in range(files)])
+        sequence = rng.choice(files, size=reads, p=weights / weights.sum())
+        t0 = clock.now
+        histogram: dict[str, int] = {}
+        for j in sequence:
+            data, report = scheme.get(f"/s/f{j}")
+            if data != payloads[j]:
+                raise AssertionError("scheduled read returned wrong bytes")
+            key = "+".join(sorted(report.providers))
+            histogram[key] = histogram.get(key, 0) + 1
+        return reads / (clock.now - t0), scheme, histogram
+
+    scheduled, scheme, histogram = once(True)
+    static, _, _ = once(False)
+    if scheduled <= static:
+        raise AssertionError(
+            f"scheduled {scheduled:.3f} ops/s did not beat static {static:.3f}"
+        )
+    registry = scheme.registry
+    return {
+        "skewed_load": {
+            "reads": reads,
+            "scheduled_ops_per_sim_s": scheduled,
+            "static_ops_per_sim_s": static,
+            "speedup": scheduled / static,
+            "parity_fragments": int(
+                registry.counter_value("sched_parity_fragments_total")
+            ),
+            "rotations": int(registry.counter_value("sched_rotations_total")),
+            "distinct_subsets": len(histogram),
+            "subset_histogram": dict(sorted(histogram.items())),
+        }
+    }
+
 
 def run_attribution_facet(seed: int) -> dict:
     """Critical-path phase decomposition — all simulated-time, all gated.
@@ -492,6 +603,7 @@ def build_payload(seed: int, date: str) -> dict:
             "replay_throughput": replay_det,
             "maintenance": run_maintenance(seed),
             "attribution": run_attribution_facet(seed),
+            "read_scheduling": run_read_scheduling_facet(seed),
         },
         "informational": {
             "codec_throughput": run_codec_throughput(seed),
@@ -670,6 +782,37 @@ def schema_check(payload: dict, path: Path) -> list[str]:
                 and hedge.get(field, 0.0) > 0.0,
                 f"attribution.scripted_hedge.{field} must be positive",
             )
+        sched = det.get("read_scheduling")
+        need(isinstance(sched, dict) and sched, "read_scheduling section missing")
+        skewed = (sched or {}).get("skewed_load")
+        need(isinstance(skewed, dict), "read_scheduling.skewed_load missing")
+        if isinstance(skewed, dict):
+            for field in READ_SCHEDULING_FIELDS:
+                need(
+                    isinstance(skewed.get(field), (int, float))
+                    and not isinstance(skewed.get(field), bool),
+                    f"read_scheduling.skewed_load.{field} missing",
+                )
+            need(
+                skewed.get("speedup", 0.0) > 1.0,
+                "read_scheduling.skewed_load.speedup must exceed 1",
+            )
+            hist = skewed.get("subset_histogram")
+            need(
+                isinstance(hist, dict)
+                and hist
+                and all(isinstance(v, int) for v in hist.values()),
+                "read_scheduling.skewed_load.subset_histogram must map "
+                "provider subsets to int counts",
+            )
+            if isinstance(hist, dict) and all(
+                isinstance(v, int) for v in hist.values()
+            ):
+                need(
+                    sum(hist.values()) == skewed.get("reads"),
+                    "read_scheduling.skewed_load.subset_histogram must "
+                    "account for every read",
+                )
     info = payload.get("informational")
     need(isinstance(info, dict), "informational section missing")
     if isinstance(info, dict):
