@@ -10,6 +10,7 @@ Examples::
     python -m repro lockin
     python -m repro threshold
     python -m repro maintain --repair-rate 2
+    python -m repro serve --tenants 32 --mode open --skew 10
     python -m repro report --trace-out /tmp/storm.jsonl
     python -m repro report --from-trace /tmp/storm.jsonl
     python -m repro watch --cadence 30 --ts-out /tmp/storm-ts.jsonl
@@ -351,6 +352,49 @@ def _cmd_maintain(args: argparse.Namespace) -> str:
     )
 
 
+def _cmd_serve(args: argparse.Namespace) -> str:
+    from repro.service import run_service_drill
+
+    report = run_service_drill(
+        seed=args.seed,
+        tenants=args.tenants,
+        frontends=args.frontends,
+        mode=args.mode,
+        skew=args.skew,
+        queue_limit=args.queue_limit,
+        offered_load=args.offered_load,
+        ops_quota_factor=args.ops_quota,
+    )
+    rows = [
+        ["Mode / tenants / frontends",
+         f"{report['mode']} / {report['tenants']} / {report['frontends']}"],
+        ["Requests submitted", report["submitted_total"]],
+        ["Requests admitted", report["admitted_total"]],
+        ["Requests shed", f"{report['shed_total']} ({report['shed_fraction']:.1%})"],
+        ["Aggregate throughput", f"{report['aggregate_ops_per_s']:.2f} ops/s"],
+        ["Jain fairness (admitted)", f"{report['fairness_index']:.4f}"],
+        ["DRR rounds", report["drr_rounds"]],
+        ["Ops/s quota deferrals", report["quota_deferrals"]],
+        ["Frontend failures", report["frontend_failures"]],
+        ["Read availability", f"{report['slo']['read_availability']:.4%}"],
+        ["Simulated time", f"{report['sim_elapsed']:.1f} s"],
+    ]
+    if report["capacity_ops_per_s"] is not None:
+        rows.insert(
+            5, ["Measured capacity", f"{report['capacity_ops_per_s']:.2f} ops/s"]
+        )
+    for reason, n in sorted(report["shed_by_reason"].items()):
+        rows.append([f"  shed: {reason}", n])
+    return render_table(
+        ["Service plane drill", "Value"],
+        rows,
+        title=(
+            f"Multi-tenant service plane — {report['tenants']} tenants, "
+            f"skew {report['skew']:g}:1 (seed {report['seed']})"
+        ),
+    )
+
+
 def _cmd_lockin(args: argparse.Namespace) -> str:
     from repro.analysis.lockin import switching_cost_report
 
@@ -438,6 +482,7 @@ _COMMANDS = {
     "availability": _cmd_availability,
     "lockin": _cmd_lockin,
     "maintain": _cmd_maintain,
+    "serve": _cmd_serve,
     "report": _cmd_report,
     "watch": _cmd_watch,
     "explain": _cmd_explain,
@@ -496,6 +541,51 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=60.0,
         help="watch: sampling cadence in simulated seconds (default 60)",
+    )
+    parser.add_argument(
+        "--tenants",
+        type=int,
+        default=8,
+        help="serve: tenant population (default 8)",
+    )
+    parser.add_argument(
+        "--frontends",
+        type=int,
+        default=2,
+        help="serve: frontend service nodes (default 2)",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("closed", "open"),
+        default="closed",
+        help="serve: closed loop (one outstanding per tenant) or open loop "
+        "(scheduled arrivals that exercise shedding; default closed)",
+    )
+    parser.add_argument(
+        "--skew",
+        type=float,
+        default=1.0,
+        help="serve: heaviest:lightest offered-load ratio, open mode (default 1)",
+    )
+    parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=16,
+        help="serve: per-tenant admission queue bound (default 16)",
+    )
+    parser.add_argument(
+        "--offered-load",
+        type=float,
+        default=3.0,
+        help="serve: open-mode arrivals as a multiple of measured capacity "
+        "(default 3)",
+    )
+    parser.add_argument(
+        "--ops-quota",
+        type=float,
+        default=None,
+        help="serve: per-tenant ops/s quota as a multiple of the fair share "
+        "of capacity, open mode (default: unlimited)",
     )
     parser.add_argument(
         "--repair-rate",

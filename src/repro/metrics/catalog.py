@@ -604,6 +604,102 @@ _SPECS: tuple[MetricSpec, ...] = (
         labels=("provider",),
         unit="s",
     ),
+    # --------------------------------------------- multi-tenant service plane
+    MetricSpec(
+        "tenant_requests_total",
+        "counter",
+        "Requests submitted to the service plane's frontend handlers per "
+        "tenant, counted at arrival (before authentication, quota checks "
+        "or admission).",
+        labels=("tenant",),
+    ),
+    MetricSpec(
+        "tenant_admitted_total",
+        "counter",
+        "Requests dispatched to the shared scheme backends for the tenant "
+        "by the deficit-round-robin admission controller.",
+        labels=("tenant",),
+    ),
+    MetricSpec(
+        "tenant_shed_total",
+        "counter",
+        "Requests rejected by the service plane per tenant, by typed "
+        "reason: auth, unknown_tenant, queue_full, ops_quota, bytes_quota "
+        "or objects_quota.",
+        labels=("reason", "tenant"),
+    ),
+    MetricSpec(
+        "tenant_bytes_used",
+        "gauge",
+        "Logical bytes the tenant currently stores under its namespace "
+        "prefix, as accounted by the quota engine at admission time.",
+        labels=("tenant",),
+        unit="B",
+    ),
+    MetricSpec(
+        "tenant_objects_used",
+        "gauge",
+        "Objects the tenant currently stores under its namespace prefix, "
+        "as accounted by the quota engine at admission time.",
+        labels=("tenant",),
+    ),
+    MetricSpec(
+        "tenant_queue_depth",
+        "gauge",
+        "Requests currently waiting in the tenant's bounded admission "
+        "queue (updated on every enqueue/dispatch).",
+        labels=("tenant",),
+    ),
+    MetricSpec(
+        "tenant_slo_availability",
+        "gauge",
+        "Sliding-window success fraction of the tenant's user-facing ops, "
+        "per op class — the per-tenant rollup of the aggregate slo_* "
+        "availability gauges.",
+        labels=("op_class", "tenant"),
+        unit="ratio",
+    ),
+    MetricSpec(
+        "tenant_slo_p95_seconds",
+        "gauge",
+        "Sliding-window p95 simulated latency of the tenant's successful "
+        "user-facing ops.",
+        labels=("tenant",),
+        unit="s",
+    ),
+    MetricSpec(
+        "admission_rounds_total",
+        "counter",
+        "Deficit-round-robin scheduling rounds completed by the admission "
+        "controller (one round visits every backlogged tenant once).",
+    ),
+    MetricSpec(
+        "admission_dispatched_total",
+        "counter",
+        "Requests the admission controller handed to a frontend for "
+        "execution, per frontend handler.",
+        labels=("frontend",),
+    ),
+    MetricSpec(
+        "admission_queued",
+        "gauge",
+        "Total requests currently waiting across every tenant's admission "
+        "queue.",
+    ),
+    MetricSpec(
+        "admission_quota_deferrals_total",
+        "counter",
+        "Head-of-queue dispatches the admission controller deferred "
+        "because the tenant's ops-per-second token bucket was empty (the "
+        "request stays queued; deferral is not load shedding).",
+    ),
+    MetricSpec(
+        "admission_fairness_index",
+        "gauge",
+        "Jain's fairness index over per-tenant admitted throughput since "
+        "the last reset; 1.0 is perfectly fair, 1/n is maximally unfair.",
+        unit="ratio",
+    ),
 )
 
 #: name -> spec for every metric the runtime may emit.

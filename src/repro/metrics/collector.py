@@ -43,6 +43,7 @@ class OpReport:
     transfer_time: float = 0.0  # critical-path time spent moving bytes
     retries: int = 0  # transient-failure retries burned by this operation
     hedged: bool = False  # a hedged backup request fired during this operation
+    tenant: str | None = None  # service-plane tenant this op ran for, if any
 
     def __post_init__(self) -> None:
         if self.elapsed < 0:

@@ -51,7 +51,13 @@ from repro.obs.trace import (
     span_tree,
 )
 from repro.obs.report import RunReport, run_fault_storm_report
-from repro.obs.slo import IntervalLedger, ProviderSlo, SloConfig, SloTracker
+from repro.obs.slo import (
+    IntervalLedger,
+    ProviderSlo,
+    SloConfig,
+    SloTracker,
+    TenantRollup,
+)
 from repro.obs.timeseries import MetricTimeSeries, TimeSeriesSampler
 
 __all__ = [
@@ -81,6 +87,7 @@ __all__ = [
     "TimeSeriesSampler",
     "SloConfig",
     "SloTracker",
+    "TenantRollup",
     "IntervalLedger",
     "ProviderSlo",
 ]

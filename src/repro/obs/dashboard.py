@@ -269,6 +269,75 @@ def _load_section(ts: MetricTimeSeries, color: bool, width: int) -> list[str]:
     return lines
 
 
+def _tenant_section(ts: MetricTimeSeries, color: bool, width: int) -> list[str]:
+    """Per-tenant admission panel fed by the service plane's metrics.
+
+    Renders only when a :class:`~repro.service.frontend.ServicePlane` drove
+    the sampled run (the ``tenant_*`` / ``admission_*`` series exist).  With
+    a large tenant population only the busiest rows are shown, ranked by
+    admitted count, with a one-line tail summary for the rest.
+    """
+    by_metric = _series_by_metric(ts)
+    tenants: set[str] = set()
+    for name in ("tenant_admitted_total", "tenant_requests_total", "tenant_queue_depth"):
+        for sid in by_metric.get(name, []):
+            t = _label(sid, "tenant")
+            if t:
+                tenants.add(t)
+    if not tenants:
+        return []
+
+    def admitted(t: str) -> float:
+        return ts.latest(f"tenant_admitted_total{{tenant={t}}}") or 0.0
+
+    def shed(t: str) -> float:
+        return sum(
+            ts.latest(sid) or 0.0
+            for sid in by_metric.get("tenant_shed_total", [])
+            if _label(sid, "tenant") == t
+        )
+
+    fairness = ts.latest("admission_fairness_index")
+    queued = ts.latest("admission_queued") or 0.0
+    head = f"  fairness {fairness:6.4f}" if fairness is not None else "  fairness   --  "
+    if fairness is not None:
+        head += f" {gauge_bar(fairness, 0.9, color=color)}"
+        if fairness < 0.9:
+            head = _c(head, "red", color)
+    head += f"  queued {int(queued):>4}"
+    fair_series = [v for _, v in ts.series("admission_fairness_index")]
+    if fair_series:
+        head += f"  {sparkline(fair_series, max(width - 16, 8))}"
+    lines = [_c("Tenants (admission)", "cyan", color), head]
+    ranked = sorted(tenants, key=lambda t: (-admitted(t), t))
+    shown, rest = ranked[:8], ranked[8:]
+    for t in shown:
+        adm = admitted(t)
+        sh = shed(t)
+        depth = ts.latest(f"tenant_queue_depth{{tenant={t}}}") or 0.0
+        depth_series = [
+            v for _, v in ts.series(f"tenant_queue_depth{{tenant={t}}}")
+        ]
+        tag = (
+            f"  {t:<10} queued {int(depth):>3}  admitted {int(adm):>5}  "
+            f"shed {int(sh):>5}  "
+        )
+        if sh > 0:
+            tag = _c(tag, "yellow", color)
+        lines.append(f"{tag}{sparkline(depth_series, max(width - 24, 8))}")
+    if rest:
+        lines.append(
+            _c(
+                f"  … {len(rest)} more tenants "
+                f"(admitted {int(sum(admitted(t) for t in rest))}, "
+                f"shed {int(sum(shed(t) for t in rest))})",
+                "dim",
+                color,
+            )
+        )
+    return lines
+
+
 def _workload_section(ts: MetricTimeSeries, color: bool, width: int) -> list[str]:
     by_metric = _series_by_metric(ts)
     sids = by_metric.get("workload_size_bucket_total", [])
@@ -325,6 +394,7 @@ def render_dashboard(
         _ops_section(ts, color, width),
         _provider_section(ts, color, width),
         _load_section(ts, color, width),
+        _tenant_section(ts, color, width),
         _workload_section(ts, color, width),
     ):
         if section:

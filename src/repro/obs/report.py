@@ -123,6 +123,7 @@ class RunReport:
                         transfer_time=a["transfer_time"],
                         retries=a["retries"],
                         hedged=a["hedged"],
+                        tenant=a.get("tenant"),
                     )
                 )
         return cls(

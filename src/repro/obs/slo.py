@@ -42,7 +42,14 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any
 
-__all__ = ["SloConfig", "IntervalLedger", "ProviderSlo", "SloTracker", "op_class"]
+__all__ = [
+    "SloConfig",
+    "IntervalLedger",
+    "ProviderSlo",
+    "SloTracker",
+    "TenantRollup",
+    "op_class",
+]
 
 
 #: Which availability class each scheme op counts toward.  Heals and
@@ -182,6 +189,62 @@ class ProviderSlo:
         )
 
 
+class TenantRollup:
+    """Sliding-window SLO state for one service-plane tenant.
+
+    Materialized lazily by :class:`SloTracker` the first time an
+    :class:`~repro.metrics.collector.OpReport` arrives carrying that
+    tenant's id (via :meth:`Scheme.tenant_context
+    <repro.schemes.base.Scheme.tenant_context>`), so runs without the
+    service plane never allocate one.  Tracks the same trailing window as
+    the aggregate tracker: per-class availability plus a latency
+    distribution for the p95 rollup.
+    """
+
+    def __init__(self, tenant: str, window: float) -> None:
+        self.tenant = tenant
+        self.window = window
+        #: trailing window of ``(t, op_class, ok, elapsed)``
+        self._ops: deque[tuple[float, str, bool, float]] = deque()
+
+    def record(self, t: float, cls: str, ok: bool, elapsed: float) -> None:
+        self._ops.append((float(t), cls, ok, float(elapsed)))
+        cutoff = t - self.window
+        ops = self._ops
+        while ops and ops[0][0] < cutoff:
+            ops.popleft()
+
+    def window_ops(self, now: float, cls: str | None = None) -> list[tuple]:
+        cutoff = now - self.window
+        return [
+            o for o in self._ops if o[0] >= cutoff and (cls is None or o[1] == cls)
+        ]
+
+    def availability(self, cls: str, now: float) -> float | None:
+        """Windowed success fraction for one op class (None with no traffic)."""
+        ops = self.window_ops(now, cls)
+        if not ops:
+            return None
+        return sum(1 for o in ops if o[2]) / len(ops)
+
+    def p95_latency(self, now: float) -> float | None:
+        """p95 of windowed *successful* op latencies (None with no traffic)."""
+        lats = sorted(o[3] for o in self.window_ops(now) if o[2])
+        if not lats:
+            return None
+        return lats[int(0.95 * (len(lats) - 1))]
+
+    def summary(self, now: float) -> dict[str, Any]:
+        out: dict[str, Any] = {"ops": len(self.window_ops(now))}
+        for cls in ("read", "write"):
+            out[f"{cls}_availability"] = self.availability(cls, now)
+        out["p95_latency"] = self.p95_latency(now)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TenantRollup({self.tenant!r}, ops={len(self._ops)})"
+
+
 class SloTracker:
     """Sliding-window SLO state for one scheme run.
 
@@ -200,6 +263,8 @@ class SloTracker:
         self.providers: dict[str, ProviderSlo] = {}
         #: trailing window of ``(t, op_class, ok, degraded)``
         self._ops: deque[tuple[float, str, bool, bool]] = deque()
+        #: per-tenant rollups, materialized lazily on the first attributed op
+        self.tenants: dict[str, TenantRollup] = {}
 
     # ------------------------------------------------------------------ hooks
     def bind(self, registry, clock) -> None:
@@ -225,6 +290,13 @@ class SloTracker:
         elif state == "closed":
             ledger.mark_up(now)
 
+    def tenant(self, name: str) -> TenantRollup:
+        """The rollup for ``name``, created on first use."""
+        rollup = self.tenants.get(name)
+        if rollup is None:
+            rollup = self.tenants[name] = TenantRollup(name, self.config.window)
+        return rollup
+
     def record_op(self, report, t: float) -> None:
         """Fold one completed :class:`~repro.metrics.collector.OpReport`."""
         cls = op_class(report.op)
@@ -232,14 +304,19 @@ class SloTracker:
             return
         self._ops.append((float(t), cls, True, report.degraded))
         self._evict(t)
+        tenant = getattr(report, "tenant", None)
+        if tenant is not None:
+            self.tenant(tenant).record(t, cls, True, report.elapsed)
 
-    def record_failure(self, op: str, t: float) -> None:
+    def record_failure(self, op: str, t: float, tenant: str | None = None) -> None:
         """Fold one public op that raised (unavailability the user felt)."""
         cls = op_class(op)
         if cls is None:
             return
         self._ops.append((float(t), cls, False, False))
         self._evict(t)
+        if tenant is not None:
+            self.tenant(tenant).record(t, cls, False, 0.0)
 
     def ingest_ground_truth(self, providers, t0: float, t1: float) -> None:
         """Load the injected fault schedule into each ``scheduled`` ledger.
@@ -322,6 +399,16 @@ class SloTracker:
         frac = self.degraded_read_fraction(now)
         if frac is not None:
             reg.gauge("slo_degraded_read_fraction").set(frac)
+        for name, rollup in sorted(self.tenants.items()):
+            for cls in ("read", "write"):
+                avail = rollup.availability(cls, now)
+                if avail is not None:
+                    reg.gauge(
+                        "tenant_slo_availability", op_class=cls, tenant=name
+                    ).set(avail)
+            p95 = rollup.p95_latency(now)
+            if p95 is not None:
+                reg.gauge("tenant_slo_p95_seconds", tenant=name).set(p95)
         for name, pslo in sorted(self.providers.items()):
             for feed, ledger in (
                 ("observed", pslo.observed),
@@ -377,6 +464,13 @@ class SloTracker:
                     ("observed", pslo.observed),
                     ("scheduled", pslo.scheduled),
                 )
+            }
+        if self.tenants:
+            # Only present on service-plane runs, so single-client summaries
+            # stay identical to pre-tenant ones.
+            out["tenants"] = {
+                name: rollup.summary(now)
+                for name, rollup in sorted(self.tenants.items())
             }
         return out
 

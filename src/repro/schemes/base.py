@@ -19,6 +19,7 @@ helpers provided here.
 
 from __future__ import annotations
 
+import contextlib
 import functools
 import hashlib
 import math
@@ -377,7 +378,9 @@ def _public_op(method):
                 self._publish_journal_gauges()
             if self.slo is not None and not crashed:
                 self.slo.record_failure(
-                    method.__name__.lstrip("_"), self.clock.now
+                    method.__name__.lstrip("_"),
+                    self.clock.now,
+                    tenant=self._op_tenant,
                 )
             raise
 
@@ -514,6 +517,10 @@ class Scheme(ABC):
         self._payload_cache = _PayloadCache()
         self._acc: _OpAcc | None = None
         self._meta_sizes: dict[str, int] = {}
+        #: tenant attribution for the op currently in flight — set via
+        #: :meth:`tenant_context` by the service plane's frontend handlers;
+        #: None (the default) keeps reports identical to a tenant-free build
+        self._op_tenant: str | None = None
         #: optional :class:`repro.obs.slo.SloTracker` — see :meth:`attach_slo`
         self.slo = None
         #: optional :class:`repro.obs.attribution.ProviderLoadObservatory` —
@@ -614,6 +621,26 @@ class Scheme(ABC):
             self.scheduler = None
             scheduler.unbind()
         return scheduler
+
+    @contextlib.contextmanager
+    def tenant_context(self, tenant: str | None):
+        """Attribute ops executed inside the block to ``tenant``.
+
+        Used by the service plane's frontend handlers: every
+        :class:`~repro.metrics.collector.OpReport` (and, when tracing, the
+        root op span) produced inside the block carries the tenant id, and
+        SLO failures recorded for public ops raised inside it roll up to the
+        tenant too.  Pure attribution — no clock movement, no RNG draws —
+        and with ``tenant=None`` (or outside any block) reports are
+        byte-identical to a tenant-free build.  Not reentrant: scheme ops do
+        not nest, and neither do their tenant contexts.
+        """
+        prev = self._op_tenant
+        self._op_tenant = tenant
+        try:
+            yield self
+        finally:
+            self._op_tenant = prev
 
     @property
     def provider_names(self) -> list[str]:
@@ -1216,6 +1243,7 @@ class Scheme(ABC):
             transfer_time=acc.transfer_time,
             retries=acc.retries,
             hedged=acc.hedged,
+            tenant=self._op_tenant,
         )
         span = self._op_span
         trace_id = None
@@ -1240,6 +1268,10 @@ class Scheme(ABC):
                 retries=report.retries,
                 hedged=report.hedged,
             )
+            if report.tenant is not None:
+                # Only stamped when attributed, so tenant-free traces stay
+                # byte-identical to pre-service-plane ones.
+                span.record.set(tenant=report.tenant)
             span.__exit__(None, None, None)
         if self.slo is not None:
             self.slo.record_op(report, self.clock.now)

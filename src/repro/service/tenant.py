@@ -1,0 +1,319 @@
+"""The tenant model: namespaces, auth stub, and quota accounting.
+
+A :class:`Tenant` owns a namespace prefix (``/t/<id>``) under which every
+path it touches is scoped, a deterministic bearer-token stub standing in
+for real authentication, and three quota axes:
+
+- **bytes** and **objects** — logical storage under the prefix, accounted
+  with a reserve/commit/release discipline so that queued writes can never
+  overcommit the limit (the reservation holds the quota units while the
+  request waits for admission) and failed writes refund exactly what they
+  reserved;
+- **ops per second** — a token bucket on the *sim* clock, drained by the
+  admission controller at dispatch time, so admitted throughput respects
+  the rate limit whatever the backlog.
+
+Quotas are mutable at runtime (:meth:`Tenant.set_quota`): shrinking a limit
+below current usage is legal and simply rejects further growth until usage
+falls back under the limit — existing data is never touched.
+
+The :class:`TenantRegistry` creates and authenticates tenants; token
+comparison goes through :func:`hmac.compare_digest` like a real credential
+check would, even though the tokens themselves are derived, not secret.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+__all__ = [
+    "ServiceError",
+    "AuthError",
+    "UnknownTenant",
+    "QuotaExceeded",
+    "TenantQuota",
+    "Reservation",
+    "Tenant",
+    "TenantRegistry",
+]
+
+
+class ServiceError(Exception):
+    """Base class for service-plane request rejections.
+
+    Every subclass carries a ``reason`` drawn from the typed rejection
+    vocabulary (:data:`repro.service.admission.REJECT_REASONS`), so callers
+    can shed with a machine-readable cause instead of parsing messages.
+    """
+
+    reason = "service_error"
+
+
+class AuthError(ServiceError):
+    """The presented token does not match the tenant's."""
+
+    reason = "auth"
+
+
+class UnknownTenant(ServiceError):
+    """No tenant with that id exists in the registry."""
+
+    reason = "unknown_tenant"
+
+
+class QuotaExceeded(ServiceError):
+    """A quota axis would be exceeded; ``reason`` names which one."""
+
+    def __init__(self, reason: str, message: str) -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant limits; ``None`` on any axis means unlimited."""
+
+    max_bytes: int | None = None
+    max_objects: int | None = None
+    max_ops_per_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_bytes is not None and self.max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {self.max_bytes}")
+        if self.max_objects is not None and self.max_objects < 0:
+            raise ValueError(f"max_objects must be >= 0, got {self.max_objects}")
+        if self.max_ops_per_s is not None and self.max_ops_per_s <= 0:
+            raise ValueError(
+                f"max_ops_per_s must be > 0, got {self.max_ops_per_s}"
+            )
+
+
+@dataclass
+class Reservation:
+    """Quota units held for one in-flight (queued or executing) write.
+
+    Created by :meth:`Tenant.reserve_write`; exactly one of
+    :meth:`Tenant.commit` / :meth:`Tenant.release` must consume it.
+    """
+
+    path: str
+    bytes_delta: int
+    objects_delta: int
+    new_size: int
+    settled: bool = False
+
+
+class Tenant:
+    """One tenant: namespace prefix, auth token, quota state."""
+
+    def __init__(
+        self,
+        tenant_id: str,
+        token: str,
+        quota: TenantQuota | None = None,
+        weight: float = 1.0,
+    ) -> None:
+        if not tenant_id or "/" in tenant_id:
+            raise ValueError(f"tenant id must be non-empty, '/'-free: {tenant_id!r}")
+        if weight <= 0:
+            raise ValueError(f"weight must be > 0, got {weight}")
+        self.tenant_id = tenant_id
+        self.token = token
+        self.quota = quota if quota is not None else TenantQuota()
+        #: DRR weight: this tenant's share of admission relative to others
+        self.weight = float(weight)
+        self.prefix = f"/t/{tenant_id}"
+        #: logical objects under the prefix: tenant-relative path -> size
+        self.objects: dict[str, int] = {}
+        self.bytes_used = 0
+        #: quota units held by reservations not yet committed/released
+        self.reserved_bytes = 0
+        self.reserved_objects = 0
+        # ops/s token bucket (sim clock); burst of one second of rate, at
+        # least one whole token so a rate under 1 op/s can ever fire.
+        self._tokens: float | None = None
+        self._tokens_at = 0.0
+
+    # ------------------------------------------------------------ namespacing
+    def scope(self, path: str) -> str:
+        """Map a tenant-relative path into the tenant's namespace prefix."""
+        if not path.startswith("/"):
+            path = "/" + path
+        return self.prefix + path
+
+    def owns(self, scoped_path: str) -> bool:
+        """True when ``scoped_path`` lies under this tenant's prefix."""
+        return scoped_path.startswith(self.prefix + "/")
+
+    # ---------------------------------------------------------------- quotas
+    def set_quota(self, quota: TenantQuota) -> None:
+        """Replace the quota; shrinking below current usage is allowed.
+
+        Existing data is untouched — the tenant merely cannot grow until
+        usage drops back under the new limits.
+        """
+        self.quota = quota
+
+    @property
+    def objects_used(self) -> int:
+        return len(self.objects)
+
+    def reserve_write(self, path: str, size: int) -> Reservation:
+        """Hold quota for a put of ``size`` bytes at tenant-relative ``path``.
+
+        Raises :class:`QuotaExceeded` (reason ``bytes_quota`` /
+        ``objects_quota``) when the write would push usage past a limit,
+        counting every outstanding reservation — two queued writes racing
+        one remaining quota unit cannot both pass.  A write exactly at the
+        limit is admitted.
+        """
+        old_size = self.objects.get(path)
+        bytes_delta = size - (old_size or 0)
+        objects_delta = 0 if old_size is not None else 1
+        q = self.quota
+        if (
+            q.max_bytes is not None
+            and bytes_delta > 0
+            and self.bytes_used + self.reserved_bytes + bytes_delta > q.max_bytes
+        ):
+            raise QuotaExceeded(
+                "bytes_quota",
+                f"tenant {self.tenant_id!r}: {size} B write would exceed "
+                f"max_bytes={q.max_bytes} "
+                f"(used={self.bytes_used}, reserved={self.reserved_bytes})",
+            )
+        if (
+            q.max_objects is not None
+            and objects_delta > 0
+            and self.objects_used + self.reserved_objects + objects_delta
+            > q.max_objects
+        ):
+            raise QuotaExceeded(
+                "objects_quota",
+                f"tenant {self.tenant_id!r}: new object would exceed "
+                f"max_objects={q.max_objects} "
+                f"(used={self.objects_used}, reserved={self.reserved_objects})",
+            )
+        self.reserved_bytes += bytes_delta
+        self.reserved_objects += objects_delta
+        return Reservation(
+            path=path,
+            bytes_delta=bytes_delta,
+            objects_delta=objects_delta,
+            new_size=size,
+        )
+
+    def commit(self, reservation: Reservation) -> None:
+        """The reserved write landed: fold it into usage."""
+        self._settle(reservation)
+        self.bytes_used += reservation.bytes_delta
+        self.objects[reservation.path] = reservation.new_size
+
+    def release(self, reservation: Reservation) -> None:
+        """The reserved write was shed or failed: refund the held units."""
+        self._settle(reservation)
+
+    def _settle(self, reservation: Reservation) -> None:
+        if reservation.settled:
+            raise RuntimeError(f"reservation for {reservation.path!r} settled twice")
+        reservation.settled = True
+        self.reserved_bytes -= reservation.bytes_delta
+        self.reserved_objects -= reservation.objects_delta
+
+    def note_removed(self, path: str) -> None:
+        """A remove landed: drop the object from usage accounting."""
+        size = self.objects.pop(path, None)
+        if size is not None:
+            self.bytes_used -= size
+
+    # ------------------------------------------------------- ops/s rate limit
+    def take_op_token(self, now: float) -> bool:
+        """Drain one ops/s token at sim time ``now`` (True when available).
+
+        Unlimited tenants always pass.  The bucket holds at most one second
+        of rate (minimum one token), so sustained admitted throughput can
+        never exceed ``max_ops_per_s`` by more than that initial burst.
+        """
+        rate = self.quota.max_ops_per_s
+        if rate is None:
+            return True
+        burst = max(1.0, rate)
+        if self._tokens is None:
+            self._tokens, self._tokens_at = burst, now
+        else:
+            self._tokens = min(burst, self._tokens + (now - self._tokens_at) * rate)
+            self._tokens_at = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    def next_token_time(self, now: float) -> float:
+        """Earliest sim time a token will be available (``now`` if already)."""
+        rate = self.quota.max_ops_per_s
+        if rate is None or self._tokens is None or self._tokens >= 1.0:
+            return now
+        return now + (1.0 - self._tokens) / rate
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Tenant({self.tenant_id!r}, objects={self.objects_used}, "
+            f"bytes={self.bytes_used})"
+        )
+
+
+class TenantRegistry:
+    """Creates, stores, and authenticates tenants.
+
+    Tokens are a deterministic stub — ``blake2b(seed:tenant_id)`` — so a
+    seeded drill reproduces them exactly; the authentication *path* (bearer
+    token presented per request, compared credential-style) is shaped like
+    the real thing.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._tenants: dict[str, Tenant] = {}
+
+    def mint_token(self, tenant_id: str) -> str:
+        return hashlib.blake2b(
+            f"{self.seed}:{tenant_id}".encode(), digest_size=16
+        ).hexdigest()
+
+    def create(
+        self,
+        tenant_id: str,
+        quota: TenantQuota | None = None,
+        weight: float = 1.0,
+    ) -> Tenant:
+        if tenant_id in self._tenants:
+            raise ValueError(f"tenant {tenant_id!r} already exists")
+        tenant = Tenant(
+            tenant_id, self.mint_token(tenant_id), quota=quota, weight=weight
+        )
+        self._tenants[tenant_id] = tenant
+        return tenant
+
+    def get(self, tenant_id: str) -> Tenant:
+        tenant = self._tenants.get(tenant_id)
+        if tenant is None:
+            raise UnknownTenant(f"no tenant {tenant_id!r}")
+        return tenant
+
+    def authenticate(self, tenant_id: str, token: str) -> Tenant:
+        """Resolve and verify; raises :class:`UnknownTenant` / :class:`AuthError`."""
+        tenant = self.get(tenant_id)
+        if not hmac.compare_digest(tenant.token, token):
+            raise AuthError(f"bad token for tenant {tenant_id!r}")
+        return tenant
+
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+    def __iter__(self):
+        return iter(self._tenants.values())
+
+    def __contains__(self, tenant_id: str) -> bool:
+        return tenant_id in self._tenants

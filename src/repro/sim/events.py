@@ -1,9 +1,17 @@
 """A small discrete-event loop.
 
-Used by the outage scheduler, the recovery drill example and the maintenance
-plane; the bandwidth model has its own specialised event loop in
-:mod:`repro.sim.bandwidth` for speed.  Events scheduled for the same instant
-fire in scheduling order (stable), which keeps traces deterministic.
+Used by the outage scheduler, the recovery drill example, the maintenance
+plane and the multi-tenant service plane; the bandwidth model has its own
+specialised event loop in :mod:`repro.sim.bandwidth` for speed.  Events
+scheduled for the same instant fire in scheduling order (stable), which
+keeps traces deterministic.
+
+Events may carry a ``label``; when a handler raises, the loop attaches the
+label and the scheduled/fired sim times to the exception as a note (PEP 678)
+before re-raising, so a frontend-handler failure deep inside a campaign
+names the event that fired it instead of surfacing as a bare traceback.
+The exception object itself is re-raised unchanged — ``except SomeError``
+handlers around :meth:`EventLoop.run` keep working.
 """
 
 from __future__ import annotations
@@ -12,7 +20,20 @@ import heapq
 import itertools
 from typing import Callable
 
+
 from repro.sim.clock import SimClock
+
+
+def _annotate(exc: BaseException, label: str | None, at: float, now: float) -> None:
+    """Attach the scheduled-event context to ``exc`` as a PEP 678 note."""
+    add_note = getattr(exc, "add_note", None)
+    if add_note is None:  # pragma: no cover - Python < 3.11
+        return
+    what = f"event {label!r}" if label else "unlabeled event"
+    when = f"scheduled for t={at:g}"
+    if now != at:
+        when += f", fired at t={now:g}"
+    add_note(f"while firing {what} ({when}) on the sim event loop")
 
 
 class RecurringEvent:
@@ -23,19 +44,24 @@ class RecurringEvent:
     """
 
     def __init__(
-        self, loop: "EventLoop", interval: float, callback: Callable[[], None]
+        self,
+        loop: "EventLoop",
+        interval: float,
+        callback: Callable[[], None],
+        label: str | None = None,
     ) -> None:
         if interval <= 0:
             raise ValueError(f"interval must be > 0, got {interval}")
         self._loop = loop
         self.interval = float(interval)
         self._callback = callback
+        self.label = label
         self._handle: int | None = None
         self.active = True
         self.fired = 0
 
     def _arm(self, at: float) -> None:
-        self._handle = self._loop.schedule(at, self._fire)
+        self._handle = self._loop.schedule(at, self._fire, label=self.label)
 
     def _fire(self) -> None:
         self._handle = None
@@ -63,9 +89,18 @@ class EventLoop:
         self._counter = itertools.count()
         self._cancelled: set[int] = set()
         self._pending: set[int] = set()
+        #: handle -> label, kept only for labelled events still pending
+        self._labels: dict[int, str] = {}
 
-    def schedule(self, at: float, callback: Callable[[], None]) -> int:
-        """Schedule ``callback`` at absolute time ``at``; returns a handle."""
+    def schedule(
+        self, at: float, callback: Callable[[], None], *, label: str | None = None
+    ) -> int:
+        """Schedule ``callback`` at absolute time ``at``; returns a handle.
+
+        ``label`` names the event in exception notes (and costs nothing when
+        omitted) — give recurring subsystem ticks and service-plane pumps a
+        label so their failures are attributable.
+        """
         if at < self.clock.now:
             raise ValueError(
                 f"cannot schedule event in the past: now={self.clock.now}, at={at}"
@@ -73,13 +108,17 @@ class EventLoop:
         handle = next(self._counter)
         heapq.heappush(self._heap, (float(at), handle, callback))
         self._pending.add(handle)
+        if label is not None:
+            self._labels[handle] = label
         return handle
 
-    def schedule_in(self, delay: float, callback: Callable[[], None]) -> int:
+    def schedule_in(
+        self, delay: float, callback: Callable[[], None], *, label: str | None = None
+    ) -> int:
         """Schedule ``callback`` after ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError(f"delay must be >= 0, got {delay}")
-        return self.schedule(self.clock.now + delay, callback)
+        return self.schedule(self.clock.now + delay, callback, label=label)
 
     def schedule_every(
         self,
@@ -87,6 +126,7 @@ class EventLoop:
         callback: Callable[[], None],
         *,
         first: float | None = None,
+        label: str | None = None,
     ) -> RecurringEvent:
         """Schedule ``callback`` every ``interval`` seconds.
 
@@ -94,7 +134,7 @@ class EventLoop:
         otherwise ``interval`` seconds from now.  Returns a
         :class:`RecurringEvent` whose ``cancel()`` stops the cycle.
         """
-        event = RecurringEvent(self, interval, callback)
+        event = RecurringEvent(self, interval, callback, label=label)
         event._arm(self.clock.now + interval if first is None else first)
         return event
 
@@ -104,6 +144,7 @@ class EventLoop:
         # fired handle must not grow ``_cancelled`` forever.
         if handle in self._pending:
             self._cancelled.add(handle)
+            self._labels.pop(handle, None)
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -116,13 +157,18 @@ class EventLoop:
             if handle in self._cancelled:
                 self._cancelled.discard(handle)
                 continue
+            label = self._labels.pop(handle, None)
             # The clock may already sit past ``at`` when it is shared with
             # foreground traffic (the maintenance plane pumps due events after
             # each foreground op); fire late events at the current instant
             # rather than trying to move time backwards.
             if at > self.clock.now:
                 self.clock.advance_to(at)
-            callback()
+            try:
+                callback()
+            except BaseException as exc:
+                _annotate(exc, label, at, self.clock.now)
+                raise
             return True
         return False
 

@@ -11,7 +11,7 @@ class TestParser:
         for cmd in ("table1", "table2", "fig3", "fig4", "fig5", "fig6",
                     "threshold", "replication", "codec", "degraded",
                     "whatif", "availability", "lockin", "report",
-                    "maintain"):
+                    "maintain", "serve"):
             args = parser.parse_args([cmd])
             assert args.command == cmd
             assert args.seed == 0
@@ -63,6 +63,27 @@ class TestFastCommands:
         out = capsys.readouterr().out
         assert "Run report — scheme=hyrd" in out
         assert "Flame summary" in out
+
+    def test_serve(self, capsys):
+        assert main(["serve", "--tenants", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Multi-tenant service plane — 3 tenants" in out
+        assert "Jain fairness" in out
+        assert "Requests admitted" in out
+
+    def test_serve_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--tenants", "32", "--mode", "open", "--skew", "10",
+             "--queue-limit", "4", "--offered-load", "2", "--ops-quota", "1.5",
+             "--frontends", "3"]
+        )
+        assert args.tenants == 32
+        assert args.mode == "open"
+        assert args.skew == 10.0
+        assert args.queue_limit == 4
+        assert args.offered_load == 2.0
+        assert args.ops_quota == 1.5
+        assert args.frontends == 3
 
 
 class TestExplain:

@@ -142,6 +142,26 @@ def emitted_names():
     crash_drill = run_crash_drill(seed=0)
     for registry in crash_drill["registries"]:
         names |= registry.emitted_names()
+
+    # The multi-tenant service plane: an overloaded open-loop drill with
+    # bounded queues (queue_full sheds), a tight ops/s quota (dispatch
+    # deferrals), and multiple backlogged tenants (DRR rounds) lights the
+    # whole tenant_* / admission_* family, including the per-tenant SLO
+    # gauges published at settlement.
+    from repro.service import run_service_drill
+
+    service_parts: dict = {}
+    run_service_drill(
+        seed=0,
+        tenants=3,
+        mode="open",
+        offered_load=3.0,
+        queue_limit=2,
+        ops_quota_factor=0.5,
+        horizon=4.0,
+        parts=service_parts,
+    )
+    names |= service_parts["registry"].emitted_names()
     return names
 
 

@@ -131,6 +131,9 @@ class TestRenderDashboard:
             storm_ts, color=False
         )
 
+    def test_tenant_panel_absent_without_service_plane(self, storm_ts):
+        assert "Tenants (admission)" not in render_dashboard(storm_ts, color=False)
+
     def test_render_frame_prepends_clear(self, storm_ts):
         sampler = TimeSeriesSampler()
         sampler.ts = storm_ts
@@ -174,3 +177,92 @@ class TestWatchCli:
         assert len(ts) > 0
         # the exported file round-trips into the very dashboard just printed
         assert render_dashboard(ts, color=False) in out
+
+
+def service_series(tenants: int = 3) -> MetricTimeSeries:
+    """A time series carrying the service plane's admission metrics."""
+    ts = MetricTimeSeries()
+    reg = MetricsRegistry()
+    for step in (1, 2):
+        for i in range(tenants):
+            tid = f"t{i}"
+            reg.counter("tenant_admitted_total", tenant=tid).inc(10 * (i + 1))
+            reg.gauge("tenant_queue_depth", tenant=tid).set(float(i))
+        reg.counter(
+            "tenant_shed_total", reason="queue_full", tenant="t0"
+        ).inc(2)
+        reg.gauge("admission_fairness_index").set(0.95)
+        reg.gauge("admission_queued").set(3.0)
+        ts.snapshot(reg, step * 30.0)
+    return ts
+
+
+class TestTenantPanel:
+    def test_panel_renders_admission_state(self):
+        text = render_dashboard(service_series(), color=False)
+        assert "Tenants (admission)" in text
+        panel = text.split("Tenants (admission)", 1)[1]
+        assert "fairness 0.9500" in panel
+        assert "queued    3" in panel
+        for tid in ("t0", "t1", "t2"):
+            assert tid in panel
+        assert "shed" in panel and "admitted" in panel
+
+    def test_rows_ranked_by_admitted_with_tail_summary(self):
+        text = render_dashboard(service_series(tenants=12), color=False)
+        panel = text.split("Tenants (admission)", 1)[1]
+        # Busiest tenant (highest admitted count) leads the rows.
+        rows = [ln for ln in panel.splitlines() if ln.strip().startswith("t")]
+        assert rows[0].split()[0] == "t11"
+        assert "… 4 more tenants" in panel
+
+    def test_panel_is_escape_free_without_color(self):
+        assert "\x1b" not in render_dashboard(service_series(), color=False)
+
+    def test_live_drill_feeds_the_panel(self):
+        """End to end: a sampled service drill renders per-tenant rows."""
+        from repro.obs.timeseries import TimeSeriesSampler as _Sampler  # noqa: F401
+        from repro.service import run_service_drill
+
+        # The drill publishes through the scheme's registry; rebuild the
+        # panel's input by snapshotting that registry is what `repro watch`
+        # would do.  Reuse the drill's metric side effects via a fresh run.
+        ts = MetricTimeSeries()
+        from repro.core.config import HyRDConfig
+        from repro.obs.slo import SloTracker
+        from repro.schemes import HyrdScheme
+        from repro.cloud.provider import make_table2_cloud_of_clouds
+        from repro.service import (
+            AdmissionController,
+            Request,
+            ServicePlane,
+            TenantRegistry,
+        )
+        from repro.sim.clock import SimClock
+        from repro.sim.events import EventLoop
+
+        clock = SimClock()
+        loop = EventLoop(clock)
+        providers = make_table2_cloud_of_clouds(clock)
+        scheme = HyrdScheme(
+            list(providers.values()), clock, config=HyRDConfig(seed=0)
+        )
+        scheme.attach_slo(SloTracker())
+        registry = TenantRegistry(seed=0)
+        alice = registry.create("alice")
+        plane = ServicePlane(scheme, loop, registry, n_frontends=1)
+        plane.route(
+            Request(
+                tenant_id="alice",
+                token=alice.token,
+                kind="put",
+                path="/d/x",
+                size=4,
+                payload=b"data",
+            )
+        )
+        loop.run()
+        ts.snapshot(scheme.registry, clock.now)
+        panel = render_dashboard(ts, color=False)
+        assert "Tenants (admission)" in panel
+        assert "alice" in panel

@@ -1,0 +1,214 @@
+"""Tenant model: namespacing, auth stub, and quota accounting edge cases."""
+
+import pytest
+
+from repro.service.tenant import (
+    AuthError,
+    QuotaExceeded,
+    Tenant,
+    TenantQuota,
+    TenantRegistry,
+    UnknownTenant,
+)
+
+
+class TestTenantBasics:
+    def test_scope_maps_into_prefix(self):
+        t = Tenant("alice", "tok")
+        assert t.prefix == "/t/alice"
+        assert t.scope("/d/x") == "/t/alice/d/x"
+        assert t.scope("d/x") == "/t/alice/d/x"
+
+    def test_owns_only_inside_prefix(self):
+        t = Tenant("alice", "tok")
+        assert t.owns("/t/alice/d/x")
+        assert not t.owns("/t/alicette/d/x")
+        assert not t.owns("/t/bob/d/x")
+
+    def test_rejects_bad_ids_and_weights(self):
+        with pytest.raises(ValueError):
+            Tenant("", "tok")
+        with pytest.raises(ValueError):
+            Tenant("a/b", "tok")
+        with pytest.raises(ValueError):
+            Tenant("a", "tok", weight=0.0)
+
+    def test_quota_validation(self):
+        with pytest.raises(ValueError):
+            TenantQuota(max_bytes=-1)
+        with pytest.raises(ValueError):
+            TenantQuota(max_objects=-1)
+        with pytest.raises(ValueError):
+            TenantQuota(max_ops_per_s=0.0)
+
+
+class TestRegistry:
+    def test_create_get_authenticate(self):
+        reg = TenantRegistry(seed=7)
+        t = reg.create("alice")
+        assert reg.get("alice") is t
+        assert reg.authenticate("alice", t.token) is t
+        assert "alice" in reg
+        assert len(reg) == 1
+        assert list(reg) == [t]
+
+    def test_tokens_are_seed_deterministic(self):
+        a = TenantRegistry(seed=7).create("alice").token
+        b = TenantRegistry(seed=7).create("alice").token
+        c = TenantRegistry(seed=8).create("alice").token
+        assert a == b
+        assert a != c
+
+    def test_duplicate_create_rejected(self):
+        reg = TenantRegistry()
+        reg.create("alice")
+        with pytest.raises(ValueError):
+            reg.create("alice")
+
+    def test_unknown_tenant_and_bad_token(self):
+        reg = TenantRegistry()
+        t = reg.create("alice")
+        with pytest.raises(UnknownTenant):
+            reg.get("bob")
+        with pytest.raises(AuthError):
+            reg.authenticate("alice", t.token + "x")
+        assert UnknownTenant.reason == "unknown_tenant"
+        assert AuthError.reason == "auth"
+
+
+class TestQuotaReserveCommitRelease:
+    def test_commit_folds_into_usage(self):
+        t = Tenant("a", "tok")
+        r = t.reserve_write("/d/x", 100)
+        assert t.reserved_bytes == 100 and t.bytes_used == 0
+        t.commit(r)
+        assert t.reserved_bytes == 0
+        assert t.bytes_used == 100
+        assert t.objects_used == 1
+
+    def test_release_refunds_exactly(self):
+        t = Tenant("a", "tok")
+        r = t.reserve_write("/d/x", 100)
+        t.release(r)
+        assert t.reserved_bytes == 0 and t.reserved_objects == 0
+        assert t.bytes_used == 0 and t.objects_used == 0
+
+    def test_double_settle_raises(self):
+        t = Tenant("a", "tok")
+        r = t.reserve_write("/d/x", 100)
+        t.commit(r)
+        with pytest.raises(RuntimeError):
+            t.release(r)
+
+    def test_overwrite_accounts_the_delta(self):
+        t = Tenant("a", "tok")
+        t.commit(t.reserve_write("/d/x", 100))
+        r = t.reserve_write("/d/x", 40)  # shrink: delta -60, no new object
+        assert r.bytes_delta == -60 and r.objects_delta == 0
+        t.commit(r)
+        assert t.bytes_used == 40 and t.objects_used == 1
+
+    def test_note_removed_drops_usage(self):
+        t = Tenant("a", "tok")
+        t.commit(t.reserve_write("/d/x", 100))
+        t.note_removed("/d/x")
+        assert t.bytes_used == 0 and t.objects_used == 0
+        t.note_removed("/d/ghost")  # unknown path is a no-op
+
+
+class TestQuotaEdgeCases:
+    """The ISSUE's quota boundary conditions."""
+
+    def test_write_exactly_at_limit_is_admitted(self):
+        t = Tenant("a", "tok", quota=TenantQuota(max_bytes=100))
+        t.commit(t.reserve_write("/d/x", 60))
+        t.commit(t.reserve_write("/d/y", 40))  # lands exactly on the limit
+        assert t.bytes_used == 100
+        with pytest.raises(QuotaExceeded) as exc:
+            t.reserve_write("/d/z", 1)
+        assert exc.value.reason == "bytes_quota"
+
+    def test_object_count_exactly_at_limit(self):
+        t = Tenant("a", "tok", quota=TenantQuota(max_objects=2))
+        t.commit(t.reserve_write("/d/x", 1))
+        t.commit(t.reserve_write("/d/y", 1))
+        with pytest.raises(QuotaExceeded) as exc:
+            t.reserve_write("/d/z", 1)
+        assert exc.value.reason == "objects_quota"
+        # Overwriting an existing object is not a new object.
+        t.commit(t.reserve_write("/d/x", 5))
+        assert t.objects_used == 2
+
+    def test_quota_shrink_below_usage_keeps_data(self):
+        t = Tenant("a", "tok", quota=TenantQuota(max_bytes=1000))
+        t.commit(t.reserve_write("/d/x", 800))
+        t.set_quota(TenantQuota(max_bytes=500))
+        # Existing data survives; growth is rejected until usage falls.
+        assert t.bytes_used == 800
+        with pytest.raises(QuotaExceeded):
+            t.reserve_write("/d/y", 1)
+        # Shrinking an object (negative delta) is still allowed...
+        t.commit(t.reserve_write("/d/x", 100))
+        assert t.bytes_used == 100
+        # ...and once under the limit the tenant can grow again.
+        t.commit(t.reserve_write("/d/y", 300))
+        assert t.bytes_used == 400
+
+    def test_two_reservations_racing_one_remaining_unit(self):
+        """Queued (uncommitted) writes hold quota: the race cannot double-spend."""
+        t = Tenant("a", "tok", quota=TenantQuota(max_objects=1))
+        first = t.reserve_write("/d/x", 10)
+        with pytest.raises(QuotaExceeded) as exc:
+            t.reserve_write("/d/y", 10)
+        assert exc.value.reason == "objects_quota"
+        # Releasing the hold frees the unit for the loser to retry.
+        t.release(first)
+        second = t.reserve_write("/d/y", 10)
+        t.commit(second)
+        assert t.objects_used == 1
+
+    def test_racing_last_bytes_unit(self):
+        t = Tenant("a", "tok", quota=TenantQuota(max_bytes=10))
+        t.reserve_write("/d/x", 10)
+        with pytest.raises(QuotaExceeded):
+            t.reserve_write("/d/y", 1)
+
+
+class TestOpsTokenBucket:
+    def test_unlimited_always_passes(self):
+        t = Tenant("a", "tok")
+        assert all(t.take_op_token(0.0) for _ in range(1000))
+        assert t.next_token_time(5.0) == 5.0
+
+    def test_burst_then_refill_at_rate(self):
+        t = Tenant("a", "tok", quota=TenantQuota(max_ops_per_s=2.0))
+        # Burst = one second of rate: two tokens at first touch.
+        assert t.take_op_token(0.0)
+        assert t.take_op_token(0.0)
+        assert not t.take_op_token(0.0)
+        # Half a second refills one token at 2 ops/s.
+        assert t.next_token_time(0.0) == pytest.approx(0.5)
+        assert t.take_op_token(0.5)
+        assert not t.take_op_token(0.5)
+
+    def test_slow_rate_gets_at_least_one_token(self):
+        t = Tenant("a", "tok", quota=TenantQuota(max_ops_per_s=0.1))
+        assert t.take_op_token(0.0)  # burst floor of one whole token
+        assert not t.take_op_token(0.0)
+        assert t.next_token_time(0.0) == pytest.approx(10.0)
+        assert t.take_op_token(10.0)
+
+    def test_bucket_caps_at_burst(self):
+        t = Tenant("a", "tok", quota=TenantQuota(max_ops_per_s=2.0))
+        t.take_op_token(0.0)
+        # A long idle period cannot bank more than one second of rate.
+        granted = sum(1 for _ in range(10) if t.take_op_token(100.0))
+        assert granted == 2
+
+    def test_sustained_rate_respects_quota(self):
+        t = Tenant("a", "tok", quota=TenantQuota(max_ops_per_s=4.0))
+        granted = sum(
+            1 for i in range(200) if t.take_op_token(i * 0.05)
+        )  # 10 sim seconds of attempts at 20/s
+        assert granted <= 4 * 10 + 4  # rate * horizon + burst
+        assert granted >= 4 * 10 - 1

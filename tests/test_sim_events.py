@@ -108,6 +108,86 @@ class TestEventLoop:
         assert fired == [5.0]
 
 
+class TestExceptionContext:
+    def test_handler_exception_carries_label_and_time(self):
+        loop = EventLoop()
+
+        def boom():
+            raise RuntimeError("kaput")
+
+        loop.schedule(3.0, boom, label="frontend-pump[2]")
+        with pytest.raises(RuntimeError) as excinfo:
+            loop.run()
+        notes = getattr(excinfo.value, "__notes__", [])
+        assert any(
+            "frontend-pump[2]" in n and "t=3" in n for n in notes
+        ), f"missing event context in notes: {notes}"
+
+    def test_unlabeled_handler_exception_still_notes_time(self):
+        loop = EventLoop()
+
+        def boom():
+            raise ValueError("no label")
+
+        loop.schedule_in(1.5, boom)
+        with pytest.raises(ValueError) as excinfo:
+            loop.run()
+        notes = getattr(excinfo.value, "__notes__", [])
+        assert any("unlabeled event" in n and "t=1.5" in n for n in notes)
+
+    def test_late_fire_notes_both_times(self):
+        clock = SimClock()
+        loop = EventLoop(clock)
+
+        def boom():
+            raise RuntimeError("late")
+
+        loop.schedule(1.0, boom, label="tick")
+        clock.advance_to(5.0)
+        with pytest.raises(RuntimeError) as excinfo:
+            loop.run()
+        notes = getattr(excinfo.value, "__notes__", [])
+        assert any("t=1" in n and "fired at t=5" in n for n in notes)
+
+    def test_exception_type_is_preserved(self):
+        # Campaign code catches specific exception types around loop.run();
+        # annotation must not wrap or replace the original exception.
+        class ClientCrash(Exception):
+            pass
+
+        loop = EventLoop()
+
+        def crash():
+            raise ClientCrash()
+
+        loop.schedule(1.0, crash, label="chaos")
+        with pytest.raises(ClientCrash):
+            loop.run()
+
+    def test_recurring_event_label_propagates(self):
+        loop = EventLoop()
+        calls = []
+
+        def tick():
+            calls.append(loop.clock.now)
+            if len(calls) == 2:
+                raise RuntimeError("second tick")
+
+        loop.schedule_every(10.0, tick, label="scrub-tick")
+        with pytest.raises(RuntimeError) as excinfo:
+            loop.run()
+        notes = getattr(excinfo.value, "__notes__", [])
+        assert any("scrub-tick" in n and "t=20" in n for n in notes)
+
+    def test_labels_do_not_leak_after_fire_or_cancel(self):
+        loop = EventLoop()
+        loop.schedule(1.0, lambda: None, label="a")
+        handle = loop.schedule(2.0, lambda: None, label="b")
+        loop.cancel(handle)
+        loop.run()
+        assert loop._labels == {}
+
+
 class TestScheduleEvery:
     def test_recurring_fires_on_interval(self):
         loop = EventLoop()

@@ -49,7 +49,17 @@ allows" north star is pushed against:
   workload).  All simulated-time arithmetic, so all of it is drift-gated —
   a routing change that shifts the histogram or erodes the speedup fails
   ``--check``.  Generation also asserts scheduled strictly beats static
-  (the hard 1.3x floor lives in the benchmark suite).
+  (the hard 1.3x floor lives in the benchmark suite);
+- **service plane** — the multi-tenant drill from
+  ``benchmarks/test_service_plane.py`` at telemetry scale: closed-loop
+  aggregate ops/s at 1 / 32 / 512 tenants (same per-tenant stream shape,
+  metadata cache sized to the working set so the series measures tenancy
+  overhead), plus one open-loop 10:1-skew overload run recording the
+  shed fraction and Jain's fairness index over admitted throughput.
+  Every value is simulated-time arithmetic from one seeded drill, so the
+  whole facet is drift-gated; generation asserts the same floors the
+  benchmark gates enforce (512-tenant scale ratio >= 0.8, fairness
+  >= 0.9).
 
 Everything under ``deterministic`` is simulated-time arithmetic from seeded
 runs: regenerating with the same seed on the same code reproduces it bit for
@@ -78,7 +88,7 @@ ROOT = Path(__file__).resolve().parent.parent
 if str(ROOT / "src") not in sys.path:  # allow running without PYTHONPATH=src
     sys.path.insert(0, str(ROOT / "src"))
 
-SCHEMA = "repro-bench-telemetry/6"
+SCHEMA = "repro-bench-telemetry/7"
 
 #: fig3-scale replay throughput measured at the pre-overhaul commit — kept
 #: in the telemetry file so the recorded speedup stays anchored to the same
@@ -515,6 +525,105 @@ def run_read_scheduling_facet(seed: int) -> dict:
     }
 
 
+#: numeric fields the service-plane closed-loop scaling facet must carry
+SERVICE_SCALING_FIELDS = (
+    "ops_per_s_1",
+    "ops_per_s_32",
+    "ops_per_s_512",
+    "scale_ratio_512",
+)
+
+#: numeric fields the service-plane skewed-overload facet must carry
+SERVICE_OVERLOAD_FIELDS = (
+    "submitted",
+    "admitted",
+    "shed_fraction",
+    "fairness_index",
+    "quota_deferrals",
+)
+
+
+def run_service_plane_facet(seed: int) -> dict:
+    """Multi-tenant service plane at telemetry scale — all simulated-time.
+
+    Two seeded drills through :func:`repro.service.run_service_drill`:
+
+    - **closed-loop scaling** — aggregate admitted ops/s at 1 / 32 / 512
+      tenants, every tenant running the same 8-op stream shape, with the
+      client metadata cache sized to the 512-directory working set so the
+      series measures tenancy overhead (DRR rotation, quota checks, pump
+      chains) rather than cache thrash;
+    - **skewed overload** — 32 open-loop tenants at 3x measured capacity
+      with a 10:1 geometric rate skew, bounded queues, and per-tenant
+      ops/s quotas; records submitted/admitted counts, the shed fraction,
+      and Jain's index over per-tenant admitted counts.
+
+    Generation asserts the same floors the benchmark gates enforce so a
+    regression can never be committed as a baseline.
+    """
+    from repro.core.config import HyRDConfig
+    from repro.schemes import HyrdScheme
+    from repro.service import run_service_drill
+
+    def factory(providers, clock):
+        return HyrdScheme(
+            providers,
+            clock,
+            config=HyRDConfig(seed=seed, metadata_cache_capacity=1024),
+        )
+
+    rates: dict[int, float] = {}
+    for tenants in (1, 32, 512):
+        report = run_service_drill(
+            seed=seed,
+            tenants=tenants,
+            mode="closed",
+            ops_per_tenant=8,
+            scheme_factory=factory,
+        )
+        if report["shed_total"]:
+            raise AssertionError(
+                f"closed-loop drill at {tenants} tenants shed "
+                f"{report['shed_total']} requests"
+            )
+        rates[tenants] = report["aggregate_ops_per_s"]
+    scale_ratio = rates[512] / rates[1]
+    if scale_ratio < 0.8:
+        raise AssertionError(
+            f"512-tenant scale ratio {scale_ratio:.3f} fell below the 0.8 floor"
+        )
+
+    skewed = run_service_drill(
+        seed=seed,
+        tenants=32,
+        mode="open",
+        skew=10.0,
+        offered_load=3.0,
+        queue_limit=8,
+        ops_quota_factor=2.0,
+    )
+    if skewed["fairness_index"] < 0.9:
+        raise AssertionError(
+            f"fairness index {skewed['fairness_index']:.4f} under skew "
+            "fell below the 0.9 floor"
+        )
+    return {
+        "closed_scaling": {
+            "ops_per_s_1": rates[1],
+            "ops_per_s_32": rates[32],
+            "ops_per_s_512": rates[512],
+            "scale_ratio_512": scale_ratio,
+        },
+        "skewed_overload": {
+            "submitted": skewed["submitted_total"],
+            "admitted": skewed["admitted_total"],
+            "shed_fraction": skewed["shed_fraction"],
+            "fairness_index": skewed["fairness_index"],
+            "quota_deferrals": skewed["quota_deferrals"],
+        },
+    }
+
+
 def run_attribution_facet(seed: int) -> dict:
     """Critical-path phase decomposition — all simulated-time, all gated.
 
@@ -604,6 +713,7 @@ def build_payload(seed: int, date: str) -> dict:
             "maintenance": run_maintenance(seed),
             "attribution": run_attribution_facet(seed),
             "read_scheduling": run_read_scheduling_facet(seed),
+            "service_plane": run_service_plane_facet(seed),
         },
         "informational": {
             "codec_throughput": run_codec_throughput(seed),
@@ -813,6 +923,41 @@ def schema_check(payload: dict, path: Path) -> list[str]:
                     "read_scheduling.skewed_load.subset_histogram must "
                     "account for every read",
                 )
+        service = det.get("service_plane")
+        need(isinstance(service, dict) and service,
+             "service_plane section missing")
+        scaling = (service or {}).get("closed_scaling")
+        need(isinstance(scaling, dict), "service_plane.closed_scaling missing")
+        if isinstance(scaling, dict):
+            for field in SERVICE_SCALING_FIELDS:
+                need(
+                    isinstance(scaling.get(field), (int, float))
+                    and not isinstance(scaling.get(field), bool)
+                    and scaling.get(field, 0.0) > 0.0,
+                    f"service_plane.closed_scaling.{field} must be positive",
+                )
+            need(
+                scaling.get("scale_ratio_512", 0.0) >= 0.8,
+                "service_plane.closed_scaling.scale_ratio_512 must be >= 0.8",
+            )
+        overload = (service or {}).get("skewed_overload")
+        need(isinstance(overload, dict), "service_plane.skewed_overload missing")
+        if isinstance(overload, dict):
+            for field in SERVICE_OVERLOAD_FIELDS:
+                need(
+                    isinstance(overload.get(field), (int, float))
+                    and not isinstance(overload.get(field), bool),
+                    f"service_plane.skewed_overload.{field} missing",
+                )
+            need(
+                0.9 <= overload.get("fairness_index", 0.0) <= 1.0,
+                "service_plane.skewed_overload.fairness_index must sit in "
+                "[0.9, 1] (the fairness gate's floor)",
+            )
+            need(
+                0.0 <= overload.get("shed_fraction", -1.0) < 1.0,
+                "service_plane.skewed_overload.shed_fraction must sit in [0, 1)",
+            )
     info = payload.get("informational")
     need(isinstance(info, dict), "informational section missing")
     if isinstance(info, dict):
